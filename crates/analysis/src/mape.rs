@@ -1,0 +1,118 @@
+//! Validation metrics of §V-A / Table IV.
+//!
+//! For each validation matrix the paper compares its measured
+//! performance against the performance of its artificial friends:
+//!
+//! * **MAPE** — the absolute percentage error between the validation
+//!   matrix and the *median* of its friends, averaged over matrices;
+//! * **APE-best** — the absolute percentage error against the
+//!   *closest-performing* friend ("best friend"), averaged likewise.
+
+use crate::stats::BoxStats;
+
+/// Absolute percentage error of `predicted` w.r.t. `actual`, in percent.
+fn ape(actual: f64, predicted: f64) -> f64 {
+    if actual == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 * (predicted - actual).abs() / actual.abs()
+    }
+}
+
+/// MAPE between each validation value and the median of its friend
+/// values, averaged over all `(value, friends)` pairs with at least one
+/// friend. Returns `None` when no pair qualifies.
+pub fn mape_to_median(pairs: &[(f64, Vec<f64>)]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (actual, friends) in pairs {
+        if let Some(stats) = BoxStats::from_values(friends) {
+            total += ape(*actual, stats.median);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(total / n as f64)
+    }
+}
+
+/// Mean APE between each validation value and its closest friend
+/// ("best friend"), averaged over all pairs with at least one friend.
+pub fn ape_best(pairs: &[(f64, Vec<f64>)]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (actual, friends) in pairs {
+        let best = friends
+            .iter()
+            .filter(|v| v.is_finite())
+            .map(|&f| ape(*actual, f))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite APEs"));
+        if let Some(b) = best {
+            total += b;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(total / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_of_exact_median_match_is_zero() {
+        let pairs = vec![(10.0, vec![9.0, 10.0, 11.0])];
+        assert_eq!(mape_to_median(&pairs), Some(0.0));
+    }
+
+    #[test]
+    fn mape_example() {
+        // friends median 8 vs actual 10 -> 20 %.
+        let pairs = vec![(10.0, vec![8.0]), (100.0, vec![90.0, 110.0])];
+        // second pair: median 100 -> 0 %.
+        assert!((mape_to_median(&pairs).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ape_best_picks_the_closest_friend() {
+        let pairs = vec![(10.0, vec![5.0, 9.5, 20.0])];
+        assert!((ape_best(&pairs).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ape_best_is_never_above_mape() {
+        let pairs = vec![
+            (10.0, vec![7.0, 9.0, 15.0]),
+            (3.0, vec![1.0, 2.0, 10.0]),
+            (50.0, vec![20.0, 60.0, 80.0, 90.0]),
+        ];
+        assert!(ape_best(&pairs).unwrap() <= mape_to_median(&pairs).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mape_to_median(&[]), None);
+        assert_eq!(ape_best(&[]), None);
+        let pairs = vec![(10.0, vec![])];
+        assert_eq!(mape_to_median(&pairs), None);
+        assert_eq!(ape_best(&pairs), None);
+    }
+
+    #[test]
+    fn zero_actual_is_handled() {
+        let pairs = vec![(0.0, vec![0.0])];
+        assert_eq!(mape_to_median(&pairs), Some(0.0));
+        let pairs = vec![(0.0, vec![1.0])];
+        assert_eq!(mape_to_median(&pairs), Some(100.0));
+    }
+}

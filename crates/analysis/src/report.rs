@@ -1,0 +1,169 @@
+//! Plain-text rendering: aligned tables, ASCII boxplots and CSV
+//! emission for the figure binaries.
+
+use crate::stats::BoxStats;
+
+/// A simple aligned-column text table.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (cells are free-form strings).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns, a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-separated, no quoting — callers keep cells
+    /// comma-free).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders one horizontal ASCII boxplot line of `width` characters over
+/// the value range `[lo, hi]` (log scale when `log` is set):
+/// `|- [ = M = ] -|` with `M` at the median.
+pub fn ascii_boxplot_row(stats: &BoxStats, lo: f64, hi: f64, width: usize, log: bool) -> String {
+    let width = width.max(10);
+    let map = |v: f64| -> usize {
+        let (v, lo, hi) = if log {
+            (v.max(1e-12).ln(), lo.max(1e-12).ln(), hi.max(1e-12).ln())
+        } else {
+            (v, lo, hi)
+        };
+        if hi <= lo {
+            return 0;
+        }
+        (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
+    };
+    let mut line = vec![b' '; width];
+    let (w_min, w_q1, w_med, w_q3, w_max) =
+        (map(stats.min), map(stats.q1), map(stats.median), map(stats.q3), map(stats.max));
+    for cell in line.iter_mut().take(w_max + 1).skip(w_min) {
+        *cell = b'-';
+    }
+    for cell in line.iter_mut().take(w_q3 + 1).skip(w_q1) {
+        *cell = b'=';
+    }
+    line[w_min] = b'|';
+    line[w_max] = b'|';
+    line[w_q1] = b'[';
+    line[w_q3] = b']';
+    line[w_med] = b'M';
+    String::from_utf8(line).expect("ascii")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].starts_with("longer"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn boxplot_markers_in_order() {
+        let stats = BoxStats::from_values(&[10.0, 25.0, 50.0, 75.0, 90.0]).unwrap();
+        let row = ascii_boxplot_row(&stats, 0.0, 100.0, 50, false);
+        assert_eq!(row.len(), 50);
+        let pos =
+            |c: char| row.find(c).unwrap_or_else(|| panic!("marker {c} missing in {row:?}"));
+        assert!(pos('|') <= pos('['));
+        assert!(pos('[') <= pos('M'));
+        assert!(pos('M') <= pos(']'));
+    }
+
+    #[test]
+    fn log_scale_spreads_small_values() {
+        let stats = BoxStats::from_values(&[0.001, 0.01, 0.1, 1.0, 10.0]).unwrap();
+        let lin = ascii_boxplot_row(&stats, 0.0, 10.0, 60, false);
+        let log = ascii_boxplot_row(&stats, 0.001, 10.0, 60, true);
+        // On a linear scale everything but the max collapses left.
+        assert!(lin.find('M').unwrap() < 5);
+        // On a log scale the median sits near the middle.
+        let m = log.find('M').unwrap();
+        assert!((20..=40).contains(&m), "median at {m} in {log:?}");
+    }
+
+    #[test]
+    fn degenerate_range() {
+        let stats = BoxStats::from_values(&[5.0]).unwrap();
+        let row = ascii_boxplot_row(&stats, 5.0, 5.0, 20, false);
+        assert_eq!(row.len(), 20);
+        assert!(row.contains('M'));
+    }
+}

@@ -1,0 +1,261 @@
+//! Feature-based storage-format selection.
+//!
+//! The paper motivates its dataset partly as fuel for the format-
+//! selection literature it surveys (\[3\]–\[11\]): given a matrix's
+//! structural features, predict which storage format will run SpMV
+//! fastest on a given device. This module provides a deliberately
+//! transparent baseline — a k-nearest-neighbor vote in normalized
+//! feature space — together with the evaluation metrics that
+//! literature reports (top-1 accuracy and fraction-of-optimal
+//! throughput).
+//!
+//! The feature vector mirrors the paper's five features: log footprint,
+//! log average row length, log(1+skew), cross-row similarity and
+//! neighbor count (the latter two scaled up so a full swing weighs
+//! about as much as a decade of footprint).
+
+use serde::{Deserialize, Serialize};
+
+/// The five paper features of one matrix, as a selector input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectorFeatures {
+    /// Memory footprint in MB (f1).
+    pub footprint_mb: f64,
+    /// Average nonzeros per row (f2).
+    pub avg_nnz_per_row: f64,
+    /// Skew coefficient (f3).
+    pub skew: f64,
+    /// Cross-row similarity in `[0, 1]` (f4.a).
+    pub cross_row_sim: f64,
+    /// Average number of neighbors in `[0, 2]` (f4.b).
+    pub avg_num_neigh: f64,
+}
+
+impl SelectorFeatures {
+    fn embed(&self) -> [f64; 5] {
+        [
+            self.footprint_mb.max(1e-3).ln(),
+            self.avg_nnz_per_row.max(0.25).ln(),
+            (1.0 + self.skew.max(0.0)).ln(),
+            3.0 * self.cross_row_sim,
+            3.0 * self.avg_num_neigh,
+        ]
+    }
+}
+
+fn dist2(a: &[f64; 5], b: &[f64; 5]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// One labeled training observation: the features of a matrix and the
+/// format that won on it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Observation {
+    /// The matrix's features.
+    pub features: SelectorFeatures,
+    /// Name of the fastest format for this matrix on the target device.
+    pub best_format: String,
+}
+
+/// A k-nearest-neighbor format selector for one device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FormatSelector {
+    k: usize,
+    embedded: Vec<([f64; 5], String)>,
+}
+
+impl FormatSelector {
+    /// Fits a selector on labeled observations. `k` is clamped to the
+    /// training-set size; an empty training set is allowed but then
+    /// [`recommend`](Self::recommend) returns `None`.
+    pub fn fit(observations: &[Observation], k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            embedded: observations
+                .iter()
+                .map(|o| (o.features.embed(), o.best_format.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of stored training observations.
+    pub fn len(&self) -> usize {
+        self.embedded.len()
+    }
+
+    /// `true` when no observations were stored.
+    pub fn is_empty(&self) -> bool {
+        self.embedded.is_empty()
+    }
+
+    /// Recommends a format for the given features by majority vote of
+    /// the `k` nearest training matrices (ties break toward the
+    /// nearest neighbor's vote).
+    pub fn recommend(&self, features: &SelectorFeatures) -> Option<&str> {
+        if self.embedded.is_empty() {
+            return None;
+        }
+        let probe = features.embed();
+        // Partial selection of the k nearest (k is tiny; linear scan).
+        let mut nearest: Vec<(f64, &str)> = self
+            .embedded
+            .iter()
+            .map(|(e, fmt)| (dist2(e, &probe), fmt.as_str()))
+            .collect();
+        nearest.sort_by(|a, b| a.0.total_cmp(&b.0));
+        nearest.truncate(self.k);
+
+        let mut votes: Vec<(&str, usize)> = Vec::new();
+        for (_, fmt) in &nearest {
+            match votes.iter_mut().find(|(f, _)| f == fmt) {
+                Some((_, n)) => *n += 1,
+                None => votes.push((fmt, 1)),
+            }
+        }
+        let max = votes.iter().map(|&(_, n)| n).max()?;
+        // First format reaching `max` in nearest-first insertion order
+        // is the tie-break toward the closest neighbor.
+        votes.iter().find(|&&(_, n)| n == max).map(|&(f, _)| f)
+    }
+}
+
+/// Evaluation result of a selector on a labeled test set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectorScore {
+    /// Fraction of test matrices where the recommendation was exactly
+    /// the fastest format.
+    pub top1_accuracy: f64,
+    /// Mean of (recommended format's GFLOPs / best format's GFLOPs) —
+    /// the metric that matters for end-to-end performance.
+    pub fraction_of_optimal: f64,
+    /// Number of test matrices evaluated.
+    pub n: usize,
+}
+
+/// Evaluates recommendations against per-format measurements.
+///
+/// `candidates` holds, per test matrix, its features and the measured
+/// `(format, gflops)` alternatives; matrices whose recommended format
+/// was not measured count as misses with zero throughput fraction.
+pub fn evaluate(
+    selector: &FormatSelector,
+    candidates: &[(SelectorFeatures, Vec<(String, f64)>)],
+) -> SelectorScore {
+    let mut hits = 0usize;
+    let mut frac = 0.0f64;
+    let mut n = 0usize;
+    for (features, options) in candidates {
+        let Some((best_fmt, best_gf)) = options
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(f, g)| (f.as_str(), *g))
+        else {
+            continue;
+        };
+        n += 1;
+        if let Some(rec) = selector.recommend(features) {
+            if rec == best_fmt {
+                hits += 1;
+            }
+            if let Some((_, g)) = options.iter().find(|(f, _)| f == rec) {
+                if best_gf > 0.0 {
+                    frac += g / best_gf;
+                }
+            }
+        }
+    }
+    SelectorScore {
+        top1_accuracy: if n > 0 { hits as f64 / n as f64 } else { 0.0 },
+        fraction_of_optimal: if n > 0 { frac / n as f64 } else { 0.0 },
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(fp: f64, avg: f64, skew: f64) -> SelectorFeatures {
+        SelectorFeatures {
+            footprint_mb: fp,
+            avg_nnz_per_row: avg,
+            skew,
+            cross_row_sim: 0.5,
+            avg_num_neigh: 0.5,
+        }
+    }
+
+    fn obs(fp: f64, avg: f64, skew: f64, fmt: &str) -> Observation {
+        Observation { features: feat(fp, avg, skew), best_format: fmt.into() }
+    }
+
+    #[test]
+    fn recommends_the_local_winner() {
+        // Small matrices -> "CSR", big skewed ones -> "Merge".
+        let train = vec![
+            obs(1.0, 20.0, 0.0, "CSR"),
+            obs(2.0, 25.0, 0.0, "CSR"),
+            obs(4.0, 15.0, 0.0, "CSR"),
+            obs(500.0, 5.0, 1000.0, "Merge"),
+            obs(800.0, 6.0, 5000.0, "Merge"),
+            obs(900.0, 4.0, 800.0, "Merge"),
+        ];
+        let sel = FormatSelector::fit(&train, 3);
+        assert_eq!(sel.recommend(&feat(2.5, 18.0, 0.0)), Some("CSR"));
+        assert_eq!(sel.recommend(&feat(700.0, 5.0, 2000.0)), Some("Merge"));
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_fine() {
+        let train = vec![obs(1.0, 10.0, 0.0, "A")];
+        let sel = FormatSelector::fit(&train, 100);
+        assert_eq!(sel.recommend(&feat(50.0, 3.0, 10.0)), Some("A"));
+    }
+
+    #[test]
+    fn empty_selector_returns_none() {
+        let sel = FormatSelector::fit(&[], 5);
+        assert!(sel.is_empty());
+        assert_eq!(sel.recommend(&feat(1.0, 1.0, 0.0)), None);
+    }
+
+    #[test]
+    fn tie_breaks_toward_nearest() {
+        let train = vec![
+            obs(1.0, 10.0, 0.0, "NEAR"),
+            obs(100.0, 10.0, 0.0, "FAR"),
+        ];
+        let sel = FormatSelector::fit(&train, 2);
+        // Both vote once; the closer observation's label wins.
+        assert_eq!(sel.recommend(&feat(1.1, 10.0, 0.0)), Some("NEAR"));
+    }
+
+    #[test]
+    fn evaluation_metrics() {
+        let train = vec![obs(1.0, 10.0, 0.0, "A"), obs(1000.0, 10.0, 0.0, "B")];
+        let sel = FormatSelector::fit(&train, 1);
+        let tests = vec![
+            // Recommended A, A is best -> hit, fraction 1.
+            (feat(1.2, 10.0, 0.0), vec![("A".into(), 10.0), ("B".into(), 5.0)]),
+            // Recommended B, A is best -> miss, fraction 0.8.
+            (feat(900.0, 10.0, 0.0), vec![("A".into(), 10.0), ("B".into(), 8.0)]),
+        ];
+        let score = evaluate(&sel, &tests);
+        assert_eq!(score.n, 2);
+        assert!((score.top1_accuracy - 0.5).abs() < 1e-12);
+        assert!((score.fraction_of_optimal - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_embedding_is_scale_sensible() {
+        // A decade of footprint moves the embedding about as much as a
+        // full cross-row-similarity swing.
+        let base = SelectorFeatures { cross_row_sim: 0.0, ..feat(1.0, 10.0, 0.0) };
+        let a = base.embed();
+        let b = SelectorFeatures { footprint_mb: 10.0, ..base }.embed();
+        let c = SelectorFeatures { cross_row_sim: 1.0, ..base }.embed();
+        let d_fp = dist2(&a, &b).sqrt();
+        let d_crs = dist2(&a, &c).sqrt();
+        assert!((d_fp / d_crs - 1.0).abs() < 0.4, "{d_fp} vs {d_crs}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Five-number boxplot summaries and basic aggregates.
+
+use serde::{Deserialize, Serialize};
+
+/// A boxplot summary: min / q1 / median / q3 / max plus mean and count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary; returns `None` for an empty slice.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        Some(Self {
+            min: v[0],
+            q1: percentile_sorted(&v, 0.25),
+            median: percentile_sorted(&v, 0.5),
+            q3: percentile_sorted(&v, 0.75),
+            max: v[v.len() - 1],
+            mean,
+            count: v.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice
+/// (`p` in `[0, 1]`).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 1.0);
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Geometric mean of strictly positive values (`None` if any value is
+/// non-positive or the slice is empty).
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_numbers_of_a_known_set() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = BoxStats::from_values(&v).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn unsorted_input_and_interpolation() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        let s = BoxStats::from_values(&v).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.q1, 1.75);
+        assert_eq!(s.q3, 3.25);
+    }
+
+    #[test]
+    fn empty_and_nan_inputs() {
+        assert!(BoxStats::from_values(&[]).is_none());
+        assert!(BoxStats::from_values(&[f64::NAN]).is_none());
+        let s = BoxStats::from_values(&[f64::NAN, 2.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = BoxStats::from_values(&[7.5]).unwrap();
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.median, 7.5);
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 3.0);
+        assert_eq!(percentile_sorted(&v, 2.0), 3.0); // clamped
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 100.0]).unwrap() - 10.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Win-rate tallies for the format comparison (Fig. 7): "the height of
+//! the bar shows the percentage of matrices in which the specific
+//! format exhibited the best performance".
+
+use std::collections::BTreeMap;
+
+/// Counts, per contestant name, how often it achieved the best score.
+#[derive(Debug, Default, Clone)]
+pub struct WinTally {
+    wins: BTreeMap<String, usize>,
+    total: usize,
+}
+
+impl WinTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one contest: `scores` maps contestant → score (higher is
+    /// better; non-finite scores are ignored). Ties award the win to
+    /// every tied leader. Contests with no finite score are skipped.
+    pub fn record(&mut self, scores: &BTreeMap<String, f64>) {
+        let best = scores
+            .values()
+            .filter(|v| v.is_finite())
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        if !best.is_finite() {
+            return;
+        }
+        self.total += 1;
+        for (name, &score) in scores {
+            if score.is_finite() && score == best {
+                *self.wins.entry(name.clone()).or_default() += 1;
+            }
+        }
+    }
+
+    /// Number of contests recorded.
+    pub fn contests(&self) -> usize {
+        self.total
+    }
+
+    /// Win percentage of a contestant (0.0 if never seen).
+    pub fn win_pct(&self, name: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * *self.wins.get(name).unwrap_or(&0) as f64 / self.total as f64
+        }
+    }
+
+    /// All contestants with at least one win, descending by wins.
+    pub fn ranking(&self) -> Vec<(String, usize)> {
+        let mut v: Vec<(String, usize)> = self.wins.iter().map(|(k, &n)| (k.clone(), n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn single_winner_per_contest() {
+        let mut t = WinTally::new();
+        t.record(&scores(&[("A", 1.0), ("B", 2.0)]));
+        t.record(&scores(&[("A", 3.0), ("B", 2.0)]));
+        t.record(&scores(&[("A", 5.0), ("B", 1.0)]));
+        assert_eq!(t.contests(), 3);
+        assert!((t.win_pct("A") - 66.666).abs() < 0.01);
+        assert!((t.win_pct("B") - 33.333).abs() < 0.01);
+        assert_eq!(t.ranking()[0].0, "A");
+    }
+
+    #[test]
+    fn ties_award_everyone() {
+        let mut t = WinTally::new();
+        t.record(&scores(&[("A", 2.0), ("B", 2.0)]));
+        assert_eq!(t.win_pct("A"), 100.0);
+        assert_eq!(t.win_pct("B"), 100.0);
+    }
+
+    #[test]
+    fn non_finite_scores_are_ignored() {
+        let mut t = WinTally::new();
+        t.record(&scores(&[("A", f64::NAN), ("B", 1.0)]));
+        assert_eq!(t.win_pct("B"), 100.0);
+        assert_eq!(t.win_pct("A"), 0.0);
+        t.record(&scores(&[("A", f64::NAN)]));
+        assert_eq!(t.contests(), 1, "all-NaN contest skipped");
+    }
+
+    #[test]
+    fn unknown_contestant_and_empty_tally() {
+        let t = WinTally::new();
+        assert_eq!(t.win_pct("X"), 0.0);
+        assert_eq!(t.contests(), 0);
+        assert!(t.ranking().is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the artificial matrix generator: full
+//! materialization vs. the streaming row generator vs. the row-length
+//! plan alone (the campaign's analytic path), over the paper's feature
+//! extremes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_gen::generator::plan_row_lengths;
+use spmv_gen::rng::rng_for_seed;
+use spmv_gen::stream::RowStream;
+use spmv_gen::{GeneratorParams, RowDist};
+use std::hint::black_box;
+
+fn params(label: &str) -> GeneratorParams {
+    let base = GeneratorParams {
+        nr_rows: 100_000,
+        nr_cols: 100_000,
+        avg_nz_row: 20.0,
+        std_nz_row: 4.0,
+        distribution: RowDist::Normal,
+        skew_coeff: 0.0,
+        bw_scaled: 0.3,
+        cross_row_sim: 0.5,
+        avg_num_neigh: 0.95,
+        seed: 17,
+    };
+    match label {
+        "sparse_rows" => GeneratorParams { avg_nz_row: 5.0, std_nz_row: 1.0, ..base },
+        "skewed" => GeneratorParams { skew_coeff: 10_000.0, std_nz_row: 0.0, ..base },
+        "clustered" => GeneratorParams { avg_num_neigh: 1.9, cross_row_sim: 0.95, ..base },
+        _ => base,
+    }
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    for label in ["default", "sparse_rows", "skewed", "clustered"] {
+        let p = params(label);
+        let nnz = (p.avg_nz_row * p.nr_rows as f64) as u64;
+        group.throughput(Throughput::Elements(nnz));
+
+        group.bench_with_input(BenchmarkId::new("materialize", label), &p, |b, p| {
+            b.iter(|| black_box(p.generate().unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("stream", label), &p, |b, p| {
+            b.iter(|| {
+                let mut count = 0usize;
+                RowStream::new(*p).unwrap().for_each_row(|_, cols| count += cols.len());
+                black_box(count)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("plan_only", label), &p, |b, p| {
+            b.iter(|| {
+                let mut rng = rng_for_seed(p.seed);
+                black_box(plan_row_lengths(p, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the host SpMV kernels: every storage
+//! format on three matrix classes (regular, skewed, irregular), both
+//! sequential and parallel. These measure the real Rust kernels that
+//! back the correctness claims of the study (the cross-device figures
+//! use the calibrated device models instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spmv_formats::{build_format, FormatKind};
+use spmv_gen::{GeneratorParams, RowDist};
+use spmv_parallel::ThreadPool;
+use std::hint::black_box;
+
+fn matrix(class: &str) -> spmv_core::CsrMatrix {
+    let base = GeneratorParams {
+        nr_rows: 60_000,
+        nr_cols: 60_000,
+        avg_nz_row: 20.0,
+        std_nz_row: 4.0,
+        distribution: RowDist::Normal,
+        skew_coeff: 0.0,
+        bw_scaled: 0.3,
+        cross_row_sim: 0.5,
+        avg_num_neigh: 0.95,
+        seed: 0xBEEF,
+    };
+    let p = match class {
+        "skewed" => GeneratorParams { skew_coeff: 1000.0, std_nz_row: 0.0, ..base },
+        "irregular" => GeneratorParams {
+            cross_row_sim: 0.05,
+            avg_num_neigh: 0.05,
+            bw_scaled: 0.9,
+            ..base
+        },
+        _ => base,
+    };
+    p.generate().expect("bench matrix generates")
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let pool = ThreadPool::with_all_cores();
+    for class in ["regular", "skewed", "irregular"] {
+        let csr = matrix(class);
+        let x: Vec<f64> = (0..csr.cols()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut y = vec![0.0; csr.rows()];
+        let flops = 2 * csr.nnz();
+
+        let mut group = c.benchmark_group(format!("spmv/{class}"));
+        group.throughput(Throughput::Elements(flops as u64));
+        group.sample_size(20);
+
+        for kind in FormatKind::ALL {
+            let Ok(fmt) = build_format(kind, &csr) else { continue };
+            group.bench_with_input(BenchmarkId::new("seq", fmt.name()), &fmt, |b, fmt| {
+                b.iter(|| fmt.spmv(black_box(&x), black_box(&mut y)))
+            });
+            group.bench_with_input(BenchmarkId::new("par", fmt.name()), &fmt, |b, fmt| {
+                b.iter(|| fmt.spmv_parallel(&pool, black_box(&x), black_box(&mut y)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

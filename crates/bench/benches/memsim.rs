@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the memory-hierarchy substrate: the
+//! set-associative trace simulator vs. the closed-form locality model
+//! (the campaign uses the latter precisely because of the gap measured
+//! here), plus the device-model evaluation rate that bounds campaign
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spmv_devices::specs::device_by_name;
+use spmv_devices::{estimate, MatrixSummary};
+use spmv_formats::FormatKind;
+use spmv_gen::{GeneratorParams, RowDist};
+use spmv_memsim::analytic::{analytic_x_hit_rate, LocalityInputs};
+use spmv_memsim::trace::simulate_x_hit_rate;
+use std::hint::black_box;
+
+fn matrix() -> spmv_core::CsrMatrix {
+    GeneratorParams {
+        nr_rows: 50_000,
+        nr_cols: 50_000,
+        avg_nz_row: 10.0,
+        std_nz_row: 2.0,
+        distribution: RowDist::Normal,
+        skew_coeff: 0.0,
+        bw_scaled: 0.4,
+        cross_row_sim: 0.3,
+        avg_num_neigh: 0.5,
+        seed: 5,
+    }
+    .generate()
+    .unwrap()
+}
+
+fn bench_memsim(c: &mut Criterion) {
+    let m = matrix();
+    let mut group = c.benchmark_group("memsim");
+    group.sample_size(10);
+    for cache_kb in [256usize, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("trace_sim", cache_kb),
+            &cache_kb,
+            |b, &kb| b.iter(|| black_box(simulate_x_hit_rate(&m, kb * 1024, 8, 64))),
+        );
+        let inputs = LocalityInputs {
+            rows: m.rows(),
+            cols: m.cols(),
+            avg_nnz_per_row: 10.0,
+            bw_scaled: 0.4,
+            avg_num_neigh: 0.5,
+            cross_row_sim: 0.3,
+            cache_bytes: cache_kb * 1024,
+            line_bytes: 64,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("analytic", cache_kb),
+            &inputs,
+            |b, inputs| b.iter(|| black_box(analytic_x_hit_rate(inputs))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_device_model(c: &mut Criterion) {
+    let m = matrix();
+    let summary = MatrixSummary::from_csr("bench", 5, &m);
+    let epyc = device_by_name("AMD-EPYC-24").unwrap().scaled(16.0);
+    let a100 = device_by_name("Tesla-A100").unwrap().scaled(16.0);
+    let mut group = c.benchmark_group("device_model");
+    group.bench_function("estimate_cpu_csr", |b| {
+        b.iter(|| black_box(estimate(&epyc, FormatKind::VectorizedCsr, &summary).unwrap()))
+    });
+    group.bench_function("estimate_gpu_merge", |b| {
+        b.iter(|| black_box(estimate(&a100, FormatKind::MergeCsr, &summary).unwrap()))
+    });
+    group.bench_function("summary_from_csr", |b| {
+        b.iter(|| black_box(MatrixSummary::from_csr("bench", 5, &m)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memsim, bench_device_model);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the parallel runtime: thread-pool dispatch
+//! latency and the three work-partitioning strategies (static rows,
+//! nnz-balanced rows, merge-path) on balanced vs. skewed row plans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spmv_gen::generator::plan_row_lengths;
+use spmv_gen::rng::rng_for_seed;
+use spmv_gen::{GeneratorParams, RowDist};
+use spmv_parallel::merge::merge_path_partition;
+use spmv_parallel::partition::Partition;
+use spmv_parallel::ThreadPool;
+use std::hint::black_box;
+
+fn row_ptr(skew: f64) -> Vec<usize> {
+    let p = GeneratorParams {
+        nr_rows: 500_000,
+        nr_cols: 500_000,
+        avg_nz_row: 12.0,
+        std_nz_row: 3.0,
+        distribution: RowDist::Normal,
+        skew_coeff: skew,
+        bw_scaled: 0.3,
+        cross_row_sim: 0.0,
+        avg_num_neigh: 0.0,
+        seed: 3,
+    };
+    let mut rng = rng_for_seed(p.seed);
+    let lengths = plan_row_lengths(&p, &mut rng);
+    let mut rp = Vec::with_capacity(lengths.len() + 1);
+    rp.push(0);
+    for l in lengths {
+        rp.push(rp.last().unwrap() + l);
+    }
+    rp
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for (label, skew) in [("balanced", 0.0), ("skewed", 10_000.0)] {
+        let rp = row_ptr(skew);
+        let rows = rp.len() - 1;
+        for chunks in [24usize, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("static/{label}"), chunks),
+                &chunks,
+                |b, &t| b.iter(|| black_box(Partition::static_rows(rows, t))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("nnz_balanced/{label}"), chunks),
+                &chunks,
+                |b, &t| b.iter(|| black_box(Partition::balanced_by_prefix(&rp, t))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("merge_path/{label}"), chunks),
+                &chunks,
+                |b, &t| b.iter(|| black_box(merge_path_partition(&rp, t))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool");
+    for threads in [2usize, 8, 16] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("broadcast_noop", threads),
+            &pool,
+            |b, pool| {
+                b.iter(|| {
+                    pool.broadcast(|tid| {
+                        black_box(tid);
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_pool_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Tiny argument parser shared by the figure binaries (no external CLI
+//! dependency; flags are deliberately uniform across binaries).
+
+use spmv_gen::dataset::{Dataset, DatasetSize};
+
+/// Common configuration of a figure run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Footprint divisor vs. the paper's sizes (default 16).
+    pub scale: f64,
+    /// Keep every `stride`-th matrix of the dataset (default 12 — a
+    /// ~1350-matrix subsample of the 16200; use `--stride 1` for the
+    /// full campaign).
+    pub stride: usize,
+    /// Dataset size (small/medium/large).
+    pub size: DatasetSize,
+    /// Base seed.
+    pub seed: u64,
+    /// Optional CSV output directory.
+    pub csv_dir: Option<String>,
+    /// Number of worker threads (default: all cores).
+    pub threads: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            scale: 16.0,
+            stride: 12,
+            size: DatasetSize::Medium,
+            seed: 0x5EED_CAFE,
+            csv_dir: None,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parses `--scale F --stride N --size small|medium|large --seed N
+    /// --csv DIR --threads N` from the process arguments; unknown flags
+    /// abort with a usage message.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut cfg = Self::default();
+        let argv: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            let value = argv.get(i + 1).cloned();
+            let take = |name: &str| -> String {
+                value.clone().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag {
+                "--scale" => cfg.scale = take("--scale").parse().expect("numeric --scale"),
+                "--stride" => cfg.stride = take("--stride").parse().expect("integer --stride"),
+                "--seed" => cfg.seed = take("--seed").parse().expect("integer --seed"),
+                "--threads" => cfg.threads = take("--threads").parse().expect("integer --threads"),
+                "--csv" => cfg.csv_dir = Some(take("--csv")),
+                "--size" => {
+                    cfg.size = match take("--size").as_str() {
+                        "small" => DatasetSize::Small,
+                        "medium" => DatasetSize::Medium,
+                        "large" => DatasetSize::Large,
+                        other => {
+                            eprintln!("unknown --size {other} (small|medium|large)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --scale F (default 16)  --stride N (default 12)  \
+                         --size small|medium|large  --seed N  --csv DIR  --threads N"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        }
+        cfg
+    }
+
+    /// The dataset this configuration describes.
+    pub fn dataset(&self) -> Dataset {
+        Dataset { size: self.size, scale: self.scale, base_seed: self.seed }
+    }
+
+    /// Writes a CSV file into the configured directory, if any.
+    pub fn write_csv(&self, name: &str, content: &str) {
+        if let Some(dir) = &self.csv_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let path = format!("{dir}/{name}.csv");
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("warning: failed to write {path}: {e}");
+            } else {
+                println!("[csv] wrote {path}");
+            }
+        }
+    }
+
+    /// Prints the standard run banner.
+    pub fn banner(&self, figure: &str) {
+        println!("=== {figure} ===");
+        println!(
+            "config: scale 1/{} of paper sizes, dataset {} stride {} ({} matrices), seed {:#x}, {} threads",
+            self.scale,
+            self.size.name(),
+            self.stride,
+            self.dataset().len().div_ceil(self.stride.max(1)),
+            self.seed,
+            self.threads,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> RunConfig {
+        RunConfig::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse("");
+        assert_eq!(c.scale, 16.0);
+        assert_eq!(c.stride, 12);
+        assert_eq!(c.size, DatasetSize::Medium);
+    }
+
+    #[test]
+    fn flags_override() {
+        let c = parse("--scale 64 --stride 3 --size small --seed 7 --threads 2 --csv out");
+        assert_eq!(c.scale, 64.0);
+        assert_eq!(c.stride, 3);
+        assert_eq!(c.size, DatasetSize::Small);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.threads, 2);
+        assert_eq!(c.csv_dir.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn dataset_matches_config() {
+        let c = parse("--scale 32 --size large");
+        let d = c.dataset();
+        assert_eq!(d.scale, 32.0);
+        assert_eq!(d.size, DatasetSize::Large);
+    }
+}

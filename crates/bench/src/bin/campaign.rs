@@ -1,0 +1,122 @@
+//! `campaign` — the full experimental sweep in one command: every
+//! (matrix × device × format) of the configured dataset, exactly the
+//! structure of the paper's campaign, dumping one CSV row per
+//! configuration plus a per-device summary with best-format medians
+//! and win tallies.
+//!
+//! This is the batch driver a downstream user runs once and then
+//! slices with their own tooling; the per-figure binaries are curated
+//! views over the same records.
+//!
+//! ```text
+//! cargo run --release -p spmv-bench --bin campaign -- --stride 12 --csv results
+//! ```
+
+use spmv_analysis::{BoxStats, Table, WinTally};
+use spmv_bench::RunConfig;
+use spmv_devices::{Campaign, Record};
+use spmv_parallel::ThreadPool;
+use std::collections::BTreeMap;
+
+fn records_csv(records: &[Record]) -> String {
+    let mut out = String::from(
+        "matrix_id,device,format,gflops,watts,gflops_per_watt,failed,\
+         footprint_mb,avg_nnz,skew,cross_row_sim,avg_num_neigh,nnz\n",
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.3},{:.6},{},{:.4},{:.3},{:.3},{:.3},{:.3},{}\n",
+            r.matrix_id,
+            r.device,
+            r.format,
+            r.gflops,
+            r.watts,
+            r.gflops_per_watt(),
+            r.failed.as_deref().unwrap_or(""),
+            r.footprint_mb,
+            r.avg_nnz,
+            r.skew,
+            r.crs,
+            r.neigh,
+            r.nnz,
+        ));
+    }
+    out
+}
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    cfg.banner("Campaign: full (matrix x device x format) sweep");
+
+    let pool = ThreadPool::new(cfg.threads);
+    let specs = cfg.dataset().specs_subsampled(cfg.stride);
+    let t0 = std::time::Instant::now();
+    let records = Campaign::new(cfg.scale).run_specs(&pool, &specs);
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "swept {} matrices -> {} records in {:.1}s ({:.0} configs/s)\n",
+        specs.len(),
+        records.len(),
+        secs,
+        records.len() as f64 / secs
+    );
+
+    // Per-device summary: best-format medians + win shares + failures.
+    let best = Campaign::best_per_matrix_device(&records);
+    let mut table = Table::new(&[
+        "device",
+        "matrices",
+        "refused",
+        "med GF",
+        "p90 GF",
+        "med GF/W",
+        "top format (wins)",
+    ]);
+    let mut by_device: BTreeMap<&str, Vec<&Record>> = BTreeMap::new();
+    for r in &records {
+        by_device.entry(r.device.as_str()).or_default().push(r);
+    }
+    for (device, recs) in &by_device {
+        let ok: Vec<&&Record> = recs.iter().filter(|r| r.failed.is_none()).collect();
+        let refused = recs.len() - ok.len();
+
+        let mut tally = WinTally::new();
+        let mut per_matrix: BTreeMap<&str, BTreeMap<String, f64>> = BTreeMap::new();
+        for r in &ok {
+            per_matrix
+                .entry(r.matrix_id.as_str())
+                .or_default()
+                .insert(r.format.clone(), r.gflops);
+        }
+        for scores in per_matrix.values() {
+            tally.record(scores);
+        }
+        let top = tally.ranking().into_iter().next();
+
+        let best_gf: Vec<f64> =
+            best.iter().filter(|r| &r.device == device).map(|r| r.gflops).collect();
+        let best_eff: Vec<f64> = best
+            .iter()
+            .filter(|r| &r.device == device)
+            .map(|r| r.gflops_per_watt())
+            .collect();
+        let gf = BoxStats::from_values(&best_gf);
+        let eff = BoxStats::from_values(&best_eff);
+        table.row(vec![
+            device.to_string(),
+            per_matrix.len().to_string(),
+            refused.to_string(),
+            gf.map(|s| format!("{:.1}", s.median)).unwrap_or_default(),
+            gf.map(|s| format!("{:.1}", s.q3)).unwrap_or_default(),
+            eff.map(|s| format!("{:.2}", s.median)).unwrap_or_default(),
+            top.map(|(f, w)| format!("{f} ({:.0}%)", 100.0 * w as f64 / tally.contests() as f64))
+                .unwrap_or_default(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    cfg.write_csv("campaign_records", &records_csv(&records));
+    if cfg.csv_dir.is_none() {
+        println!("\n(pass --csv DIR to dump the full per-configuration record table)");
+    }
+}

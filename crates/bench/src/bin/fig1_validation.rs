@@ -1,0 +1,82 @@
+//! Fig. 1 — performance of the 45 validation matrices (dots) vs. the
+//! range of their artificial "friends" (boxplots) on every testbed,
+//! with the memory and LLC roofline bounds.
+
+use spmv_analysis::BoxStats;
+use spmv_bench::validation::{mape_pairs, run_validation};
+use spmv_bench::RunConfig;
+use spmv_analysis::{ape_best, mape_to_median, Table};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    cfg.banner("Fig. 1: validation matrices vs artificial friends");
+    let friends = 24; // paper uses ~70; override via the source if needed
+    println!("friends per matrix: {friends}");
+
+    let points = run_validation(&cfg, friends);
+
+    let mut csv = Table::new(&[
+        "device", "id", "matrix", "gflops", "friends_q1", "friends_median", "friends_q3",
+        "roof_mem", "roof_llc",
+    ]);
+    let mut current_device = String::new();
+    for p in &points {
+        if p.device != current_device {
+            current_device = p.device.clone();
+            println!("\n--- {} ---", p.device);
+            println!(
+                "{:>3} {:22} {:>9} {:>9} {:>9} {:>9} | roofs mem/LLC",
+                "id", "matrix", "gflops", "fr.q1", "fr.med", "fr.q3"
+            );
+        }
+        let st = BoxStats::from_values(&p.friends_gflops);
+        let (q1, med, q3) = st.map(|s| (s.q1, s.median, s.q3)).unwrap_or((0.0, 0.0, 0.0));
+        println!(
+            "{:>3} {:22} {:>9.2} {:>9.2} {:>9.2} {:>9.2} | {:>8.1} / {:>8.1}{}",
+            p.matrix_id,
+            p.name,
+            p.gflops,
+            q1,
+            med,
+            q3,
+            p.roof_mem,
+            p.roof_llc,
+            if p.gflops == 0.0 { "  (fails to run: HBM capacity)" } else { "" },
+        );
+        csv.row(vec![
+            p.device.clone(),
+            p.matrix_id.to_string(),
+            p.name.to_string(),
+            format!("{:.3}", p.gflops),
+            format!("{:.3}", q1),
+            format!("{:.3}", med),
+            format!("{:.3}", q3),
+            format!("{:.3}", p.roof_mem),
+            format!("{:.3}", p.roof_llc),
+        ]);
+    }
+    cfg.write_csv("fig1_validation", &csv.to_csv());
+
+    // Summary (Table IV preview).
+    println!("\nper-device MAPE / APE-best (see table4_mape for the full table):");
+    let pairs = mape_pairs(&points);
+    let mut mape_sum = 0.0;
+    let mut best_sum = 0.0;
+    let mut n = 0;
+    for (device, p) in &pairs {
+        let m = mape_to_median(p).unwrap_or(f64::NAN);
+        let b = ape_best(p).unwrap_or(f64::NAN);
+        println!("{device:14} MAPE {m:6.2}%   APE-best {b:6.2}%");
+        mape_sum += m;
+        best_sum += b;
+        n += 1;
+    }
+    if n > 0 {
+        println!(
+            "{:14} MAPE {:6.2}%   APE-best {:6.2}%   (paper: 17.51% / 8.58%)",
+            "Average",
+            mape_sum / n as f64,
+            best_sum / n as f64
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Fig. 2 — performance (GFLOP/s) and energy efficiency (GFLOPs/W) of
+//! SpMV on every platform, best format per matrix, over the artificial
+//! dataset.
+
+use spmv_bench::figures::{panel_csv, print_panel, Series};
+use spmv_bench::grouping::{efficiency_of, gflops_of, group_by};
+use spmv_bench::RunConfig;
+use spmv_devices::Campaign;
+use spmv_parallel::ThreadPool;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    cfg.banner("Fig. 2: performance and energy efficiency per platform");
+
+    let pool = ThreadPool::new(cfg.threads);
+    let specs = cfg.dataset().specs_subsampled(cfg.stride);
+    let campaign = Campaign::new(cfg.scale);
+    let records = campaign.run_specs(&pool, &specs);
+    let best = Campaign::best_per_matrix_device(&records);
+    let by_device = group_by(&best, |r| r.device.clone());
+
+    let perf: Vec<Series> = by_device
+        .iter()
+        .map(|(dev, rs)| Series { label: dev.clone(), values: gflops_of(rs) })
+        .collect();
+    let stats = print_panel("(a) Performance (GFLOP/s), best format per matrix", &perf);
+    cfg.write_csv("fig2a_performance", &panel_csv("fig2a", "perf", &stats).to_csv());
+
+    let eff: Vec<Series> = by_device
+        .iter()
+        .map(|(dev, rs)| Series { label: dev.clone(), values: efficiency_of(rs) })
+        .collect();
+    let stats = print_panel("(b) Energy efficiency (GFLOPs/W)", &eff);
+    cfg.write_csv("fig2b_efficiency", &panel_csv("fig2b", "eff", &stats).to_csv());
+
+    // Fraction of matrices that failed to run on the FPGA (paper: the
+    // Vitis library refuses heavily padded matrices).
+    let fpga_total = records.iter().filter(|r| r.device == "Alveo-U280").count();
+    let fpga_failed = records
+        .iter()
+        .filter(|r| r.device == "Alveo-U280" && r.failed.is_some())
+        .count();
+    if fpga_total > 0 {
+        println!(
+            "\nAlveo-U280: {fpga_failed}/{fpga_total} (matrix, format) runs refused for HBM capacity"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 4 — impact of row size (average nonzeros per row) on SpMV
+//! performance, split into small/large matrices at 256 MB (unscaled).
+
+use spmv_bench::figures::{panel_csv, print_panel, Series};
+use spmv_bench::grouping::{gflops_of, group_by, is_large, nearest_lattice};
+use spmv_bench::RunConfig;
+use spmv_devices::{Campaign, Record};
+use spmv_gen::dataset::AVG_NNZ_VALUES;
+use spmv_parallel::ThreadPool;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    cfg.banner("Fig. 4: impact of row size (split at 256 MB)");
+
+    let pool = ThreadPool::new(cfg.threads);
+    let specs = cfg.dataset().specs_subsampled(cfg.stride);
+    let campaign =
+        Campaign::new(cfg.scale).with_devices(&["Tesla-A100", "AMD-EPYC-64", "Alveo-U280"]);
+    let records = campaign.run_specs(&pool, &specs);
+    let best = Campaign::best_per_matrix_device(&records);
+
+    for device in ["Tesla-A100", "AMD-EPYC-64", "Alveo-U280"] {
+        let dev_records: Vec<Record> =
+            best.iter().filter(|r| r.device == device).cloned().collect();
+        let mut series = Vec::new();
+        for large in [false, true] {
+            let split: Vec<Record> = dev_records
+                .iter()
+                .filter(|r| is_large(r.footprint_mb, cfg.scale) == large)
+                .cloned()
+                .collect();
+            let by_rows =
+                group_by(&split, |r| nearest_lattice(r.avg_nnz, &AVG_NNZ_VALUES) as i64);
+            for (avg, rs) in &by_rows {
+                series.push(Series {
+                    label: format!("{} rows~{avg}", if large { "large" } else { "small" }),
+                    values: gflops_of(rs),
+                });
+            }
+        }
+        let stats = print_panel(&format!("{device}: GFLOP/s per row size"), &series);
+        cfg.write_csv(
+            &format!("fig4_rowsize_{}", device.replace('-', "_")),
+            &panel_csv("fig4", device, &stats).to_csv(),
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 6 — impact of regularity: the S/M/L grid of
+//! (cross_row_similarity × avg_num_neighbors), split small/large at
+//! 256 MB. Higher letters = more regular matrix.
+
+use spmv_bench::figures::{panel_csv, print_panel, Series};
+use spmv_bench::grouping::{gflops_of, group_by, is_large};
+use spmv_bench::RunConfig;
+use spmv_core::features::RegularityClass;
+use spmv_devices::{Campaign, Record};
+use spmv_parallel::ThreadPool;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    cfg.banner("Fig. 6: impact of regularity (S/M/L x S/M/L)");
+
+    let pool = ThreadPool::new(cfg.threads);
+    let specs = cfg.dataset().specs_subsampled(cfg.stride);
+    let campaign =
+        Campaign::new(cfg.scale).with_devices(&["Tesla-A100", "AMD-EPYC-64", "Alveo-U280"]);
+    let records = campaign.run_specs(&pool, &specs);
+    let best = Campaign::best_per_matrix_device(&records);
+
+    let grid_label = |r: &Record| -> String {
+        let c = RegularityClass::classify(r.crs, 0.0, 1.0);
+        let n = RegularityClass::classify(r.neigh, 0.0, 2.0);
+        format!("crs:{} neigh:{}", c.letter(), n.letter())
+    };
+
+    for device in ["Tesla-A100", "AMD-EPYC-64", "Alveo-U280"] {
+        let dev_records: Vec<Record> =
+            best.iter().filter(|r| r.device == device).cloned().collect();
+        let mut series = Vec::new();
+        for large in [false, true] {
+            let split: Vec<Record> = dev_records
+                .iter()
+                .filter(|r| is_large(r.footprint_mb, cfg.scale) == large)
+                .cloned()
+                .collect();
+            let by_grid = group_by(&split, grid_label);
+            for (g, rs) in &by_grid {
+                series.push(Series {
+                    label: format!("{} {g}", if large { "large" } else { "small" }),
+                    values: gflops_of(rs),
+                });
+            }
+        }
+        let stats = print_panel(&format!("{device}: GFLOP/s per regularity class"), &series);
+        cfg.write_csv(
+            &format!("fig6_irregularity_{}", device.replace('-', "_")),
+            &panel_csv("fig6", device, &stats).to_csv(),
+        );
+    }
+}

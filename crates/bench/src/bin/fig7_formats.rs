@@ -1,0 +1,56 @@
+//! Fig. 7 — performance comparison of the formats/libraries on every
+//! device; the bar behind each boxplot is the percentage of the
+//! dataset on which that format wins.
+
+use spmv_bench::figures::{panel_csv, print_panel, Series};
+use spmv_bench::grouping::{gflops_of, group_by};
+use spmv_bench::RunConfig;
+use spmv_devices::Campaign;
+use spmv_parallel::ThreadPool;
+use spmv_analysis::WinTally;
+use std::collections::BTreeMap;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    cfg.banner("Fig. 7: per-format performance and win rates");
+
+    let pool = ThreadPool::new(cfg.threads);
+    let specs = cfg.dataset().specs_subsampled(cfg.stride);
+    let campaign = Campaign::new(cfg.scale);
+    let records = campaign.run_specs(&pool, &specs);
+
+    let by_device = group_by(&records, |r| r.device.clone());
+    for (device, dev_records) in &by_device {
+        // Win tally per matrix.
+        let mut tally = WinTally::new();
+        let owned: Vec<_> = dev_records.iter().map(|r| (*r).clone()).collect();
+        let by_matrix = group_by(&owned, |r| r.matrix_id.clone());
+        for rs in by_matrix.values() {
+            let scores: BTreeMap<String, f64> = rs
+                .iter()
+                .filter(|r| r.failed.is_none())
+                .map(|r| (r.format.clone(), r.gflops))
+                .collect();
+            if !scores.is_empty() {
+                tally.record(&scores);
+            }
+        }
+        // Per-format distribution.
+        let by_format = group_by(&owned, |r| r.format.clone());
+        let series: Vec<Series> = by_format
+            .iter()
+            .map(|(fmt, rs)| Series {
+                label: format!("{fmt} (wins {:4.1}%)", tally.win_pct(fmt)),
+                values: gflops_of(rs),
+            })
+            .collect();
+        let stats = print_panel(&format!("{device}: GFLOP/s per format"), &series);
+        cfg.write_csv(
+            &format!("fig7_formats_{}", device.replace('-', "_")),
+            &panel_csv("fig7", device, &stats).to_csv(),
+        );
+    }
+    println!(
+        "\nresearch formats: SELL-C-s, CSR5, Merge-CSR, SparseX; the rest are state-of-practice"
+    );
+}

@@ -1,0 +1,67 @@
+//! Fig. 8 — comparison of performance variation across the 'small'
+//! (~3K), 'medium' (16.2K) and 'large' (~26K) artificial datasets on
+//! the AMD-EPYC-24 CPU: the trend must be stable from 'medium' on.
+
+use spmv_bench::figures::{panel_csv, print_panel, Series};
+use spmv_bench::grouping::{footprint_class_label, gflops_of, group_by};
+use spmv_bench::RunConfig;
+use spmv_devices::Campaign;
+use spmv_gen::dataset::{Dataset, DatasetSize};
+use spmv_parallel::ThreadPool;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    cfg.banner("Fig. 8: dataset-size stability on AMD-EPYC-24");
+
+    let pool = ThreadPool::new(cfg.threads);
+    let campaign = Campaign::new(cfg.scale).with_devices(&["AMD-EPYC-24"]);
+
+    let mut medians: Vec<(String, String, f64)> = Vec::new();
+    for size in [DatasetSize::Small, DatasetSize::Medium, DatasetSize::Large] {
+        let d = Dataset { size, scale: cfg.scale, base_seed: cfg.seed };
+        let specs = d.specs_subsampled(cfg.stride);
+        let records = campaign.run_specs(&pool, &specs);
+        let best = Campaign::best_per_matrix_device(&records);
+        let by_class = group_by(&best, |r| footprint_class_label(r.footprint_mb, cfg.scale));
+        let series: Vec<Series> = by_class
+            .iter()
+            .map(|(c, rs)| Series { label: c.to_string(), values: gflops_of(rs) })
+            .collect();
+        let stats = print_panel(
+            &format!("dataset '{}' ({} matrices sampled)", size.name(), specs.len()),
+            &series,
+        );
+        for (label, st) in &stats {
+            if let Some(s) = st {
+                medians.push((size.name().to_string(), label.clone(), s.median));
+            }
+        }
+        cfg.write_csv(
+            &format!("fig8_dataset_{}", size.name()),
+            &panel_csv("fig8", size.name(), &stats).to_csv(),
+        );
+    }
+
+    // Stability check: medium vs large medians per class.
+    println!("\nmedian drift between datasets (per footprint class):");
+    let classes: Vec<String> = medians
+        .iter()
+        .map(|(_, c, _)| c.clone())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for class in classes {
+        let get = |size: &str| {
+            medians
+                .iter()
+                .find(|(s, c, _)| s == size && *c == class)
+                .map(|(_, _, m)| *m)
+        };
+        if let (Some(s), Some(m), Some(l)) = (get("small"), get("medium"), get("large")) {
+            println!(
+                "{class:14} small {s:8.2}  medium {m:8.2}  large {l:8.2}  (medium->large drift {:+.1}%)",
+                100.0 * (l - m) / m
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Table I — the feature lattice of the artificial dataset, plus a
+//! spot-check that generated matrices hit the requested features.
+
+use spmv_bench::RunConfig;
+use spmv_core::FeatureSet;
+use spmv_gen::dataset::{
+    Dataset, DatasetSize, AVG_NNZ_VALUES, BW_SCALED_VALUES, CROSS_ROW_SIM_VALUES,
+    FOOTPRINT_CLASSES_MB, SKEW_VALUES,
+};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    cfg.banner("Table I: features used for artificial matrix generation");
+
+    println!("\nlabel  feature          values (at paper scale; campaign divides footprints by {})", cfg.scale);
+    println!("f1     mem_footprint    {:?} MB", FOOTPRINT_CLASSES_MB);
+    println!("f2     avg_nnz_per_row  {:?}", AVG_NNZ_VALUES);
+    println!("f3     skew_coeff       {:?}", SKEW_VALUES);
+    println!("f4.a   cross_row_sim    {:?}", CROSS_ROW_SIM_VALUES);
+    println!("f4.b   avg_num_neigh    {:?}", spmv_gen::dataset::AVG_NEIGH_VALUES);
+    println!("       bw_scaled        {:?}", BW_SCALED_VALUES);
+
+    for size in [DatasetSize::Small, DatasetSize::Medium, DatasetSize::Large] {
+        let d = Dataset { size, scale: cfg.scale, base_seed: cfg.seed };
+        println!("dataset '{}': {} matrices", size.name(), d.len());
+    }
+
+    // Spot-check: materialize a handful of the cheapest specs and
+    // compare measured features against the requested lattice point.
+    println!("\nspot-check (requested -> measured):");
+    let d = cfg.dataset();
+    let specs = d.specs();
+    let mut checked = 0;
+    for spec in specs.iter().step_by(specs.len() / 7) {
+        if spec.point.footprint_class != 0 {
+            continue;
+        }
+        let m = spec.materialize().expect("generation");
+        let f = FeatureSet::extract(&m);
+        println!(
+            "{}: fp {:.2}->{:.2} MB, avg {:.0}->{:.1}, skew {:.0}->{:.0}, crs {:.2}->{:.2}, neigh {:.2}->{:.2}",
+            spec.id,
+            spec.point.mem_footprint_mb,
+            f.mem_footprint_mb,
+            spec.point.avg_nnz_per_row,
+            f.avg_nnz_per_row,
+            spec.point.skew_coeff,
+            f.skew_coeff,
+            spec.point.cross_row_sim,
+            f.cross_row_sim,
+            spec.point.avg_num_neigh,
+            f.avg_num_neigh,
+        );
+        checked += 1;
+        if checked >= 6 {
+            break;
+        }
+    }
+}

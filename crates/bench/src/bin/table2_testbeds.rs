@@ -1,0 +1,39 @@
+//! Table II — testbed characteristics and the storage formats used per
+//! testbed (as modeled; constants from the paper's measurements).
+
+use spmv_analysis::Table;
+use spmv_bench::RunConfig;
+use spmv_devices::all_devices;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    cfg.banner("Table II: testbed characteristics");
+
+    let mut t = Table::new(&[
+        "device", "class", "cores", "GHz", "peak GF", "LLC MB", "mem GB/s", "LLC GB/s",
+        "idle W", "max W", "formats",
+    ]);
+    for d in all_devices() {
+        t.row(vec![
+            d.name.to_string(),
+            format!("{:?}", d.class),
+            d.cores.to_string(),
+            format!("{:.2}", d.freq_ghz),
+            format!("{:.0}", d.peak_gflops()),
+            format!("{:.1}", d.llc_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.1}", d.mem_bw_gbs),
+            format!("{:.0}", d.llc_bw_gbs),
+            format!("{:.0}", d.idle_w),
+            format!("{:.0}", d.max_w),
+            d.formats.iter().map(|f| f.name()).collect::<Vec<_>>().join("/"),
+        ]);
+    }
+    println!("\n{}", t.render());
+    cfg.write_csv("table2_testbeds", &t.to_csv());
+
+    println!(
+        "campaign runs devices scaled by 1/{}: capacities (LLC, HBM channels, \
+         saturation nnz) divide by the scale, bandwidths stay as measured",
+        cfg.scale
+    );
+}

@@ -1,0 +1,115 @@
+//! Shared rendering for figure binaries: grouped boxplot blocks with a
+//! common log axis, like the paper's per-device boxplot panels.
+
+use spmv_analysis::{ascii_boxplot_row, BoxStats, Table};
+
+/// One labelled distribution in a panel.
+pub struct Series {
+    /// Row label (e.g. a footprint class or a format name).
+    pub label: String,
+    /// The raw values (GFLOP/s or GFLOPs/W).
+    pub values: Vec<f64>,
+}
+
+/// Prints a panel of boxplots with a shared log axis, returning the
+/// rendered stats for optional CSV emission.
+pub fn print_panel(title: &str, series: &[Series]) -> Vec<(String, Option<BoxStats>)> {
+    println!("\n--- {title} ---");
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    let stats_out: Vec<(String, Option<BoxStats>)> = series
+        .iter()
+        .map(|s| (s.label.clone(), BoxStats::from_values(&s.values)))
+        .collect();
+    if all.is_empty() {
+        println!("(no data)");
+        return stats_out;
+    }
+    let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().copied().fold(0.0f64, f64::max);
+    let width = 56;
+    let label_w = series.iter().map(|s| s.label.len()).max().unwrap_or(8).max(8);
+    for (label, st) in &stats_out {
+        match st {
+            Some(st) => {
+                let plot = ascii_boxplot_row(st, lo, hi, width, true);
+                println!(
+                    "{label:label_w$} {plot} med {:>8.2}  n={}",
+                    st.median, st.count
+                );
+            }
+            None => println!("{label:label_w$} (no runnable matrices)"),
+        }
+    }
+    println!(
+        "{:label_w$} log axis: {:.2} .. {:.2}",
+        "",
+        lo,
+        hi,
+        label_w = label_w
+    );
+    stats_out
+}
+
+/// Renders panel stats into a CSV table (one row per series).
+pub fn panel_csv(figure: &str, panel: &str, stats: &[(String, Option<BoxStats>)]) -> Table {
+    let mut t = Table::new(&[
+        "figure", "panel", "series", "n", "min", "q1", "median", "q3", "max", "mean",
+    ]);
+    for (label, st) in stats {
+        match st {
+            Some(s) => {
+                t.row(vec![
+                    figure.into(),
+                    panel.into(),
+                    label.clone(),
+                    s.count.to_string(),
+                    format!("{:.4}", s.min),
+                    format!("{:.4}", s.q1),
+                    format!("{:.4}", s.median),
+                    format!("{:.4}", s.q3),
+                    format!("{:.4}", s.max),
+                    format!("{:.4}", s.mean),
+                ]);
+            }
+            None => {
+                t.row(vec![
+                    figure.into(),
+                    panel.into(),
+                    label.clone(),
+                    "0".into(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_renders_and_reports() {
+        let series = vec![
+            Series { label: "a".into(), values: vec![1.0, 2.0, 3.0] },
+            Series { label: "b".into(), values: vec![] },
+        ];
+        let stats = print_panel("test", &series);
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].1.is_some());
+        assert!(stats[1].1.is_none());
+        let csv = panel_csv("figX", "p", &stats).to_csv();
+        assert!(csv.contains("figX,p,a,3"));
+        assert!(csv.contains("figX,p,b,0"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Record-grouping helpers used by the feature-analysis figures.
+
+use spmv_devices::Record;
+use std::collections::BTreeMap;
+
+/// Groups records by a string key.
+pub fn group_by<K: Ord>(
+    records: &[Record],
+    key: impl Fn(&Record) -> K,
+) -> BTreeMap<K, Vec<&Record>> {
+    let mut map: BTreeMap<K, Vec<&Record>> = BTreeMap::new();
+    for r in records {
+        map.entry(key(r)).or_default().push(r);
+    }
+    map
+}
+
+/// Snaps a measured feature value to the nearest lattice value, so
+/// figure series group by the requested Table-I coordinate instead of
+/// fragmenting into singleton groups on measurement noise (e.g. a
+/// requested 500 nnz/row matrix may measure 466 when its footprint
+/// budget truncates rows).
+pub fn nearest_lattice(value: f64, lattice: &[f64]) -> f64 {
+    lattice
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            (a - value).abs().partial_cmp(&(b - value).abs()).expect("non-NaN lattice")
+        })
+        .unwrap_or(value)
+}
+
+/// The footprint class labels of Fig. 3, after scaling: class
+/// boundaries follow Table I (4–32, 32–512, 512–2048 MB divided by the
+/// scale factor).
+pub fn footprint_class_label(footprint_mb: f64, scale: f64) -> &'static str {
+    let unscaled = footprint_mb * scale;
+    if unscaled < 32.0 {
+        "[4-32]MB"
+    } else if unscaled < 512.0 {
+        "[32-512]MB"
+    } else {
+        "[512-2048]MB"
+    }
+}
+
+/// Small/large split of Figs. 4–6 ("the split threshold is set at
+/// 256 MB for all devices"), applied in unscaled units.
+pub fn is_large(footprint_mb: f64, scale: f64) -> bool {
+    footprint_mb * scale >= 256.0
+}
+
+/// Extracts the GFLOP/s of successful records.
+pub fn gflops_of(records: &[&Record]) -> Vec<f64> {
+    records.iter().filter(|r| r.failed.is_none()).map(|r| r.gflops).collect()
+}
+
+/// Extracts GFLOPs/W of successful records.
+pub fn efficiency_of(records: &[&Record]) -> Vec<f64> {
+    records.iter().filter(|r| r.failed.is_none()).map(|r| r.gflops_per_watt()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(device: &str, gflops: f64, footprint: f64, failed: bool) -> Record {
+        Record {
+            matrix_id: "m".into(),
+            device: device.into(),
+            format: "F".into(),
+            gflops,
+            watts: 100.0,
+            failed: if failed { Some("x".into()) } else { None },
+            footprint_mb: footprint,
+            avg_nnz: 10.0,
+            skew: 0.0,
+            crs: 0.5,
+            neigh: 0.5,
+            nnz: 1000,
+        }
+    }
+
+    #[test]
+    fn grouping_by_device() {
+        let rs = vec![rec("A", 1.0, 1.0, false), rec("B", 2.0, 1.0, false), rec("A", 3.0, 1.0, false)];
+        let g = group_by(&rs, |r| r.device.clone());
+        assert_eq!(g["A"].len(), 2);
+        assert_eq!(g["B"].len(), 1);
+    }
+
+    #[test]
+    fn lattice_snapping() {
+        let lat = [5.0, 10.0, 20.0, 50.0, 100.0, 500.0];
+        assert_eq!(nearest_lattice(466.0, &lat), 500.0);
+        assert_eq!(nearest_lattice(5.2, &lat), 5.0);
+        assert_eq!(nearest_lattice(14.0, &lat), 10.0);
+        assert_eq!(nearest_lattice(1.0, &[]), 1.0);
+    }
+
+    #[test]
+    fn class_labels_respect_scale() {
+        assert_eq!(footprint_class_label(1.0, 16.0), "[4-32]MB"); // 16 MB unscaled
+        assert_eq!(footprint_class_label(4.0, 16.0), "[32-512]MB"); // 64 MB
+        assert_eq!(footprint_class_label(64.0, 16.0), "[512-2048]MB"); // 1024 MB
+        assert!(is_large(16.0, 16.0)); // 256 MB unscaled
+        assert!(!is_large(15.9, 16.0));
+    }
+
+    #[test]
+    fn failures_excluded_from_series() {
+        let rs = vec![rec("A", 1.0, 1.0, false), rec("A", 9.0, 1.0, true)];
+        let g = group_by(&rs, |r| r.device.clone());
+        assert_eq!(gflops_of(&g["A"]), vec![1.0]);
+        assert_eq!(efficiency_of(&g["A"]), vec![0.01]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types shared by the sparse containers.
+
+use std::fmt;
+
+/// Errors raised while constructing or converting sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A coordinate `(row, col)` lies outside the declared matrix shape.
+    OutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows of the matrix.
+        rows: usize,
+        /// Number of columns of the matrix.
+        cols: usize,
+    },
+    /// The row-pointer array is malformed (wrong length, non-monotone,
+    /// or its last entry disagrees with the number of nonzeros).
+    BadRowPtr(String),
+    /// Column indices within a row are unsorted or duplicated.
+    UnsortedRow {
+        /// The row in which the violation was found.
+        row: usize,
+    },
+    /// Array lengths disagree (e.g. `values.len() != col_idx.len()`).
+    LengthMismatch(String),
+    /// The requested operation needs a dimension match that fails
+    /// (e.g. SpMV with an `x` of the wrong length).
+    DimensionMismatch(String),
+    /// A generator or converter was asked for something unsatisfiable
+    /// (e.g. more nonzeros per row than columns).
+    Unsatisfiable(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::OutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for a {rows}x{cols} matrix"
+            ),
+            SparseError::BadRowPtr(msg) => write!(f, "malformed row_ptr: {msg}"),
+            SparseError::UnsortedRow { row } => {
+                write!(f, "row {row} has unsorted or duplicate column indices")
+            }
+            SparseError::LengthMismatch(msg) => write!(f, "length mismatch: {msg}"),
+            SparseError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            SparseError::Unsatisfiable(msg) => write!(f, "unsatisfiable request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SparseError::OutOfBounds { row: 5, col: 7, rows: 4, cols: 4 };
+        assert!(e.to_string().contains("(5, 7)"));
+        assert!(e.to_string().contains("4x4"));
+        let e = SparseError::UnsortedRow { row: 3 };
+        assert!(e.to_string().contains("row 3"));
+    }
+}

@@ -1,0 +1,459 @@
+//! The paper's five-feature set (§III-A) plus auxiliary structure
+//! statistics.
+//!
+//! | label | feature | bottleneck captured |
+//! |-------|---------|---------------------|
+//! | f1    | `mem_footprint_mb`   | memory-bandwidth intensity |
+//! | f2    | `avg_nnz_per_row`    | low ILP |
+//! | f3    | `skew_coeff`         | load imbalance |
+//! | f4.a  | `cross_row_sim`      | memory latency (temporal locality on `x`) |
+//! | f4.b  | `avg_num_neigh`      | memory latency (spatial locality on `x`) |
+//!
+//! Definitions follow §III-A.4 exactly:
+//!
+//! * the **neighbors** of a nonzero are the *same-row* nonzeros at
+//!   column distance exactly 1 (left or right), so each nonzero has
+//!   0, 1 or 2 neighbors and the average lies in `[0, 2]`;
+//! * the **cross-row neighbors** of a nonzero in row *r* are the
+//!   nonzeros of row *r + 1* at column distance ≤ 1; the cross-row
+//!   similarity is the fraction of a row's nonzeros that have at least
+//!   one cross-row neighbor, averaged across all non-empty rows that
+//!   have a successor row.
+//!
+//! Extraction is streaming-friendly: [`FeatureAccumulator`] consumes one
+//! row of sorted column indices at a time, so features of matrices too
+//! large to materialize can be computed from a row stream.
+
+use crate::matrix::csr::CsrMatrix;
+use crate::rowstats::RowLengthStats;
+use serde::{Deserialize, Serialize};
+
+/// The extracted feature vector of a sparse matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of nonzeros.
+    pub nnz: usize,
+    /// f1 — CSR memory footprint in MB (8-byte values, 4-byte indices).
+    pub mem_footprint_mb: f64,
+    /// f2 — average nonzeros per row.
+    pub avg_nnz_per_row: f64,
+    /// Standard deviation of nonzeros per row (generator input
+    /// `std_nz_row`; not itself one of the five features).
+    pub std_nnz_per_row: f64,
+    /// Maximum nonzeros in any row.
+    pub max_nnz_per_row: usize,
+    /// f3 — skew coefficient `(max - avg) / avg`.
+    pub skew_coeff: f64,
+    /// f4.a — cross-row similarity in `[0, 1]`.
+    pub cross_row_sim: f64,
+    /// f4.b — average number of same-row neighbors in `[0, 2]`.
+    pub avg_num_neigh: f64,
+    /// Average row bandwidth `(max_col - min_col + 1)` over non-empty
+    /// rows, scaled by the number of columns (generator input
+    /// `bw_scaled`).
+    pub bandwidth_scaled: f64,
+    /// Fraction of rows with no nonzeros.
+    pub empty_row_frac: f64,
+}
+
+/// Coarse S/M/L class of a regularity subfeature, as used in Table III
+/// and Fig. 6 of the paper ("the range of each regularity subfeature is
+/// split in 3 equal subranges"). *Small* implies an irregular matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegularityClass {
+    /// Lowest third of the subfeature range (irregular).
+    Small,
+    /// Middle third.
+    Medium,
+    /// Upper third (regular).
+    Large,
+}
+
+impl RegularityClass {
+    /// Classifies a value within `[lo, hi]` into equal thirds.
+    pub fn classify(value: f64, lo: f64, hi: f64) -> Self {
+        debug_assert!(hi > lo);
+        let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+        if t < 1.0 / 3.0 {
+            RegularityClass::Small
+        } else if t < 2.0 / 3.0 {
+            RegularityClass::Medium
+        } else {
+            RegularityClass::Large
+        }
+    }
+
+    /// One-letter label as printed in the paper's tables ("S", "M", "L").
+    pub fn letter(self) -> &'static str {
+        match self {
+            RegularityClass::Small => "S",
+            RegularityClass::Medium => "M",
+            RegularityClass::Large => "L",
+        }
+    }
+}
+
+impl FeatureSet {
+    /// Extracts all features from a CSR matrix in a single `O(nnz)` pass.
+    pub fn extract(csr: &CsrMatrix) -> Self {
+        let mut acc = FeatureAccumulator::new(csr.rows(), csr.cols());
+        for r in 0..csr.rows() {
+            let (cols, _) = csr.row(r);
+            acc.push_row(cols);
+        }
+        acc.finish()
+    }
+
+    /// Classifies f4.a (range `[0, 1]`) into S/M/L.
+    pub fn cross_row_sim_class(&self) -> RegularityClass {
+        RegularityClass::classify(self.cross_row_sim, 0.0, 1.0)
+    }
+
+    /// Classifies f4.b (range `[0, 2]`) into S/M/L.
+    pub fn avg_num_neigh_class(&self) -> RegularityClass {
+        RegularityClass::classify(self.avg_num_neigh, 0.0, 2.0)
+    }
+
+    /// Relative feature-space distance to another feature set, used for
+    /// "friend" matching in the validation experiment. Each of the five
+    /// features contributes its absolute relative error (footprint and
+    /// row length compared in log-space, since their ranges span orders
+    /// of magnitude).
+    pub fn distance(&self, other: &FeatureSet) -> f64 {
+        fn rel_log(a: f64, b: f64) -> f64 {
+            let (a, b) = (a.max(1e-9), b.max(1e-9));
+            (a.ln() - b.ln()).abs()
+        }
+        fn rel_lin(a: f64, b: f64, scale: f64) -> f64 {
+            (a - b).abs() / scale
+        }
+        rel_log(self.mem_footprint_mb, other.mem_footprint_mb)
+            + rel_log(self.avg_nnz_per_row, other.avg_nnz_per_row)
+            + rel_log(1.0 + self.skew_coeff, 1.0 + other.skew_coeff)
+            + rel_lin(self.cross_row_sim, other.cross_row_sim, 1.0)
+            + rel_lin(self.avg_num_neigh, other.avg_num_neigh, 2.0)
+    }
+}
+
+/// Streaming feature extractor: feed rows (sorted column indices) top to
+/// bottom, then call [`FeatureAccumulator::finish`].
+#[derive(Debug, Clone)]
+pub struct FeatureAccumulator {
+    rows_declared: usize,
+    cols: usize,
+    rows_seen: usize,
+    nnz: usize,
+    max_row: usize,
+    sum_sq_row: f64,
+    empty_rows: usize,
+    neigh_pairs: usize,
+    bw_sum: f64,
+    nonempty_rows: usize,
+    // Cross-row similarity state: the previous row's columns and the
+    // running (matched fraction, row count) sums. A row's contribution
+    // is only known once its *successor* arrives, so we buffer one row.
+    prev_cols: Vec<u32>,
+    crs_sum: f64,
+    crs_rows: usize,
+}
+
+impl FeatureAccumulator {
+    /// Starts an accumulator for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows_declared: rows,
+            cols,
+            rows_seen: 0,
+            nnz: 0,
+            max_row: 0,
+            sum_sq_row: 0.0,
+            empty_rows: 0,
+            neigh_pairs: 0,
+            bw_sum: 0.0,
+            nonempty_rows: 0,
+            prev_cols: Vec::new(),
+            crs_sum: 0.0,
+            crs_rows: 0,
+        }
+    }
+
+    /// Consumes the next row (its sorted column indices).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if more rows are pushed than declared or
+    /// if the columns are unsorted.
+    pub fn push_row(&mut self, cols: &[u32]) {
+        debug_assert!(self.rows_seen < self.rows_declared, "too many rows pushed");
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row columns must be sorted");
+        let len = cols.len();
+        self.nnz += len;
+        self.max_row = self.max_row.max(len);
+        self.sum_sq_row += (len * len) as f64;
+        if len == 0 {
+            self.empty_rows += 1;
+        } else {
+            self.nonempty_rows += 1;
+            let span = (cols[len - 1] - cols[0]) as f64 + 1.0;
+            self.bw_sum += span / self.cols.max(1) as f64;
+            // Same-row neighbors at column distance exactly 1: each
+            // adjacent pair (c, c+1) gives both endpoints one neighbor.
+            for w in cols.windows(2) {
+                if w[1] - w[0] == 1 {
+                    self.neigh_pairs += 1;
+                }
+            }
+        }
+        // Resolve the cross-row similarity of the *previous* row now
+        // that its successor is known.
+        if self.rows_seen > 0 && !self.prev_cols.is_empty() {
+            let matched = count_with_cross_neighbor(&self.prev_cols, cols);
+            self.crs_sum += matched as f64 / self.prev_cols.len() as f64;
+            self.crs_rows += 1;
+        }
+        self.prev_cols.clear();
+        self.prev_cols.extend_from_slice(cols);
+        self.rows_seen += 1;
+    }
+
+    /// Finalizes and returns the feature set.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if fewer rows were pushed than declared.
+    pub fn finish(self) -> FeatureSet {
+        debug_assert_eq!(self.rows_seen, self.rows_declared, "row count mismatch");
+        let rows = self.rows_declared;
+        let nnz = self.nnz;
+        let mean = if rows > 0 { nnz as f64 / rows as f64 } else { 0.0 };
+        let var = if rows > 0 {
+            (self.sum_sq_row / rows as f64 - mean * mean).max(0.0)
+        } else {
+            0.0
+        };
+        let skew = if mean > 0.0 { (self.max_row as f64 - mean) / mean } else { 0.0 };
+        let footprint_bytes =
+            (crate::VALUE_BYTES + crate::INDEX_BYTES) * nnz + crate::INDEX_BYTES * (rows + 1);
+        FeatureSet {
+            rows,
+            cols: self.cols,
+            nnz,
+            mem_footprint_mb: footprint_bytes as f64 / (1024.0 * 1024.0),
+            avg_nnz_per_row: mean,
+            std_nnz_per_row: var.sqrt(),
+            max_nnz_per_row: self.max_row,
+            skew_coeff: skew,
+            cross_row_sim: if self.crs_rows > 0 { self.crs_sum / self.crs_rows as f64 } else { 0.0 },
+            avg_num_neigh: if nnz > 0 { 2.0 * self.neigh_pairs as f64 / nnz as f64 } else { 0.0 },
+            bandwidth_scaled: if self.nonempty_rows > 0 {
+                self.bw_sum / self.nonempty_rows as f64
+            } else {
+                0.0
+            },
+            empty_row_frac: if rows > 0 { self.empty_rows as f64 / rows as f64 } else { 0.0 },
+        }
+    }
+}
+
+/// Counts how many entries of the sorted list `row` have at least one
+/// element of the sorted list `next` within column distance 1.
+fn count_with_cross_neighbor(row: &[u32], next: &[u32]) -> usize {
+    if next.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut j = 0usize;
+    for &c in row {
+        // Advance j until next[j] >= c - 1.
+        let target = c.saturating_sub(1);
+        while j < next.len() && next[j] < target {
+            j += 1;
+        }
+        if j < next.len() && next[j] <= c + 1 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Convenience: extract features and row-length stats together.
+pub fn extract_with_stats(csr: &CsrMatrix) -> (FeatureSet, RowLengthStats) {
+    (FeatureSet::extract(csr), RowLengthStats::from_row_ptr(csr.row_ptr()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::csr::CsrMatrix;
+
+    #[test]
+    fn dense_band_has_two_neighbors_interior() {
+        // Tridiagonal-ish fully dense rows: every interior element has 2
+        // same-row neighbors, endpoints have 1. For a 1x5 dense row:
+        // pairs = 4, avg = 2*4/5 = 1.6.
+        let m = CsrMatrix::from_triplets(
+            1,
+            5,
+            &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)],
+        )
+        .unwrap();
+        let f = FeatureSet::extract(&m);
+        assert!((f.avg_num_neigh - 1.6).abs() < 1e-12);
+        assert_eq!(f.max_nnz_per_row, 5);
+        assert!((f.bandwidth_scaled - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_nonzeros_have_no_neighbors() {
+        let m = CsrMatrix::from_triplets(2, 10, &[(0, 0, 1.0), (0, 5, 1.0), (1, 2, 1.0)]).unwrap();
+        let f = FeatureSet::extract(&m);
+        assert_eq!(f.avg_num_neigh, 0.0);
+    }
+
+    #[test]
+    fn cross_row_sim_identical_rows_is_one() {
+        // Two identical rows: every element of row 0 has a same-column
+        // cross neighbor.
+        let m = CsrMatrix::from_triplets(
+            2,
+            8,
+            &[(0, 1, 1.0), (0, 4, 1.0), (1, 1, 1.0), (1, 4, 1.0)],
+        )
+        .unwrap();
+        let f = FeatureSet::extract(&m);
+        assert!((f.cross_row_sim - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_row_sim_disjoint_rows_is_zero() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            10,
+            &[(0, 0, 1.0), (0, 4, 1.0), (1, 7, 1.0), (1, 9, 1.0)],
+        )
+        .unwrap();
+        let f = FeatureSet::extract(&m);
+        assert_eq!(f.cross_row_sim, 0.0);
+    }
+
+    #[test]
+    fn cross_row_sim_adjacent_column_counts() {
+        // Row 0 has col 5; row 1 has col 6 (distance 1) -> similarity 1.
+        let m = CsrMatrix::from_triplets(2, 10, &[(0, 5, 1.0), (1, 6, 1.0)]).unwrap();
+        let f = FeatureSet::extract(&m);
+        assert!((f.cross_row_sim - 1.0).abs() < 1e-12);
+        // Distance 2 does not count.
+        let m = CsrMatrix::from_triplets(2, 10, &[(0, 5, 1.0), (1, 7, 1.0)]).unwrap();
+        assert_eq!(FeatureSet::extract(&m).cross_row_sim, 0.0);
+    }
+
+    #[test]
+    fn cross_row_sim_partial() {
+        // Row 0: cols {0, 5}; row 1: col {5}. Half of row 0 matches.
+        let m =
+            CsrMatrix::from_triplets(2, 10, &[(0, 0, 1.0), (0, 5, 1.0), (1, 5, 1.0)]).unwrap();
+        let f = FeatureSet::extract(&m);
+        assert!((f.cross_row_sim - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_definition_matches_paper() {
+        // "A skew of 1 means that the longest row is twice as big as the
+        // average number of nonzeros per row."
+        let m = CsrMatrix::from_triplets(
+            2,
+            10,
+            &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (1, 0, 1.0), (1, 5, 1.0)],
+        )
+        .unwrap();
+        let f = FeatureSet::extract(&m);
+        // rows have 4 and 2 nnz: avg 3, max 4, skew 1/3.
+        assert!((f.skew_coeff - 1.0 / 3.0).abs() < 1e-12);
+        assert!((f.avg_nnz_per_row - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_matches_matrix_accessor() {
+        let m = CsrMatrix::identity(1000);
+        let f = FeatureSet::extract(&m);
+        assert!((f.mem_footprint_mb - m.mem_footprint_mb()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_matrix_features_are_zeroed() {
+        let f = FeatureSet::extract(&CsrMatrix::zeros(4, 4));
+        assert_eq!(f.avg_nnz_per_row, 0.0);
+        assert_eq!(f.skew_coeff, 0.0);
+        assert_eq!(f.cross_row_sim, 0.0);
+        assert_eq!(f.avg_num_neigh, 0.0);
+        assert_eq!(f.empty_row_frac, 1.0);
+    }
+
+    #[test]
+    fn regularity_classes_split_in_thirds() {
+        assert_eq!(RegularityClass::classify(0.05, 0.0, 1.0), RegularityClass::Small);
+        assert_eq!(RegularityClass::classify(0.5, 0.0, 1.0), RegularityClass::Medium);
+        assert_eq!(RegularityClass::classify(0.95, 0.0, 1.0), RegularityClass::Large);
+        assert_eq!(RegularityClass::classify(1.9, 0.0, 2.0), RegularityClass::Large);
+        assert_eq!(RegularityClass::classify(-3.0, 0.0, 1.0), RegularityClass::Small);
+        assert_eq!(RegularityClass::Small.letter(), "S");
+    }
+
+    #[test]
+    fn distance_is_zero_for_self_and_positive_otherwise() {
+        let m = CsrMatrix::identity(100);
+        let f = FeatureSet::extract(&m);
+        assert_eq!(f.distance(&f), 0.0);
+        let m2 = CsrMatrix::from_triplets(
+            100,
+            100,
+            &(0..100).flat_map(|r| [(r, r, 1.0), (r, (r + 1) % 100, 1.0)]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let f2 = FeatureSet::extract(&m2);
+        assert!(f.distance(&f2) > 0.0);
+        // Symmetry.
+        assert!((f.distance(&f2) - f2.distance(&f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_accumulator_matches_batch_extraction() {
+        let m = CsrMatrix::from_triplets(
+            5,
+            12,
+            &[
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (0, 7, 1.0),
+                (1, 1, 1.0),
+                (1, 2, 1.0),
+                (3, 5, 1.0),
+                (3, 6, 1.0),
+                (3, 7, 1.0),
+                (4, 6, 1.0),
+            ],
+        )
+        .unwrap();
+        let batch = FeatureSet::extract(&m);
+        let mut acc = FeatureAccumulator::new(5, 12);
+        for r in 0..5 {
+            acc.push_row(m.row(r).0);
+        }
+        let streamed = acc.finish();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn count_cross_neighbor_edge_cases() {
+        assert_eq!(count_with_cross_neighbor(&[0, 1, 2], &[]), 0);
+        assert_eq!(count_with_cross_neighbor(&[], &[1, 2]), 0);
+        // Column 0 matching with saturating_sub guard.
+        assert_eq!(count_with_cross_neighbor(&[0], &[0]), 1);
+        assert_eq!(count_with_cross_neighbor(&[0], &[1]), 1);
+        assert_eq!(count_with_cross_neighbor(&[0], &[2]), 0);
+        // One next-element can serve several row elements.
+        assert_eq!(count_with_cross_neighbor(&[4, 5, 6], &[5]), 3);
+    }
+}

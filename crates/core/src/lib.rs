@@ -1,0 +1,103 @@
+//! # spmv-core
+//!
+//! Core sparse-matrix infrastructure for the reproduction of
+//! *"Feature-based SpMV Performance Analysis on Contemporary Devices"*
+//! (Mpakos et al., IPDPS 2023).
+//!
+//! This crate provides:
+//!
+//! * the sparse matrix containers used everywhere else in the workspace
+//!   ([`CsrMatrix`], [`CooMatrix`], [`CscMatrix`], [`DenseMatrix`]),
+//! * the **five-feature extractor** of the paper (§III-A): memory
+//!   footprint, average nonzeros per row, skewness coefficient,
+//!   cross-row similarity and average number of neighbors
+//!   ([`features::FeatureSet`]),
+//! * the roofline performance model used for the validation figure
+//!   ([`roofline`]),
+//! * shared error types and numeric helpers.
+//!
+//! The containers deliberately mirror the layouts assumed by the paper:
+//! CSR stores 8-byte values, 4-byte column indices and 4-byte row
+//! pointers when its memory footprint (feature *f1*) is computed, so a
+//! matrix's `mem_footprint_mb()` is directly comparable with Table I and
+//! Table III of the paper.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use spmv_core::{CsrMatrix, features::FeatureSet};
+//!
+//! // 3x3 identity-ish matrix with one extra entry.
+//! let csr = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (2, 0, 4.0)])
+//!     .unwrap();
+//! let y = csr.spmv(&[1.0, 1.0, 1.0]);
+//! assert_eq!(y, vec![1.0, 2.0, 7.0]);
+//!
+//! let f = FeatureSet::extract(&csr);
+//! assert!((f.avg_nnz_per_row - 4.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod features;
+pub mod matrix;
+pub mod roofline;
+pub mod rowstats;
+
+pub use error::SparseError;
+pub use features::FeatureSet;
+pub use matrix::coo::CooMatrix;
+pub use matrix::csc::CscMatrix;
+pub use matrix::csr::CsrMatrix;
+pub use matrix::dense::DenseMatrix;
+pub use matrix::mtx::{read_mtx, read_mtx_file, write_mtx, write_mtx_file, MtxError};
+
+/// Number of bytes of one double-precision value (the paper's standard
+/// data type, §IV).
+pub const VALUE_BYTES: usize = 8;
+
+/// Number of bytes of one stored index (column index or row pointer) in
+/// the paper's CSR footprint accounting.
+pub const INDEX_BYTES: usize = 4;
+
+/// Floating point comparison helper: `|a - b| <= atol + rtol * |b|`.
+///
+/// Used by tests across the workspace to compare kernel outputs against
+/// the dense reference. SpMV over different formats reassociates the
+/// per-row sums, so exact equality is not expected.
+pub fn approx_eq(a: f64, b: f64, rtol: f64, atol: f64) -> bool {
+    (a - b).abs() <= atol + rtol * b.abs()
+}
+
+/// Compare two vectors element-wise with [`approx_eq`]; returns the index
+/// of the first mismatch, if any.
+pub fn vec_mismatch(a: &[f64], b: &[f64], rtol: f64, atol: f64) -> Option<usize> {
+    if a.len() != b.len() {
+        return Some(a.len().min(b.len()));
+    }
+    (0..a.len()).find(|&i| !approx_eq(a[i], b[i], rtol, atol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basics() {
+        assert!(approx_eq(1.0, 1.0, 0.0, 0.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-10, 0.0));
+        assert!(!approx_eq(1.0, 1.1, 1e-3, 0.0));
+        assert!(approx_eq(0.0, 1e-14, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn vec_mismatch_reports_first_bad_index() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.5, 3.0];
+        assert_eq!(vec_mismatch(&a, &b, 1e-9, 1e-12), Some(1));
+        assert_eq!(vec_mismatch(&a, &a, 1e-9, 1e-12), None);
+        assert_eq!(vec_mismatch(&a[..2], &b, 1e-9, 1e-12), Some(2));
+    }
+}

@@ -1,0 +1,217 @@
+//! Coordinate (COO) format — three parallel arrays of row index, column
+//! index and value (§II-B.1 of the paper). COO balances load trivially
+//! but carries redundant row metadata, increasing bandwidth pressure.
+
+use crate::error::SparseError;
+use crate::matrix::csr::CsrMatrix;
+use crate::{INDEX_BYTES, VALUE_BYTES};
+
+/// A sparse matrix in COOrdinate (triplet) format.
+///
+/// Entries are stored in row-major order (sorted by `(row, col)`), which
+/// the conversions guarantee. The atomic-free parallel COO kernel in
+/// `spmv-formats` relies on this ordering to give each worker a
+/// contiguous row range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    row_idx: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Builds a COO matrix from parallel arrays; entries must be sorted
+    /// by `(row, col)` with no duplicates.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_idx: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        if row_idx.len() != col_idx.len() || col_idx.len() != values.len() {
+            return Err(SparseError::LengthMismatch(format!(
+                "row_idx {} / col_idx {} / values {}",
+                row_idx.len(),
+                col_idx.len(),
+                values.len()
+            )));
+        }
+        let mut prev: Option<(u32, u32)> = None;
+        for i in 0..row_idx.len() {
+            let (r, c) = (row_idx[i], col_idx[i]);
+            if r as usize >= rows || c as usize >= cols {
+                return Err(SparseError::OutOfBounds {
+                    row: r as usize,
+                    col: c as usize,
+                    rows,
+                    cols,
+                });
+            }
+            if let Some(p) = prev {
+                if (r, c) <= p {
+                    return Err(SparseError::UnsortedRow { row: r as usize });
+                }
+            }
+            prev = Some((r, c));
+        }
+        Ok(Self { rows, cols, row_idx, col_idx, values })
+    }
+
+    /// Converts from CSR, expanding the row pointer into explicit row
+    /// indices.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let nnz = csr.nnz();
+        let mut row_idx = Vec::with_capacity(nnz);
+        for r in 0..csr.rows() {
+            row_idx.extend(std::iter::repeat_n(r as u32, csr.row_nnz(r)));
+        }
+        Self {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            row_idx,
+            col_idx: csr.col_idx().to_vec(),
+            values: csr.values().to_vec(),
+        }
+    }
+
+    /// Converts to CSR (the inverse of [`CooMatrix::from_csr`]).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for &r in &self.row_idx {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix::from_parts_unchecked(
+            self.rows,
+            self.cols,
+            row_ptr,
+            self.col_idx.clone(),
+            self.values.clone(),
+        )
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row indices of every entry.
+    #[inline]
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// Column indices of every entry.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Values of every entry.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Memory footprint in bytes: three arrays of length `nnz`
+    /// (8-byte value + two 4-byte indices).
+    pub fn mem_footprint_bytes(&self) -> usize {
+        (VALUE_BYTES + 2 * INDEX_BYTES) * self.nnz()
+    }
+
+    /// Sequential SpMV: `y = A·x`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "x length must equal cols");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.nnz() {
+            y[self.row_idx[i] as usize] += self.values[i] * x[self.col_idx[i] as usize];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_csr() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 1.5), (1, 0, -2.0), (1, 3, 4.0), (2, 2, 8.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_coo_round_trip() {
+        let csr = small_csr();
+        let coo = CooMatrix::from_csr(&csr);
+        assert_eq!(coo.nnz(), 4);
+        assert_eq!(coo.row_idx(), &[0, 1, 1, 2]);
+        assert_eq!(coo.to_csr(), csr);
+    }
+
+    #[test]
+    fn coo_spmv_matches_csr() {
+        let csr = small_csr();
+        let coo = CooMatrix::from_csr(&csr);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(coo.spmv(&x), csr.spmv(&x));
+    }
+
+    #[test]
+    fn footprint_larger_than_csr_for_tall_matrices() {
+        // COO duplicates the row index for every nonzero, so for any
+        // matrix with more nonzeros than rows the COO footprint exceeds
+        // CSR's — the bandwidth-redundancy the paper calls out.
+        let csr = small_csr();
+        let coo = CooMatrix::from_csr(&csr);
+        assert_eq!(coo.mem_footprint_bytes(), 16 * 4);
+        assert!(coo.mem_footprint_bytes() > csr.mem_footprint_bytes() - 4 * 4);
+    }
+
+    #[test]
+    fn new_rejects_unsorted() {
+        let e = CooMatrix::new(2, 2, vec![1, 0], vec![0, 0], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(e, SparseError::UnsortedRow { .. }));
+    }
+
+    #[test]
+    fn new_rejects_duplicates() {
+        let e = CooMatrix::new(2, 2, vec![0, 0], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(e, SparseError::UnsortedRow { .. }));
+    }
+
+    #[test]
+    fn new_rejects_out_of_bounds() {
+        let e = CooMatrix::new(2, 2, vec![0], vec![9], vec![1.0]).unwrap_err();
+        assert!(matches!(e, SparseError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn empty_coo() {
+        let coo = CooMatrix::from_csr(&CsrMatrix::zeros(3, 3));
+        assert_eq!(coo.nnz(), 0);
+        assert_eq!(coo.spmv(&[0.0; 3]), vec![0.0; 3]);
+        assert_eq!(coo.to_csr(), CsrMatrix::zeros(3, 3));
+    }
+}

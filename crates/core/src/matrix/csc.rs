@@ -1,0 +1,185 @@
+//! Compressed Sparse Column (CSC) format. The Vitis Sparse Library's
+//! VSL format used on the Alveo-U280 FPGA is "a CSC variant" (§II-B.4);
+//! the VSL implementation in `spmv-formats` builds on this container.
+
+use crate::error::SparseError;
+use crate::matrix::csr::CsrMatrix;
+use crate::{INDEX_BYTES, VALUE_BYTES};
+
+/// A sparse matrix in Compressed Sparse Column format: `col_ptr` of
+/// length `cols + 1`, with row indices sorted within each column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from raw arrays, validating invariants by
+    /// round-tripping through the CSR validator on the transpose view.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, SparseError> {
+        // A CSC matrix is exactly the CSR of its transpose; reuse that
+        // validator rather than duplicating the logic.
+        CsrMatrix::new(cols, rows, col_ptr.clone(), row_idx.clone(), values.clone())?;
+        Ok(Self { rows, cols, col_ptr, row_idx, values })
+    }
+
+    /// Converts from CSR via transposition.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let t = csr.transpose();
+        Self {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            col_ptr: t.row_ptr().to_vec(),
+            row_idx: t.col_idx().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_parts_unchecked(
+            self.cols,
+            self.rows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.values.clone(),
+        )
+        .transpose()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column pointer array (`cols + 1` entries).
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices, sorted within each column.
+    #[inline]
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// Stored values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Memory footprint in bytes (values + row indices + col pointers).
+    pub fn mem_footprint_bytes(&self) -> usize {
+        (VALUE_BYTES + INDEX_BYTES) * self.nnz() + INDEX_BYTES * (self.cols + 1)
+    }
+
+    /// Sequential SpMV: `y = A·x`, scattering each column's contribution.
+    ///
+    /// CSC SpMV reads `x[j]` exactly once per column (perfect temporal
+    /// locality on `x`) but scatters into `y` — the trade that makes it
+    /// attractive for streaming FPGA dataflow engines.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "x length must equal cols");
+        let mut y = vec![0.0; self.rows];
+        #[allow(clippy::needless_range_loop)] // indexed kernel loops read clearest
+        for j in 0..self.cols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                y[self.row_idx[k] as usize] += self.values[k] * xj;
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_csr() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 1.5), (1, 0, -2.0), (1, 3, 4.0), (2, 2, 8.0), (2, 1, 0.5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_csc_round_trip() {
+        let csr = small_csr();
+        let csc = CscMatrix::from_csr(&csr);
+        assert_eq!(csc.nnz(), csr.nnz());
+        assert_eq!(csc.to_csr(), csr);
+    }
+
+    #[test]
+    fn csc_spmv_matches_csr() {
+        let csr = small_csr();
+        let csc = CscMatrix::from_csr(&csr);
+        let x = [0.5, -1.0, 2.0, 3.0];
+        let (yr, yc) = (csr.spmv(&x), csc.spmv(&x));
+        for (a, b) in yr.iter().zip(&yc) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn csc_spmv_skips_zero_x_entries() {
+        let csr = small_csr();
+        let csc = CscMatrix::from_csr(&csr);
+        let y = csc.spmv(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn col_ptr_shape() {
+        let csc = CscMatrix::from_csr(&small_csr());
+        assert_eq!(csc.col_ptr().len(), 5);
+        assert_eq!(*csc.col_ptr().last().unwrap(), 5);
+        // Column 1 holds rows 0 and 2.
+        let (lo, hi) = (csc.col_ptr()[1], csc.col_ptr()[2]);
+        assert_eq!(&csc.row_idx()[lo..hi], &[0, 2]);
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(CscMatrix::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert!(CscMatrix::new(2, 2, vec![0, 2, 2], vec![1, 0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn empty_csc() {
+        let csc = CscMatrix::from_csr(&CsrMatrix::zeros(2, 3));
+        assert_eq!(csc.nnz(), 0);
+        assert_eq!(csc.spmv(&[1.0; 3]), vec![0.0; 2]);
+    }
+}

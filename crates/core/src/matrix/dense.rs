@@ -1,0 +1,92 @@
+//! Small dense matrix used as the ground-truth oracle in tests.
+//!
+//! Never used on hot paths; its only job is to make cross-format
+//! correctness tests independent of any sparse code path.
+
+use crate::matrix::csr::CsrMatrix;
+
+/// A row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Materializes a CSR matrix densely. Intended for test-sized
+    /// matrices only (quadratic memory).
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let mut d = Self::zeros(csr.rows(), csr.cols());
+        for (r, c, v) in csr.triplets() {
+            d.data[r * d.cols + c] = v;
+        }
+        d
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Dense reference SpMV: `y = A·x`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "x length must equal cols");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * x[c]).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matches_csr() {
+        let csr = CsrMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 0, 1.0), (0, 2, -2.0), (1, 1, 3.5)],
+        )
+        .unwrap();
+        let d = DenseMatrix::from_csr(&csr);
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(0, 1), 0.0);
+        assert_eq!(d.get(0, 2), -2.0);
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(d.spmv(&x), csr.spmv(&x));
+    }
+
+    #[test]
+    fn set_get() {
+        let mut d = DenseMatrix::zeros(2, 2);
+        d.set(1, 0, 9.0);
+        assert_eq!(d.get(1, 0), 9.0);
+        assert_eq!(d.spmv(&[1.0, 0.0]), vec![0.0, 9.0]);
+    }
+}

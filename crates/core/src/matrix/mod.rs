@@ -1,0 +1,11 @@
+//! Sparse and dense matrix containers.
+//!
+//! All containers use `f64` values (the paper evaluates double-precision
+//! SpMV exclusively) and `u32` column indices, matching the 4-byte index
+//! accounting of the paper's memory-footprint feature.
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod mtx;

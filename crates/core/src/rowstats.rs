@@ -1,0 +1,232 @@
+//! Row-length statistics and load-imbalance estimators.
+//!
+//! The paper links the *skewness coefficient* of the row-length
+//! distribution to the load-imbalance bottleneck (§II-A.3, §III-A.3).
+//! How much of that skew turns into actual imbalance depends on the work
+//! distribution policy; the estimators here quantify that for the two
+//! policies used by the formats: contiguous **row-static** chunking and
+//! **nnz-balanced** chunking. They are shared by the parallel
+//! partitioners (as ground truth in tests) and by the device models (as
+//! model inputs).
+
+/// Summary statistics of the row-length (nonzeros-per-row) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowLengthStats {
+    /// Minimum nonzeros in any row.
+    pub min: usize,
+    /// Maximum nonzeros in any row.
+    pub max: usize,
+    /// Mean nonzeros per row.
+    pub mean: f64,
+    /// Population standard deviation of nonzeros per row.
+    pub std: f64,
+    /// Number of completely empty rows.
+    pub empty_rows: usize,
+    /// The paper's skew coefficient: `(max - mean) / mean`
+    /// (0 when the matrix has no nonzeros).
+    pub skew: f64,
+}
+
+impl RowLengthStats {
+    /// Computes the statistics from a CSR row-pointer array.
+    pub fn from_row_ptr(row_ptr: &[usize]) -> Self {
+        let rows = row_ptr.len().saturating_sub(1);
+        if rows == 0 {
+            return Self { min: 0, max: 0, mean: 0.0, std: 0.0, empty_rows: 0, skew: 0.0 };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut empty = 0usize;
+        for r in 0..rows {
+            let len = row_ptr[r + 1] - row_ptr[r];
+            min = min.min(len);
+            max = max.max(len);
+            sum += len;
+            if len == 0 {
+                empty += 1;
+            }
+        }
+        let mean = sum as f64 / rows as f64;
+        let mut var = 0.0;
+        for r in 0..rows {
+            let len = (row_ptr[r + 1] - row_ptr[r]) as f64;
+            var += (len - mean) * (len - mean);
+        }
+        var /= rows as f64;
+        let skew = if mean > 0.0 { (max as f64 - mean) / mean } else { 0.0 };
+        Self { min, max, mean, std: var.sqrt(), empty_rows: empty, skew }
+    }
+}
+
+/// Load-imbalance factor of a contiguous **row-static** partition into
+/// `chunks` chunks: `max(chunk nnz) / mean(chunk nnz)`.
+///
+/// Chunk `t` owns rows `[t·rows/chunks, (t+1)·rows/chunks)`. A perfectly
+/// balanced partition returns 1.0; a partition where one worker owns all
+/// the work returns `chunks`. Empty matrices return 1.0.
+pub fn static_imbalance(row_ptr: &[usize], chunks: usize) -> f64 {
+    let rows = row_ptr.len().saturating_sub(1);
+    let nnz = *row_ptr.last().unwrap_or(&0);
+    if rows == 0 || nnz == 0 || chunks == 0 {
+        return 1.0;
+    }
+    let chunks = chunks.min(rows);
+    let mut max_work = 0usize;
+    for t in 0..chunks {
+        let lo = t * rows / chunks;
+        let hi = (t + 1) * rows / chunks;
+        max_work = max_work.max(row_ptr[hi] - row_ptr[lo]);
+    }
+    let mean = nnz as f64 / chunks as f64;
+    max_work as f64 / mean
+}
+
+/// Load-imbalance factor of an **nnz-balanced** partition into `chunks`
+/// chunks, where chunk boundaries are placed on row boundaries as close
+/// as possible to equal-nnz splits (this is what "Balanced-CSR" and the
+/// row-resolution mode of Merge do).
+///
+/// The residual imbalance is bounded by the longest single row, which a
+/// row-granularity policy cannot split.
+pub fn nnz_balanced_imbalance(row_ptr: &[usize], chunks: usize) -> f64 {
+    let rows = row_ptr.len().saturating_sub(1);
+    let nnz = *row_ptr.last().unwrap_or(&0);
+    if rows == 0 || nnz == 0 || chunks == 0 {
+        return 1.0;
+    }
+    let chunks = chunks.min(rows);
+    let bounds = nnz_balanced_boundaries(row_ptr, chunks);
+    let mut max_work = 0usize;
+    for t in 0..chunks {
+        max_work = max_work.max(row_ptr[bounds[t + 1]] - row_ptr[bounds[t]]);
+    }
+    let mean = nnz as f64 / chunks as f64;
+    max_work as f64 / mean
+}
+
+/// Computes the row boundaries of an nnz-balanced partition:
+/// returns `chunks + 1` row indices `b` with `b[0] = 0`,
+/// `b[chunks] = rows`, non-decreasing, where `b[t]` is the first row of
+/// chunk `t` (the row whose starting offset is nearest above
+/// `t · nnz/chunks`, found by binary search on `row_ptr`).
+pub fn nnz_balanced_boundaries(row_ptr: &[usize], chunks: usize) -> Vec<usize> {
+    let rows = row_ptr.len().saturating_sub(1);
+    let nnz = *row_ptr.last().unwrap_or(&0);
+    let mut bounds = Vec::with_capacity(chunks + 1);
+    bounds.push(0);
+    for t in 1..chunks {
+        let target = t * nnz / chunks;
+        // Nearest row boundary to the ideal split offset; clamp to keep
+        // the boundary sequence monotone and within [0, rows].
+        let hi = row_ptr.partition_point(|&off| off < target).min(rows);
+        let row = if hi > 0 && target - row_ptr[hi - 1] <= row_ptr[hi] - target {
+            hi - 1
+        } else {
+            hi
+        };
+        let row = row.max(*bounds.last().expect("bounds nonempty"));
+        bounds.push(row);
+    }
+    bounds.push(rows);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_uniform_rows() {
+        // 4 rows x 3 nnz each.
+        let row_ptr = [0, 3, 6, 9, 12];
+        let s = RowLengthStats::from_row_ptr(&row_ptr);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.empty_rows, 0);
+        assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn stats_skewed_rows() {
+        // Row lengths: 10, 1, 1, 0 -> mean 3, skew (10-3)/3.
+        let row_ptr = [0, 10, 11, 12, 12];
+        let s = RowLengthStats::from_row_ptr(&row_ptr);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.empty_rows, 1);
+        assert!((s.skew - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_matrix() {
+        let s = RowLengthStats::from_row_ptr(&[0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.skew, 0.0);
+        let s = RowLengthStats::from_row_ptr(&[0, 0, 0]);
+        assert_eq!(s.empty_rows, 2);
+        assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn static_imbalance_balanced_matrix() {
+        let row_ptr: Vec<usize> = (0..=64).map(|r| r * 5).collect();
+        assert!((static_imbalance(&row_ptr, 8) - 1.0).abs() < 1e-12);
+        assert!((static_imbalance(&row_ptr, 64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_imbalance_hotspot_row() {
+        // One huge row at the front, many tiny rows after.
+        let mut row_ptr = vec![0usize, 1000];
+        for i in 1..=99 {
+            row_ptr.push(1000 + i);
+        }
+        // 100 rows, 1099 nnz. With 4 chunks, chunk 0 owns the hotspot.
+        let imb = static_imbalance(&row_ptr, 4);
+        // chunk0 = 1000 + 24 = 1024; mean = 1099/4 = 274.75
+        assert!((imb - 1024.0 / 274.75).abs() < 1e-9);
+        // nnz-balanced chunking cannot split the single hot row, so the
+        // imbalance stays dominated by that row:
+        let imb_bal = nnz_balanced_imbalance(&row_ptr, 4);
+        assert!(imb_bal >= 1000.0 / 274.75 - 1e-9);
+        // ...but it must not be *worse* than leaving extra rows attached.
+        assert!(imb_bal <= imb + 1e-9);
+    }
+
+    #[test]
+    fn nnz_balanced_perfect_when_rows_uniform() {
+        let row_ptr: Vec<usize> = (0..=100).map(|r| r * 7).collect();
+        let imb = nnz_balanced_imbalance(&row_ptr, 10);
+        assert!((imb - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundaries_are_monotone_and_cover() {
+        let row_ptr = [0usize, 4, 4, 10, 11, 30, 31, 40];
+        let b = nnz_balanced_boundaries(&row_ptr, 3);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), 7);
+        for w in b.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn imbalance_with_more_chunks_than_rows() {
+        let row_ptr = [0usize, 2, 4];
+        // chunks clamped to rows.
+        assert!((static_imbalance(&row_ptr, 64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_degenerate_inputs() {
+        assert_eq!(static_imbalance(&[0], 4), 1.0);
+        assert_eq!(static_imbalance(&[0, 0], 4), 1.0);
+        assert_eq!(nnz_balanced_imbalance(&[0], 4), 1.0);
+        assert_eq!(static_imbalance(&[0, 3], 0), 1.0);
+    }
+}

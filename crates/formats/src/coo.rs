@@ -1,0 +1,201 @@
+//! COO SpMV (§II-B.1): trivially balanced (equal nonzero chunks per
+//! worker) at the cost of redundant row metadata. This mirrors the
+//! cuSPARSE COO algorithm: each worker owns a contiguous nonzero range
+//! and hands partial sums of its boundary rows to a fix-up pass, so no
+//! atomics are needed.
+
+use crate::traits::{par_zero, DisjointWriter, SparseFormat};
+use spmv_core::{CooMatrix, CsrMatrix};
+use spmv_parallel::ThreadPool;
+
+/// COO storage (row-major sorted triplets).
+pub struct CooFormat {
+    coo: CooMatrix,
+}
+
+impl CooFormat {
+    /// Converts from CSR.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        Self { coo: CooMatrix::from_csr(csr) }
+    }
+
+    /// Borrow of the underlying triplet storage.
+    pub fn coo(&self) -> &CooMatrix {
+        &self.coo
+    }
+}
+
+impl SparseFormat for CooFormat {
+    fn name(&self) -> &'static str {
+        "COO"
+    }
+
+    fn rows(&self) -> usize {
+        self.coo.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.coo.cols()
+    }
+
+    fn nnz(&self) -> usize {
+        self.coo.nnz()
+    }
+
+    fn bytes(&self) -> usize {
+        self.coo.mem_footprint_bytes()
+    }
+
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols());
+        assert_eq!(y.len(), self.rows());
+        y.fill(0.0);
+        let (ri, ci, v) = (self.coo.row_idx(), self.coo.col_idx(), self.coo.values());
+        for i in 0..self.nnz() {
+            y[ri[i] as usize] += v[i] * x[ci[i] as usize];
+        }
+    }
+
+    fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols());
+        assert_eq!(y.len(), self.rows());
+        let t = pool.threads();
+        let nnz = self.nnz();
+        par_zero(pool, y);
+        if nnz == 0 {
+            return;
+        }
+        let out = DisjointWriter::new(y);
+        let (ri, ci, v) = (self.coo.row_idx(), self.coo.col_idx(), self.coo.values());
+        // Per-chunk carries: partial sums of the chunk's first and last
+        // rows, which may be shared with neighboring chunks.
+        let mut carries: Vec<(usize, f64, usize, f64)> = vec![(0, 0.0, 0, 0.0); t];
+        {
+            let carries_ptr = carries.as_mut_ptr() as usize;
+            pool.broadcast(|tid| {
+                let lo = tid * nnz / t;
+                let hi = (tid + 1) * nnz / t;
+                if lo >= hi {
+                    // Empty chunk: encode "no carry" as rows usize::MAX.
+                    // SAFETY: each worker writes only its own slot.
+                    unsafe {
+                        *(carries_ptr as *mut (usize, f64, usize, f64)).add(tid) =
+                            (usize::MAX, 0.0, usize::MAX, 0.0)
+                    };
+                    return;
+                }
+                let first_row = ri[lo] as usize;
+                let last_row = ri[hi - 1] as usize;
+                let mut first_sum = 0.0;
+                let mut cur_row = first_row;
+                let mut acc = 0.0;
+                for i in lo..hi {
+                    let r = ri[i] as usize;
+                    if r != cur_row {
+                        if cur_row == first_row {
+                            first_sum = acc;
+                        } else {
+                            out.write(cur_row, acc);
+                        }
+                        cur_row = r;
+                        acc = 0.0;
+                    }
+                    acc += v[i] * x[ci[i] as usize];
+                }
+                // Close the last open row.
+                let (fr, fs, lr, ls) = if cur_row == first_row {
+                    // Whole chunk inside one row.
+                    (first_row, acc, usize::MAX, 0.0)
+                } else {
+                    (first_row, first_sum, last_row, acc)
+                };
+                // SAFETY: one slot per worker.
+                unsafe {
+                    *(carries_ptr as *mut (usize, f64, usize, f64)).add(tid) = (fr, fs, lr, ls)
+                };
+            });
+        }
+        // Sequential fix-up: boundary rows may receive contributions
+        // from several chunks; interior rows were written exactly once.
+        for &(fr, fs, lr, ls) in &carries {
+            if fr != usize::MAX {
+                y[fr] += fs;
+            }
+            if lr != usize::MAX {
+                y[lr] += ls;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::DenseMatrix;
+
+    fn skewed_matrix() -> CsrMatrix {
+        // Row 0 holds most of the mass — the worst case for chunked COO
+        // because many workers share row 0.
+        let mut t: Vec<(usize, usize, f64)> =
+            (0..500).map(|c| (0usize, c, 0.01 * c as f64 - 1.0)).collect();
+        t.push((3, 2, 4.0));
+        t.push((7, 600, -3.0));
+        t.push((7, 601, 5.0));
+        CsrMatrix::from_triplets(8, 700, &t).unwrap()
+    }
+
+    #[test]
+    fn sequential_matches_dense() {
+        let m = skewed_matrix();
+        let x: Vec<f64> = (0..m.cols()).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let want = DenseMatrix::from_csr(&m).spmv(&x);
+        let got = CooFormat::from_csr(&m).spmv_alloc(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_even_with_shared_rows() {
+        let m = skewed_matrix();
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.11).cos()).collect();
+        let f = CooFormat::from_csr(&m);
+        let want = f.spmv_alloc(&x);
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let pool = ThreadPool::new(threads);
+            let mut got = vec![f64::NAN; m.rows()];
+            f.spmv_parallel(&pool, &x, &mut got);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-10, "threads {threads}, row {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_nonzeros() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(1, 1, 2.0)]).unwrap();
+        let f = CooFormat::from_csr(&m);
+        let pool = ThreadPool::new(8);
+        let mut y = vec![f64::NAN; 3];
+        f.spmv_parallel(&pool, &[1.0, 3.0, 1.0], &mut y);
+        assert_eq!(y, vec![0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_matrix_parallel() {
+        let m = CsrMatrix::zeros(4, 4);
+        let f = CooFormat::from_csr(&m);
+        let pool = ThreadPool::new(4);
+        let mut y = vec![9.0; 4];
+        f.spmv_parallel(&pool, &[0.0; 4], &mut y);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn bytes_account_for_duplicated_row_indices() {
+        let m = skewed_matrix();
+        let f = CooFormat::from_csr(&m);
+        assert_eq!(f.bytes(), 16 * m.nnz());
+        assert_eq!(f.name(), "COO");
+    }
+}

@@ -1,0 +1,218 @@
+//! ELLPACK (§II-B.3): dense `rows × max_row_nnz` column/value arrays
+//! with zero padding, stored column-major so vector units stream
+//! aligned lanes. Excellent ILP on balanced matrices; the padding blows
+//! up on skewed ones — conversions therefore enforce a configurable
+//! padding budget and refuse pathological matrices, exactly like real
+//! ELL users do.
+
+use crate::traits::{DisjointWriter, FormatBuildError, SparseFormat};
+use spmv_core::CsrMatrix;
+use spmv_parallel::{Partition, ThreadPool};
+
+/// Default cap on `stored entries / nnz` before conversion refuses.
+pub const DEFAULT_MAX_PADDING_RATIO: f64 = 16.0;
+
+/// ELLPACK storage (column-major slabs).
+pub struct EllFormat {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    /// Width of the dense slab (`max_row_nnz`).
+    width: usize,
+    /// `width × rows` column indices, column-major:
+    /// entry `(r, j)` lives at `j * rows + r`. Padding uses column 0.
+    col_idx: Vec<u32>,
+    /// Matching values; padding entries are `0.0`.
+    values: Vec<f64>,
+}
+
+impl EllFormat {
+    /// Converts from CSR with the default padding budget.
+    pub fn from_csr(csr: &CsrMatrix) -> Result<Self, FormatBuildError> {
+        Self::from_csr_with_budget(csr, DEFAULT_MAX_PADDING_RATIO)
+    }
+
+    /// Converts from CSR, refusing if `width·rows > budget·nnz`.
+    pub fn from_csr_with_budget(
+        csr: &CsrMatrix,
+        max_padding_ratio: f64,
+    ) -> Result<Self, FormatBuildError> {
+        let rows = csr.rows();
+        let width = (0..rows).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
+        let stored = width.saturating_mul(rows);
+        let nnz = csr.nnz();
+        if nnz > 0 && stored as f64 > max_padding_ratio * nnz as f64 {
+            return Err(FormatBuildError::PaddingOverflow {
+                needed_bytes: stored * 12,
+                limit_bytes: (max_padding_ratio * nnz as f64) as usize * 12,
+                format: "ELL",
+            });
+        }
+        let mut col_idx = vec![0u32; stored];
+        let mut values = vec![0.0f64; stored];
+        for r in 0..rows {
+            let (cs, vs) = csr.row(r);
+            for (j, (&c, &v)) in cs.iter().zip(vs).enumerate() {
+                col_idx[j * rows + r] = c;
+                values[j * rows + r] = v;
+            }
+        }
+        Ok(Self { rows, cols: csr.cols(), nnz, width, col_idx, values })
+    }
+
+    /// Slab width (`max_row_nnz`).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter) {
+        for r in rows.clone() {
+            out.write(r, 0.0);
+        }
+        // Column-major traversal: each `j` pass streams a contiguous
+        // lane of the slab, the access pattern vector units like.
+        for j in 0..self.width {
+            let base = j * self.rows;
+            for r in rows.clone() {
+                let v = self.values[base + r];
+                let c = self.col_idx[base + r] as usize;
+                out.add(r, v * x[c]);
+            }
+        }
+    }
+}
+
+impl SparseFormat for EllFormat {
+    fn name(&self) -> &'static str {
+        "ELL"
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn bytes(&self) -> usize {
+        self.values.len() * 8 + self.col_idx.len() * 4
+    }
+
+    fn padding_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            (self.width * self.rows) as f64 / self.nnz as f64
+        }
+    }
+
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        let out = DisjointWriter::new(y);
+        self.spmv_rows(0..self.rows, x, &out);
+    }
+
+    fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        let out = DisjointWriter::new(y);
+        let partition = Partition::static_rows(self.rows, pool.threads());
+        pool.broadcast(|tid| {
+            if tid < partition.chunks() {
+                self.spmv_rows(partition.range(tid), x, &out);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::DenseMatrix;
+
+    fn balanced_matrix() -> CsrMatrix {
+        let mut t = Vec::new();
+        for r in 0..16usize {
+            for k in 0..4usize {
+                t.push((r, (r * 3 + k * 7) % 32, (r + k) as f64 * 0.25 - 1.0));
+            }
+        }
+        CsrMatrix::from_triplets(16, 32, &t).unwrap()
+    }
+
+    #[test]
+    fn matches_dense() {
+        let m = balanced_matrix();
+        let x: Vec<f64> = (0..32).map(|i| (i as f64) * 0.1 - 1.6).collect();
+        let want = DenseMatrix::from_csr(&m).spmv(&x);
+        let f = EllFormat::from_csr(&m).unwrap();
+        let got = f.spmv_alloc(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let m = balanced_matrix();
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let f = EllFormat::from_csr(&m).unwrap();
+        let want = f.spmv_alloc(&x);
+        let pool = ThreadPool::new(4);
+        let mut got = vec![f64::NAN; 16];
+        f.spmv_parallel(&pool, &x, &mut got);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn padding_accounting() {
+        // Rows of length 4 and one row of length 8 -> width 8.
+        let mut t = Vec::new();
+        for r in 0..8usize {
+            for k in 0..4usize {
+                t.push((r, k, 1.0));
+            }
+        }
+        for k in 4..8usize {
+            t.push((0, k, 1.0));
+        }
+        let m = CsrMatrix::from_triplets(8, 8, &t).unwrap();
+        let f = EllFormat::from_csr(&m).unwrap();
+        assert_eq!(f.width(), 8);
+        assert_eq!(f.nnz(), 36);
+        assert!((f.padding_ratio() - 64.0 / 36.0).abs() < 1e-12);
+        assert_eq!(f.bytes(), 64 * 12);
+    }
+
+    #[test]
+    fn refuses_skewed_matrices() {
+        // One row with 1000 nnz, 999 rows with 1: width 1000 ->
+        // padding ratio ~500x.
+        let mut t: Vec<(usize, usize, f64)> = (0..1000).map(|c| (0usize, c, 1.0)).collect();
+        for r in 1..1000usize {
+            t.push((r, 0, 1.0));
+        }
+        let m = CsrMatrix::from_triplets(1000, 1000, &t).unwrap();
+        let err = EllFormat::from_csr(&m).map(|_| ()).unwrap_err();
+        assert!(matches!(err, FormatBuildError::PaddingOverflow { format: "ELL", .. }));
+        // A generous budget accepts it.
+        assert!(EllFormat::from_csr_with_budget(&m, 1000.0).is_ok());
+    }
+
+    #[test]
+    fn empty_and_zero_width() {
+        let m = CsrMatrix::zeros(4, 4);
+        let f = EllFormat::from_csr(&m).unwrap();
+        assert_eq!(f.width(), 0);
+        assert_eq!(f.padding_ratio(), 1.0);
+        assert_eq!(f.spmv_alloc(&[0.0; 4]), vec![0.0; 4]);
+    }
+}

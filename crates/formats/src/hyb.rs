@@ -1,0 +1,310 @@
+//! HYB (§II-B.3): ELL for the first `k` nonzeros of every row + COO
+//! for the remainder. `k` is set to the average number of nonzeros per
+//! row (the heuristic named by the paper), so the ELL slab stays
+//! padding-light while the skewed tail goes to the balanced COO part —
+//! this is the cuSPARSE-9.2 HYB of the GPU testbeds.
+
+use crate::traits::{DisjointWriter, SparseFormat};
+use spmv_core::CsrMatrix;
+use spmv_parallel::{Partition, ThreadPool};
+
+/// Hybrid ELL + COO storage.
+pub struct HybFormat {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    /// ELL width `k` (average nonzeros per row, rounded up).
+    k: usize,
+    /// Column-major ELL slab, `k × rows`, padding at column 0/value 0.
+    ell_col: Vec<u32>,
+    ell_val: Vec<f64>,
+    /// COO tail (row-major sorted), holding `nnz - ell_nnz` entries.
+    coo_row: Vec<u32>,
+    coo_col: Vec<u32>,
+    coo_val: Vec<f64>,
+    /// Logical (non-padding) entries stored in the ELL part.
+    ell_nnz: usize,
+}
+
+impl HybFormat {
+    /// Converts from CSR with `k = ceil(avg nnz per row)`.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let rows = csr.rows();
+        let avg = if rows > 0 { csr.nnz() as f64 / rows as f64 } else { 0.0 };
+        Self::from_csr_with_k(csr, avg.ceil() as usize)
+    }
+
+    /// Converts from CSR with an explicit ELL width `k`.
+    pub fn from_csr_with_k(csr: &CsrMatrix, k: usize) -> Self {
+        let rows = csr.rows();
+        let stored = k.saturating_mul(rows);
+        let mut ell_col = vec![0u32; stored];
+        let mut ell_val = vec![0.0f64; stored];
+        let mut coo_row = Vec::new();
+        let mut coo_col = Vec::new();
+        let mut coo_val = Vec::new();
+        let mut ell_nnz = 0usize;
+        for r in 0..rows {
+            let (cs, vs) = csr.row(r);
+            for (j, (&c, &v)) in cs.iter().zip(vs).enumerate() {
+                if j < k {
+                    ell_col[j * rows + r] = c;
+                    ell_val[j * rows + r] = v;
+                    ell_nnz += 1;
+                } else {
+                    coo_row.push(r as u32);
+                    coo_col.push(c);
+                    coo_val.push(v);
+                }
+            }
+        }
+        Self {
+            rows,
+            cols: csr.cols(),
+            nnz: csr.nnz(),
+            k,
+            ell_col,
+            ell_val,
+            coo_row,
+            coo_col,
+            coo_val,
+            ell_nnz,
+        }
+    }
+
+    /// The ELL width `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries in the COO tail.
+    pub fn coo_nnz(&self) -> usize {
+        self.coo_val.len()
+    }
+
+    /// Number of logical (non-padding) entries stored in the ELL slab.
+    pub fn ell_nnz(&self) -> usize {
+        self.ell_nnz
+    }
+
+    fn ell_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter) {
+        for r in rows.clone() {
+            out.write(r, 0.0);
+        }
+        for j in 0..self.k {
+            let base = j * self.rows;
+            for r in rows.clone() {
+                out.add(r, self.ell_val[base + r] * x[self.ell_col[base + r] as usize]);
+            }
+        }
+    }
+}
+
+impl SparseFormat for HybFormat {
+    fn name(&self) -> &'static str {
+        "HYB"
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn bytes(&self) -> usize {
+        self.ell_val.len() * 8
+            + self.ell_col.len() * 4
+            + self.coo_val.len() * 8
+            + self.coo_col.len() * 4
+            + self.coo_row.len() * 4
+    }
+
+    fn padding_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            (self.k * self.rows + self.coo_nnz()) as f64 / self.nnz as f64
+        }
+    }
+
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        let out = DisjointWriter::new(y);
+        self.ell_rows(0..self.rows, x, &out);
+        for i in 0..self.coo_val.len() {
+            y[self.coo_row[i] as usize] += self.coo_val[i] * x[self.coo_col[i] as usize];
+        }
+    }
+
+    fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        let out = DisjointWriter::new(y);
+        // Phase 1: ELL slab over static row chunks.
+        let partition = Partition::static_rows(self.rows, pool.threads());
+        pool.broadcast(|tid| {
+            if tid < partition.chunks() {
+                self.ell_rows(partition.range(tid), x, &out);
+            }
+        });
+        // Phase 2: COO tail over nnz chunks with boundary carries, as
+        // in the standalone COO kernel, but *adding* on top of the ELL
+        // result (interior rows are owned by exactly one chunk).
+        let t = pool.threads();
+        let nnz = self.coo_val.len();
+        if nnz == 0 {
+            return;
+        }
+        let (ri, ci, v) = (&self.coo_row, &self.coo_col, &self.coo_val);
+        let mut carries: Vec<(usize, f64, usize, f64)> = vec![(usize::MAX, 0.0, usize::MAX, 0.0); t];
+        {
+            let carries_ptr = carries.as_mut_ptr() as usize;
+            pool.broadcast(|tid| {
+                let lo = tid * nnz / t;
+                let hi = (tid + 1) * nnz / t;
+                if lo >= hi {
+                    return;
+                }
+                let first_row = ri[lo] as usize;
+                let mut first_sum = 0.0;
+                let mut cur_row = first_row;
+                let mut acc = 0.0;
+                for i in lo..hi {
+                    let r = ri[i] as usize;
+                    if r != cur_row {
+                        if cur_row == first_row {
+                            first_sum = acc;
+                        } else {
+                            out.add(cur_row, acc);
+                        }
+                        cur_row = r;
+                        acc = 0.0;
+                    }
+                    acc += v[i] * x[ci[i] as usize];
+                }
+                let slot = if cur_row == first_row {
+                    (first_row, acc, usize::MAX, 0.0)
+                } else {
+                    (first_row, first_sum, cur_row, acc)
+                };
+                // SAFETY: one slot per worker.
+                unsafe { *(carries_ptr as *mut (usize, f64, usize, f64)).add(tid) = slot };
+            });
+        }
+        for &(fr, fs, lr, ls) in &carries {
+            if fr != usize::MAX {
+                y[fr] += fs;
+            }
+            if lr != usize::MAX {
+                y[lr] += ls;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::DenseMatrix;
+
+    fn skewed_matrix() -> CsrMatrix {
+        // avg ~3, one hot row of 64 -> HYB puts the tail in COO.
+        let mut t = Vec::new();
+        for c in 0..64usize {
+            t.push((0usize, c, (c as f64) * 0.1 - 3.0));
+        }
+        for r in 1..32usize {
+            t.push((r, r, 1.0));
+            t.push((r, (r + 5) % 64, -0.5));
+        }
+        CsrMatrix::from_triplets(32, 64, &t).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_are_consistent() {
+        let m = skewed_matrix();
+        let f = HybFormat::from_csr(&m);
+        assert_eq!(f.k(), 4); // ceil(126/32) = 4
+        assert_eq!(f.nnz(), m.nnz());
+        assert_eq!(f.coo_nnz(), 64 - 4); // only the hot row spills
+    }
+
+    #[test]
+    fn matches_dense() {
+        let m = skewed_matrix();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.21).cos()).collect();
+        let want = DenseMatrix::from_csr(&m).spmv(&x);
+        let got = HybFormat::from_csr(&m).spmv_alloc(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let m = skewed_matrix();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64) * 0.05 - 1.0).collect();
+        let f = HybFormat::from_csr(&m);
+        let want = f.spmv_alloc(&x);
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut got = vec![f64::NAN; 32];
+            f.spmv_parallel(&pool, &x, &mut got);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-10, "threads {threads}, row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_degenerates_to_pure_coo() {
+        let m = skewed_matrix();
+        let f = HybFormat::from_csr_with_k(&m, 0);
+        assert_eq!(f.coo_nnz(), m.nnz());
+        let x = vec![1.0; 64];
+        let want = m.spmv(&x);
+        let got = f.spmv_alloc(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn huge_k_degenerates_to_pure_ell() {
+        let m = skewed_matrix();
+        let f = HybFormat::from_csr_with_k(&m, 64);
+        assert_eq!(f.coo_nnz(), 0);
+        let x = vec![0.5; 64];
+        let want = m.spmv(&x);
+        let got = f.spmv_alloc(&x);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn padding_ratio_far_below_pure_ell() {
+        let m = skewed_matrix();
+        let hyb = HybFormat::from_csr(&m);
+        // Pure ELL would store 32 * 64 = 2048 entries for 126 nnz.
+        assert!(hyb.padding_ratio() < 2.0);
+        assert_eq!(hyb.name(), "HYB");
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::zeros(3, 5);
+        let f = HybFormat::from_csr(&m);
+        let pool = ThreadPool::new(2);
+        let mut y = vec![1.0; 3];
+        f.spmv_parallel(&pool, &[0.0; 5], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Format registry: enumerate, name and build every format uniformly —
+//! the glue the campaign runner and the figure binaries use.
+
+use crate::bcsr::BcsrFormat;
+use crate::coo::CooFormat;
+use crate::csr::{CsrFormat, CsrVariant};
+use crate::csr5::Csr5Format;
+use crate::dia::DiaFormat;
+use crate::ell::EllFormat;
+use crate::hyb::HybFormat;
+use crate::merge_csr::MergeCsrFormat;
+use crate::sellcs::SellCSigmaFormat;
+use crate::sparsex::SparseXFormat;
+use crate::traits::{FormatBuildError, SparseFormat};
+use crate::vsl::VslFormat;
+use serde::{Deserialize, Serialize};
+use spmv_core::CsrMatrix;
+
+/// Every storage format of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FormatKind {
+    /// Straightforward CSR, static row partition.
+    NaiveCsr,
+    /// CSR with an ILP-oriented unrolled kernel.
+    VectorizedCsr,
+    /// CSR with nnz-balanced row partition.
+    BalancedCsr,
+    /// Coordinate format.
+    Coo,
+    /// Diagonal format (stencil-structured matrices, §VI).
+    Dia,
+    /// Blocked CSR with auto-tuned block size (cuSPARSE-style, §VI).
+    Bcsr,
+    /// ELLPACK.
+    Ell,
+    /// Hybrid ELL + COO.
+    Hyb,
+    /// SELL-C-σ.
+    SellCSigma,
+    /// CSR5-like equal-nnz tiles.
+    Csr5,
+    /// Merge-path CSR.
+    MergeCsr,
+    /// SparseX-lite compressed CSR.
+    SparseX,
+    /// Vitis Sparse Library CSC variant (FPGA).
+    Vsl,
+}
+
+impl FormatKind {
+    /// All formats, in a stable report order.
+    pub const ALL: [FormatKind; 13] = [
+        FormatKind::NaiveCsr,
+        FormatKind::VectorizedCsr,
+        FormatKind::BalancedCsr,
+        FormatKind::Coo,
+        FormatKind::Dia,
+        FormatKind::Bcsr,
+        FormatKind::Ell,
+        FormatKind::Hyb,
+        FormatKind::SellCSigma,
+        FormatKind::Csr5,
+        FormatKind::MergeCsr,
+        FormatKind::SparseX,
+        FormatKind::Vsl,
+    ];
+
+    /// The stable display name (matches `SparseFormat::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FormatKind::NaiveCsr => "Naive-CSR",
+            FormatKind::VectorizedCsr => "Vectorized-CSR",
+            FormatKind::BalancedCsr => "Balanced-CSR",
+            FormatKind::Coo => "COO",
+            FormatKind::Dia => "DIA",
+            FormatKind::Bcsr => "BCSR",
+            FormatKind::Ell => "ELL",
+            FormatKind::Hyb => "HYB",
+            FormatKind::SellCSigma => "SELL-C-s",
+            FormatKind::Csr5 => "CSR5",
+            FormatKind::MergeCsr => "Merge-CSR",
+            FormatKind::SparseX => "SparseX",
+            FormatKind::Vsl => "VSL",
+        }
+    }
+
+    /// `true` for the paper's "research" formats (vs. the vendor
+    /// 'state-of-practice' ones) — used by the Fig. 7 analysis.
+    pub fn is_research(self) -> bool {
+        matches!(
+            self,
+            FormatKind::SellCSigma
+                | FormatKind::Csr5
+                | FormatKind::MergeCsr
+                | FormatKind::SparseX
+        )
+    }
+}
+
+/// Builds the chosen format from CSR.
+pub fn build_format(
+    kind: FormatKind,
+    csr: &CsrMatrix,
+) -> Result<Box<dyn SparseFormat>, FormatBuildError> {
+    Ok(match kind {
+        FormatKind::NaiveCsr => Box::new(CsrFormat::new(csr.clone(), CsrVariant::Naive)),
+        FormatKind::VectorizedCsr => {
+            Box::new(CsrFormat::new(csr.clone(), CsrVariant::Vectorized))
+        }
+        FormatKind::BalancedCsr => Box::new(CsrFormat::new(csr.clone(), CsrVariant::Balanced)),
+        FormatKind::Coo => Box::new(CooFormat::from_csr(csr)),
+        FormatKind::Dia => Box::new(DiaFormat::from_csr(csr)?),
+        FormatKind::Bcsr => Box::new(BcsrFormat::from_csr(csr)?),
+        FormatKind::Ell => Box::new(EllFormat::from_csr(csr)?),
+        FormatKind::Hyb => Box::new(HybFormat::from_csr(csr)),
+        FormatKind::SellCSigma => Box::new(SellCSigmaFormat::from_csr(csr)),
+        FormatKind::Csr5 => Box::new(Csr5Format::from_csr(csr)),
+        FormatKind::MergeCsr => Box::new(MergeCsrFormat::from_csr(csr)),
+        FormatKind::SparseX => Box::new(SparseXFormat::from_csr(csr)?),
+        FormatKind::Vsl => Box::new(VslFormat::from_csr(csr)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let mut names: Vec<_> = FormatKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), FormatKind::ALL.len());
+    }
+
+    #[test]
+    fn build_name_matches_kind_name() {
+        let m = CsrMatrix::identity(16);
+        for kind in FormatKind::ALL {
+            let f = build_format(kind, &m).unwrap();
+            assert_eq!(f.name(), kind.name());
+            assert_eq!(f.rows(), 16);
+            assert_eq!(f.nnz(), 16);
+        }
+    }
+
+    #[test]
+    fn research_classification_matches_the_paper() {
+        assert!(FormatKind::Csr5.is_research());
+        assert!(FormatKind::MergeCsr.is_research());
+        assert!(FormatKind::SparseX.is_research());
+        assert!(FormatKind::SellCSigma.is_research());
+        assert!(!FormatKind::NaiveCsr.is_research());
+        assert!(!FormatKind::Hyb.is_research());
+        assert!(!FormatKind::Vsl.is_research());
+    }
+}

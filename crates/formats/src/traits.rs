@@ -1,0 +1,158 @@
+//! The common interface of all storage formats.
+
+use spmv_parallel::ThreadPool;
+use std::fmt;
+
+/// Errors raised while converting a CSR matrix into another format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormatBuildError {
+    /// The padded representation would exceed `limit_bytes` — e.g. ELL
+    /// on a highly skewed matrix, or VSL overflowing its HBM channels
+    /// (the paper's FPGA refuses exactly these matrices, §V-A/V-C).
+    PaddingOverflow {
+        /// Bytes the padded structure would need.
+        needed_bytes: usize,
+        /// The configured capacity.
+        limit_bytes: usize,
+        /// Which format refused.
+        format: &'static str,
+    },
+    /// The format cannot represent this matrix shape (e.g. zero
+    /// columns with nonzeros requested).
+    Unsupported(String),
+}
+
+impl fmt::Display for FormatBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatBuildError::PaddingOverflow { needed_bytes, limit_bytes, format } => write!(
+                f,
+                "{format}: padded size {needed_bytes} B exceeds capacity {limit_bytes} B"
+            ),
+            FormatBuildError::Unsupported(msg) => write!(f, "unsupported matrix: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatBuildError {}
+
+/// A sparse matrix stored in some format, ready to run SpMV.
+///
+/// Implementations guarantee that `spmv` and `spmv_parallel` produce
+/// the same `y = A·x` as the CSR reference up to floating-point
+/// reassociation.
+pub trait SparseFormat: Send + Sync {
+    /// Short, stable format name (used in reports and figures).
+    fn name(&self) -> &'static str;
+
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns.
+    fn cols(&self) -> usize;
+
+    /// Number of *logical* nonzeros (excluding any padding).
+    fn nnz(&self) -> usize;
+
+    /// Total bytes of the stored representation, including padding and
+    /// all metadata. This is what the device models stream through the
+    /// memory hierarchy.
+    fn bytes(&self) -> usize;
+
+    /// Sequential SpMV into `y` (which is fully overwritten).
+    fn spmv(&self, x: &[f64], y: &mut [f64]);
+
+    /// Parallel SpMV over the given pool into `y`.
+    fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]);
+
+    /// Padding ratio: stored entries (incl. explicit zeros) over
+    /// logical nonzeros; 1.0 when the format stores no padding.
+    fn padding_ratio(&self) -> f64 {
+        1.0
+    }
+
+    /// Convenience wrapper allocating the output vector.
+    fn spmv_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows()];
+        self.spmv(x, &mut y);
+        y
+    }
+}
+
+/// Zeroes `y` in parallel — shared helper for kernels that accumulate.
+pub(crate) fn par_zero(pool: &ThreadPool, y: &mut [f64]) {
+    let n = y.len();
+    let base = y.as_mut_ptr() as usize;
+    pool.parallel_chunks(n, |range| {
+        // SAFETY: chunks are disjoint, so each worker writes a disjoint
+        // sub-slice of `y`.
+        let ptr = base as *mut f64;
+        for i in range {
+            unsafe { *ptr.add(i) = 0.0 };
+        }
+    });
+}
+
+/// A shared-nothing view that lets each worker write a disjoint row
+/// range of `y`. The caller must guarantee ranges are disjoint.
+#[derive(Clone, Copy)]
+pub(crate) struct DisjointWriter {
+    ptr: usize,
+    len: usize,
+}
+
+impl DisjointWriter {
+    pub(crate) fn new(y: &mut [f64]) -> Self {
+        Self { ptr: y.as_mut_ptr() as usize, len: y.len() }
+    }
+
+    /// Writes `val` to `y[i]`.
+    ///
+    /// SAFETY contract (internal): callers partition indices so no two
+    /// workers touch the same `i` concurrently.
+    #[inline]
+    pub(crate) fn write(&self, i: usize, val: f64) {
+        debug_assert!(i < self.len);
+        unsafe { *(self.ptr as *mut f64).add(i) = val };
+    }
+
+    /// Adds `val` to `y[i]` (single-writer contexts only).
+    #[inline]
+    pub(crate) fn add(&self, i: usize, val: f64) {
+        debug_assert!(i < self.len);
+        unsafe { *(self.ptr as *mut f64).add(i) += val };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = FormatBuildError::PaddingOverflow {
+            needed_bytes: 100,
+            limit_bytes: 10,
+            format: "ELL",
+        };
+        assert!(e.to_string().contains("ELL"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn par_zero_clears_everything() {
+        let pool = ThreadPool::new(4);
+        let mut y = vec![7.0; 1003];
+        par_zero(&pool, &mut y);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn disjoint_writer_roundtrip() {
+        let mut y = vec![0.0; 4];
+        let w = DisjointWriter::new(&mut y);
+        w.write(1, 5.0);
+        w.add(1, 2.5);
+        assert_eq!(y[1], 7.5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-format correctness: every storage format, sequential and
+//! parallel, must reproduce the dense reference `y = A·x` on matrices
+//! spanning the paper's feature lattice (balanced/skewed,
+//! regular/irregular, banded/scattered).
+
+use spmv_core::DenseMatrix;
+use spmv_formats::{build_format, FormatKind};
+use spmv_gen::generator::{GeneratorParams, RowDist};
+use spmv_parallel::ThreadPool;
+
+fn corpus() -> Vec<(String, spmv_core::CsrMatrix)> {
+    let base = GeneratorParams {
+        nr_rows: 600,
+        nr_cols: 600,
+        avg_nz_row: 10.0,
+        std_nz_row: 3.0,
+        distribution: RowDist::Normal,
+        skew_coeff: 0.0,
+        bw_scaled: 0.3,
+        cross_row_sim: 0.3,
+        avg_num_neigh: 0.5,
+        seed: 2024,
+    };
+    let mut out = Vec::new();
+    let cases = [
+        ("balanced_regular", GeneratorParams { cross_row_sim: 0.9, avg_num_neigh: 1.8, ..base }),
+        ("balanced_irregular", GeneratorParams { cross_row_sim: 0.05, avg_num_neigh: 0.05, bw_scaled: 0.6, ..base }),
+        ("skewed", GeneratorParams { skew_coeff: 40.0, std_nz_row: 0.0, ..base }),
+        ("heavily_skewed", GeneratorParams { skew_coeff: 55.0, avg_nz_row: 5.0, std_nz_row: 0.0, ..base }),
+        ("short_rows", GeneratorParams { avg_nz_row: 2.0, std_nz_row: 1.0, ..base }),
+        ("long_rows", GeneratorParams { avg_nz_row: 90.0, std_nz_row: 10.0, ..base }),
+        ("narrow_band", GeneratorParams { bw_scaled: 0.05, avg_num_neigh: 1.5, ..base }),
+        ("uniform_dist", GeneratorParams { distribution: RowDist::Uniform, ..base }),
+        ("constant_dist", GeneratorParams { distribution: RowDist::Constant, std_nz_row: 0.0, ..base }),
+    ];
+    for (name, p) in cases {
+        out.push((name.to_string(), p.generate().unwrap()));
+    }
+    // Hand-built degenerates.
+    out.push(("identity".into(), spmv_core::CsrMatrix::identity(64)));
+    out.push(("empty".into(), spmv_core::CsrMatrix::zeros(32, 32)));
+    out.push((
+        "single_row".into(),
+        spmv_core::CsrMatrix::from_triplets(1, 200, &(0..200).map(|c| (0usize, c, 0.01 * c as f64)).collect::<Vec<_>>()).unwrap(),
+    ));
+    out.push((
+        "single_col".into(),
+        spmv_core::CsrMatrix::from_triplets(200, 1, &(0..200).step_by(3).map(|r| (r, 0usize, r as f64)).collect::<Vec<_>>()).unwrap(),
+    ));
+    out
+}
+
+#[test]
+fn every_format_matches_dense_sequential_and_parallel() {
+    let pools = [ThreadPool::new(1), ThreadPool::new(3), ThreadPool::new(8)];
+    for (name, m) in corpus() {
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.137).sin() + 0.1).collect();
+        let want = DenseMatrix::from_csr(&m).spmv(&x);
+        for kind in FormatKind::ALL {
+            let f = match build_format(kind, &m) {
+                Ok(f) => f,
+                // Padding formats (ELL, DIA, BCSR) legitimately refuse
+                // matrices whose padded size blows their budget.
+                Err(spmv_formats::FormatBuildError::PaddingOverflow { .. }) => continue,
+                Err(e) => panic!("{name}: {} failed to build: {e}", kind.name()),
+            };
+            assert_eq!(f.nnz(), m.nnz(), "{name}/{}", kind.name());
+            let got = f.spmv_alloc(&x);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "{name}/{} sequential row {i}: {a} vs {b}",
+                    kind.name()
+                );
+            }
+            for pool in &pools {
+                let mut got = vec![f64::NAN; m.rows()];
+                f.spmv_parallel(pool, &x, &mut got);
+                for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                        "{name}/{} parallel({}) row {i}: {a} vs {b}",
+                        kind.name(),
+                        pool.threads()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spmv_is_linear() {
+    // A(αx + βz) = αAx + βAz for a representative matrix and format set.
+    let p = GeneratorParams {
+        nr_rows: 300,
+        nr_cols: 300,
+        avg_nz_row: 8.0,
+        std_nz_row: 2.0,
+        distribution: RowDist::Normal,
+        skew_coeff: 10.0,
+        bw_scaled: 0.4,
+        cross_row_sim: 0.5,
+        avg_num_neigh: 1.0,
+        seed: 5,
+    };
+    let m = p.generate().unwrap();
+    let x: Vec<f64> = (0..300).map(|i| (i as f64 * 0.05).cos()).collect();
+    let z: Vec<f64> = (0..300).map(|i| (i as f64 * 0.11).sin()).collect();
+    let (alpha, beta) = (2.5, -1.25);
+    let combo: Vec<f64> = x.iter().zip(&z).map(|(a, b)| alpha * a + beta * b).collect();
+    for kind in [FormatKind::NaiveCsr, FormatKind::MergeCsr, FormatKind::SparseX, FormatKind::Vsl] {
+        let f = build_format(kind, &m).unwrap();
+        let y_combo = f.spmv_alloc(&combo);
+        let yx = f.spmv_alloc(&x);
+        let yz = f.spmv_alloc(&z);
+        for i in 0..300 {
+            let expect = alpha * yx[i] + beta * yz[i];
+            assert!(
+                (y_combo[i] - expect).abs() < 1e-8 * (1.0 + expect.abs()),
+                "{} row {i}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn byte_accounting_orders_follow_structure() {
+    // On a banded neighbor-rich matrix: SparseX < CSR <= CSR5 and
+    // COO > CSR; ELL ~ CSR when perfectly balanced.
+    let p = GeneratorParams {
+        nr_rows: 2000,
+        nr_cols: 2000,
+        avg_nz_row: 20.0,
+        std_nz_row: 0.0,
+        distribution: RowDist::Constant,
+        skew_coeff: 0.0,
+        bw_scaled: 0.1,
+        cross_row_sim: 0.5,
+        avg_num_neigh: 1.9,
+        seed: 31,
+    };
+    let m = p.generate().unwrap();
+    let bytes = |k: FormatKind| build_format(k, &m).unwrap().bytes();
+    assert!(bytes(FormatKind::SparseX) < bytes(FormatKind::NaiveCsr));
+    assert!(bytes(FormatKind::Coo) > bytes(FormatKind::NaiveCsr));
+    assert!(bytes(FormatKind::Csr5) > bytes(FormatKind::NaiveCsr));
+    assert!(bytes(FormatKind::MergeCsr) == bytes(FormatKind::NaiveCsr));
+}

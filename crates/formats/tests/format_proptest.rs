@@ -1,0 +1,93 @@
+//! Property-based format correctness on *adversarial* structures built
+//! from raw triplets — matrix shapes the artificial generator never
+//! produces (all-empty leading rows, single dense columns, extreme
+//! aspect ratios, duplicate-free random scatter), so structural corner
+//! cases in the eleven converters get exercised independently of the
+//! generator's invariants.
+
+use proptest::prelude::*;
+use spmv_core::{vec_mismatch, CsrMatrix, DenseMatrix};
+use spmv_formats::{build_format, FormatKind};
+use spmv_parallel::ThreadPool;
+use std::collections::BTreeMap;
+
+/// Random sparse matrices from raw (row, col, value) triplets, with
+/// deliberately awkward shapes (tall, wide, tiny) and densities.
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..40, 1usize..40).prop_flat_map(|(rows, cols)| {
+        let max_entries = (rows * cols).min(160);
+        proptest::collection::vec(
+            (0..rows, 0..cols, -8i32..8),
+            0..=max_entries,
+        )
+        .prop_map(move |entries| {
+            // Deduplicate coordinates (from_triplets rejects duplicates);
+            // keep the last value for each coordinate.
+            let mut dedup: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+            for (r, c, v) in entries {
+                dedup.insert((r, c), v as f64 * 0.5 + 0.25);
+            }
+            let triplets: Vec<(usize, usize, f64)> =
+                dedup.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+            CsrMatrix::from_triplets(rows, cols, &triplets).expect("deduplicated triplets")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_format_matches_dense_on_adversarial_triplets(m in arb_matrix()) {
+        let x: Vec<f64> = (0..m.cols()).map(|i| ((i * 7 + 3) % 5) as f64 - 2.0).collect();
+        let want = DenseMatrix::from_csr(&m).spmv(&x);
+        let pool = ThreadPool::new(4);
+        for kind in FormatKind::ALL {
+            let Ok(f) = build_format(kind, &m) else { continue };
+            prop_assert_eq!(f.rows(), m.rows());
+            prop_assert_eq!(f.cols(), m.cols());
+            prop_assert_eq!(f.nnz(), m.nnz());
+            let mut y = vec![f64::NAN; m.rows()];
+            f.spmv(&x, &mut y);
+            prop_assert_eq!(vec_mismatch(&y, &want, 1e-12, 1e-12), None, "{} seq", f.name());
+            let mut y2 = vec![f64::NAN; m.rows()];
+            f.spmv_parallel(&pool, &x, &mut y2);
+            prop_assert_eq!(vec_mismatch(&y2, &want, 1e-12, 1e-12), None, "{} par", f.name());
+        }
+    }
+
+    #[test]
+    fn spmv_alloc_agrees_with_spmv_into(m in arb_matrix()) {
+        let x = vec![1.5; m.cols()];
+        for kind in FormatKind::ALL {
+            let Ok(f) = build_format(kind, &m) else { continue };
+            let a = f.spmv_alloc(&x);
+            let mut b = vec![0.0; m.rows()];
+            f.spmv(&x, &mut b);
+            prop_assert_eq!(a, b, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn zero_x_yields_zero_y(m in arb_matrix()) {
+        let x = vec![0.0; m.cols()];
+        for kind in FormatKind::ALL {
+            let Ok(f) = build_format(kind, &m) else { continue };
+            let y = f.spmv_alloc(&x);
+            prop_assert!(y.iter().all(|&v| v == 0.0), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn bytes_and_padding_are_consistent(m in arb_matrix()) {
+        prop_assume!(m.nnz() > 0);
+        for kind in FormatKind::ALL {
+            let Ok(f) = build_format(kind, &m) else { continue };
+            // Padding ratio and byte count must agree in direction: a
+            // format that claims no padding cannot store fewer bytes
+            // than its values.
+            prop_assert!(f.padding_ratio() >= 1.0 - 1e-12, "{}", f.name());
+            prop_assert!(f.bytes() >= 8 * f.nnz(), "{}", f.name());
+        }
+    }
+}

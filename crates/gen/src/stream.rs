@@ -1,0 +1,229 @@
+//! Row-streaming matrix generation.
+//!
+//! The paper's largest footprint class reaches 2 GB per matrix; a
+//! campaign over thousands of such matrices cannot materialize them
+//! all. [`RowStream`] produces the *same* rows the materializing
+//! generator would (same placement engine), one row at a time, so
+//! feature extraction and trace-driven cache simulation can run in
+//! `O(max row)` memory.
+//!
+//! Note: `RowStream` and [`GeneratorParams::generate`] use the RNG in
+//! the same order, so for equal seeds they produce identical structure
+//! (verified by tests).
+
+use crate::generator::{plan_row_lengths, GeneratorParams, RowPlacer};
+use crate::rng::rng_for_seed;
+use rand::rngs::StdRng;
+use rand::Rng;
+use spmv_core::features::{FeatureAccumulator, FeatureSet};
+use spmv_core::SparseError;
+
+/// Streaming generator: yields each row's sorted column indices.
+pub struct RowStream {
+    params: GeneratorParams,
+    lengths: Vec<usize>,
+    placer: RowPlacer,
+    rng: StdRng,
+    next_row: usize,
+    buf: Vec<u32>,
+    val_buf: Vec<f64>,
+}
+
+impl RowStream {
+    /// Starts a stream for the given parameters.
+    pub fn new(params: GeneratorParams) -> Result<Self, SparseError> {
+        params.validate()?;
+        let mut rng = rng_for_seed(params.seed);
+        let lengths = plan_row_lengths(&params, &mut rng);
+        Ok(Self {
+            placer: RowPlacer::new(&params),
+            params,
+            lengths,
+            rng,
+            next_row: 0,
+            buf: Vec::new(),
+            val_buf: Vec::new(),
+        })
+    }
+
+    /// Number of rows the stream will yield.
+    pub fn rows(&self) -> usize {
+        self.params.nr_rows
+    }
+
+    /// Number of columns of the generated matrix.
+    pub fn cols(&self) -> usize {
+        self.params.nr_cols
+    }
+
+    /// Total number of nonzeros the stream will yield.
+    pub fn nnz(&self) -> usize {
+        self.lengths.iter().sum()
+    }
+
+    /// Yields the next row's sorted column indices, or `None` when all
+    /// rows have been produced. The returned slice is valid until the
+    /// next call.
+    pub fn next_row(&mut self) -> Option<&[u32]> {
+        self.advance().map(|_| self.buf.as_slice())
+    }
+
+    /// Yields the next row's sorted column indices *and* values, or
+    /// `None` at end of stream. The slices are valid until the next
+    /// call. Values are identical to what [`GeneratorParams::generate`]
+    /// would store in the same row.
+    pub fn next_row_with_values(&mut self) -> Option<(&[u32], &[f64])> {
+        self.advance().map(|_| (self.buf.as_slice(), self.val_buf.as_slice()))
+    }
+
+    fn advance(&mut self) -> Option<()> {
+        if self.next_row >= self.params.nr_rows {
+            return None;
+        }
+        let r = self.next_row;
+        let len = self.lengths[r];
+        // Split borrows: temporarily move buf out to appease the borrow
+        // checker across the &mut self call.
+        let mut buf = std::mem::take(&mut self.buf);
+        self.placer.place_row(&mut self.rng, r, len, &mut buf);
+        // Same RNG call sequence as the materializing path, which
+        // draws one value per nonzero.
+        self.val_buf.clear();
+        for _ in 0..buf.len() {
+            self.val_buf.push(self.rng.gen_range(-1.0..1.0));
+        }
+        self.buf = buf;
+        self.next_row += 1;
+        Some(())
+    }
+
+    /// Runs `y = A·x` directly off the stream in `O(max row)` memory —
+    /// how the 2 GB footprint class executes without materializing.
+    /// Consumes the remaining rows (call on a fresh stream for a full
+    /// product).
+    pub fn spmv_streaming(&mut self, x: &[f64]) -> Result<Vec<f64>, SparseError> {
+        if x.len() != self.params.nr_cols {
+            return Err(SparseError::DimensionMismatch(format!(
+                "x has {} entries for a {}-column matrix",
+                x.len(),
+                self.params.nr_cols
+            )));
+        }
+        let mut y = Vec::with_capacity(self.params.nr_rows - self.next_row);
+        while let Some((cols, vals)) = self.next_row_with_values() {
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            y.push(acc);
+        }
+        Ok(y)
+    }
+
+    /// Drives the stream to completion, invoking `f` for every row.
+    pub fn for_each_row(mut self, mut f: impl FnMut(usize, &[u32])) {
+        let mut r = 0;
+        while let Some(cols) = self.next_row() {
+            f(r, cols);
+            r += 1;
+        }
+    }
+
+    /// Extracts the full feature set without materializing the matrix.
+    pub fn features(self) -> FeatureSet {
+        let mut acc = FeatureAccumulator::new(self.rows(), self.cols());
+        self.for_each_row(|_, cols| acc.push_row(cols));
+        acc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::RowDist;
+
+    fn params() -> GeneratorParams {
+        GeneratorParams {
+            nr_rows: 1500,
+            nr_cols: 1500,
+            avg_nz_row: 8.0,
+            std_nz_row: 2.0,
+            distribution: RowDist::Normal,
+            skew_coeff: 50.0,
+            bw_scaled: 0.3,
+            cross_row_sim: 0.4,
+            avg_num_neigh: 0.8,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn stream_matches_materialized_structure() {
+        let p = params();
+        let m = p.generate().unwrap();
+        let mut stream = RowStream::new(p).unwrap();
+        let mut r = 0;
+        while let Some(cols) = stream.next_row() {
+            assert_eq!(cols, m.row(r).0, "row {r} differs");
+            r += 1;
+        }
+        assert_eq!(r, m.rows());
+    }
+
+    #[test]
+    fn stream_features_match_materialized_features() {
+        let p = params();
+        let m = p.generate().unwrap();
+        let batch = spmv_core::FeatureSet::extract(&m);
+        let streamed = RowStream::new(p).unwrap().features();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn nnz_accessor_matches_yielded_total() {
+        let p = params();
+        let stream = RowStream::new(p).unwrap();
+        let declared = stream.nnz();
+        let mut total = 0usize;
+        stream.for_each_row(|_, cols| total += cols.len());
+        assert_eq!(total, declared);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let p = GeneratorParams { nr_rows: 0, ..params() };
+        let mut s = RowStream::new(p).unwrap();
+        assert!(s.next_row().is_none());
+    }
+
+    #[test]
+    fn streamed_values_match_materialized_values() {
+        let p = params();
+        let m = p.generate().unwrap();
+        let mut s = RowStream::new(p).unwrap();
+        let mut r = 0;
+        while let Some((cols, vals)) = s.next_row_with_values() {
+            let (mc, mv) = m.row(r);
+            assert_eq!(cols, mc, "row {r} columns");
+            assert_eq!(vals, mv, "row {r} values");
+            r += 1;
+        }
+    }
+
+    #[test]
+    fn streaming_spmv_matches_materialized_spmv() {
+        let p = params();
+        let m = p.generate().unwrap();
+        let x: Vec<f64> = (0..m.cols()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let reference = m.spmv(&x);
+        let y = RowStream::new(p).unwrap().spmv_streaming(&x).unwrap();
+        assert_eq!(y, reference);
+    }
+
+    #[test]
+    fn streaming_spmv_rejects_bad_x() {
+        let p = params();
+        let mut s = RowStream::new(p).unwrap();
+        assert!(s.spmv_streaming(&[1.0, 2.0]).is_err());
+    }
+}

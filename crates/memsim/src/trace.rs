@@ -1,0 +1,147 @@
+//! Trace-driven x-vector locality measurement.
+//!
+//! CSR SpMV touches `x[col]` once per nonzero, in row-major column-
+//! sorted order. Replaying exactly that stream through [`CacheSim`]
+//! yields the ground-truth hit rate the analytic model approximates.
+//! For large matrices a contiguous *row window* can be sampled instead
+//! of the full stream — row-major SpMV has no long-range reuse beyond
+//! adjacent rows (the paper's irregularity features deliberately only
+//! look one row ahead), so a window's steady-state hit rate converges
+//! to the full trace's.
+
+use crate::cache::CacheSim;
+use spmv_core::CsrMatrix;
+
+/// Replays the full x-access stream of `csr` through a fresh cache of
+/// the given geometry; returns the hit rate.
+pub fn simulate_x_hit_rate(csr: &CsrMatrix, cache_bytes: usize, ways: usize, line: usize) -> f64 {
+    let mut sim = CacheSim::new(cache_bytes, ways, line);
+    for r in 0..csr.rows() {
+        let (cols, _) = csr.row(r);
+        for &c in cols {
+            sim.access(c as u64 * 8);
+        }
+    }
+    sim.hit_rate()
+}
+
+/// Replays a sampled subset: up to `max_nnz` nonzeros from a contiguous
+/// row window starting at the first row (plus warmup discard of the
+/// first quarter of the window). Returns the steady-state hit rate.
+pub fn simulate_x_hit_rate_sampled(
+    csr: &CsrMatrix,
+    cache_bytes: usize,
+    ways: usize,
+    line: usize,
+    max_nnz: usize,
+) -> f64 {
+    let mut sim = CacheSim::new(cache_bytes, ways, line);
+    let max_nnz = max_nnz.max(1);
+    let warmup_nnz = max_nnz / 4;
+    let mut seen = 0usize;
+    let (mut warm_hits, mut warm_total) = (0u64, 0u64);
+    for r in 0..csr.rows() {
+        let (cols, _) = csr.row(r);
+        for &c in cols {
+            sim.access(c as u64 * 8);
+            seen += 1;
+            if seen == warmup_nnz {
+                warm_hits = sim.hits();
+                warm_total = sim.hits() + sim.misses();
+            }
+            if seen >= max_nnz {
+                let hits = sim.hits() - warm_hits;
+                let total = (sim.hits() + sim.misses()) - warm_total;
+                return if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+            }
+        }
+    }
+    sim.hit_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded(rows: usize, cols: usize, band: usize, len: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for r in 0..rows {
+            let center = r * cols / rows;
+            for k in 0..len {
+                let c = (center + k * band / len) % cols;
+                t.push((r, c, 1.0));
+            }
+        }
+        CsrMatrix::from_triplets(rows, cols, &t).unwrap()
+    }
+
+    #[test]
+    fn x_fitting_in_cache_hits_almost_always() {
+        // x = 1000 cols * 8 B = 8 KB << 64 KB cache.
+        let m = banded(2000, 1000, 900, 10);
+        let hr = simulate_x_hit_rate(&m, 64 * 1024, 8, 64);
+        assert!(hr > 0.95, "hit rate {hr}");
+    }
+
+    #[test]
+    fn scattered_access_beyond_cache_mostly_misses() {
+        // x = 8 MB >> 32 KB cache, wide scattered band.
+        let mut t = Vec::new();
+        let mut state = 7u64;
+        for r in 0..3000usize {
+            let mut cols = std::collections::BTreeSet::new();
+            for _ in 0..8 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                cols.insert((state % 1_000_000) as usize);
+            }
+            for c in cols {
+                t.push((r, c, 1.0));
+            }
+        }
+        let m = CsrMatrix::from_triplets(3000, 1_000_000, &t).unwrap();
+        let hr = simulate_x_hit_rate(&m, 32 * 1024, 8, 64);
+        assert!(hr < 0.2, "hit rate {hr}");
+    }
+
+    #[test]
+    fn dense_runs_hit_within_lines() {
+        // Runs of 8 consecutive columns: 7 of 8 accesses land in the
+        // same 64-B line even with a tiny cache.
+        let mut t = Vec::new();
+        for r in 0..500usize {
+            let start = (r * 5003) % 99_000;
+            for k in 0..8usize {
+                t.push((r, start + k, 1.0));
+            }
+        }
+        let m = CsrMatrix::from_triplets(500, 100_000, &t).unwrap();
+        let hr = simulate_x_hit_rate(&m, 4 * 1024, 4, 64);
+        assert!(hr > 0.7, "hit rate {hr}");
+        assert!(hr < 0.95, "hit rate {hr}");
+    }
+
+    #[test]
+    fn sampled_estimate_tracks_full_trace() {
+        let m = banded(4000, 50_000, 20_000, 12);
+        let full = simulate_x_hit_rate(&m, 128 * 1024, 8, 64);
+        let sampled = simulate_x_hit_rate_sampled(&m, 128 * 1024, 8, 64, 10_000);
+        assert!(
+            (full - sampled).abs() < 0.1,
+            "full {full} vs sampled {sampled}"
+        );
+    }
+
+    #[test]
+    fn sampled_with_budget_beyond_nnz_equals_full() {
+        let m = banded(100, 1000, 500, 5);
+        let full = simulate_x_hit_rate(&m, 8 * 1024, 4, 64);
+        let sampled = simulate_x_hit_rate_sampled(&m, 8 * 1024, 4, 64, usize::MAX);
+        assert_eq!(full, sampled);
+    }
+
+    #[test]
+    fn empty_matrix_rate_is_zero() {
+        let m = CsrMatrix::zeros(10, 10);
+        assert_eq!(simulate_x_hit_rate(&m, 1024, 2, 64), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # spmv-parallel
+//!
+//! The parallel execution substrate of the SpMV study: a persistent
+//! [`ThreadPool`] (the role OpenMP plays in the paper's CPU
+//! implementations) and the three work-distribution policies the
+//! storage formats rely on:
+//!
+//! * [`partition::Partition::static_rows`] — contiguous row chunking
+//!   (what `Naive-CSR` does; sensitive to row-length skew);
+//! * [`partition::Partition::balanced_by_prefix`] — nnz-balanced row
+//!   chunking (`Balanced-CSR`; insensitive to skew up to the longest
+//!   single row);
+//! * [`merge`] — 2-D merge-path partitioning over the
+//!   `(rows + nnz)` decision path (Merrill & Garland's Merge-CSR;
+//!   perfectly balanced even within rows).
+//!
+//! The pool pins one worker per logical thread and hands out
+//! broadcast-style jobs with borrowed data, so SpMV kernels can run
+//! over `&[f64]` slices without allocation or `'static` bounds.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod merge;
+pub mod partition;
+pub mod pool;
+
+pub use merge::{merge_path_partition, MergeCoord};
+pub use partition::Partition;
+pub use pool::ThreadPool;

@@ -1,0 +1,152 @@
+//! Merge-path partitioning (Merrill & Garland, SC'16).
+//!
+//! CSR SpMV can be viewed as merging two sorted lists: the row end
+//! offsets `row_ptr[1..=rows]` and the nonzero indices `0..nnz`. Every
+//! point on the merge path consumes either "finish current row" or
+//! "process one nonzero"; the total path length is `rows + nnz`.
+//! Splitting the path into equal-length segments gives every worker the
+//! same amount of *combined* work regardless of how skewed the rows
+//! are — the property that makes Merge-CSR immune to load imbalance.
+
+/// A coordinate on the merge path: `row` rows fully or partially
+/// consumed, `nz` nonzeros consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeCoord {
+    /// Number of row-end items consumed (current row index).
+    pub row: usize,
+    /// Number of nonzeros consumed (current offset into the values).
+    pub nz: usize,
+}
+
+/// Finds the merge-path coordinate on diagonal `d` (`0 <= d <=
+/// rows + nnz`): the unique `(row, nz)` with `row + nz = d` that is
+/// consistent with the merge of `row_end = row_ptr[1..]` and `0..nnz`.
+pub fn merge_path_search(d: usize, row_end: &[usize], nnz: usize) -> MergeCoord {
+    let rows = row_end.len();
+    let mut lo = d.saturating_sub(nnz);
+    let mut hi = d.min(rows);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // Merge decision: consume the row-end item when its offset is
+        // <= the next nonzero index on this diagonal.
+        if row_end[mid] < d - mid {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    MergeCoord { row: lo, nz: d - lo }
+}
+
+/// Splits the merge path into `chunks` equal segments; returns
+/// `chunks + 1` coordinates, the `t`-th segment being
+/// `[coords[t], coords[t+1])`.
+///
+/// Invariants (verified by tests and property tests):
+/// * `coords[0] == (0, 0)` and `coords[chunks] == (rows, nnz)`;
+/// * both components are non-decreasing;
+/// * each segment's path length `Δrow + Δnz` differs by at most 1.
+pub fn merge_path_partition(row_ptr: &[usize], chunks: usize) -> Vec<MergeCoord> {
+    let rows = row_ptr.len().saturating_sub(1);
+    let nnz = *row_ptr.last().unwrap_or(&0);
+    let row_end = &row_ptr[1..];
+    let total = rows + nnz;
+    let chunks = chunks.max(1);
+    (0..=chunks)
+        .map(|t| {
+            let d = t * total / chunks;
+            merge_path_search(d, row_end, nnz)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partition(row_ptr: &[usize], chunks: usize) {
+        let rows = row_ptr.len() - 1;
+        let nnz = *row_ptr.last().unwrap();
+        let coords = merge_path_partition(row_ptr, chunks);
+        assert_eq!(coords[0], MergeCoord { row: 0, nz: 0 });
+        assert_eq!(*coords.last().unwrap(), MergeCoord { row: rows, nz: nnz });
+        let total = rows + nnz;
+        for (t, w) in coords.windows(2).enumerate() {
+            assert!(w[1].row >= w[0].row, "rows decrease at segment {t}");
+            assert!(w[1].nz >= w[0].nz, "nnz decrease at segment {t}");
+            let len = (w[1].row - w[0].row) + (w[1].nz - w[0].nz);
+            let ideal = total / chunks;
+            assert!(
+                len <= ideal + 1,
+                "segment {t} length {len} exceeds ideal {ideal}+1"
+            );
+            // Consistency: nonzeros consumed up to coords[t] lie inside
+            // the current row's range.
+            let c = w[1];
+            if c.row < rows {
+                assert!(c.nz <= row_ptr[c.row + 1], "nz beyond current row end");
+            }
+            assert!(c.nz >= row_ptr[c.row].min(nnz) || c.nz >= row_ptr[c.row.min(rows)]);
+        }
+    }
+
+    #[test]
+    fn uniform_rows() {
+        let row_ptr: Vec<usize> = (0..=16).map(|r| r * 4).collect();
+        check_partition(&row_ptr, 4);
+        check_partition(&row_ptr, 7);
+        check_partition(&row_ptr, 16);
+    }
+
+    #[test]
+    fn single_hot_row_is_split_across_workers() {
+        // One row holding all 1000 nonzeros, 9 empty rows.
+        let mut row_ptr = vec![0usize, 1000];
+        row_ptr.extend(std::iter::repeat_n(1000, 9));
+        check_partition(&row_ptr, 4);
+        let coords = merge_path_partition(&row_ptr, 4);
+        // The hot row must be split: the first three boundaries stay in
+        // row 0 territory with growing nz.
+        assert_eq!(coords[1].row, 0);
+        assert!(coords[1].nz > 0);
+        assert_eq!(coords[2].row, 0);
+        assert!(coords[2].nz > coords[1].nz);
+    }
+
+    #[test]
+    fn empty_rows_consume_path_without_nonzeros() {
+        // 8 empty rows, no nonzeros: the path is all row-ends.
+        let row_ptr = vec![0usize; 9];
+        check_partition(&row_ptr, 3);
+        let coords = merge_path_partition(&row_ptr, 3);
+        assert_eq!(coords[3], MergeCoord { row: 8, nz: 0 });
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coords = merge_path_partition(&[0], 4);
+        assert!(coords.iter().all(|c| *c == MergeCoord { row: 0, nz: 0 }));
+    }
+
+    #[test]
+    fn mixed_rows() {
+        let row_ptr = [0usize, 3, 3, 50, 51, 51, 60];
+        check_partition(&row_ptr, 2);
+        check_partition(&row_ptr, 3);
+        check_partition(&row_ptr, 5);
+        check_partition(&row_ptr, 33);
+    }
+
+    #[test]
+    fn search_endpoints() {
+        let row_ptr = [0usize, 2, 5];
+        let row_end = &row_ptr[1..];
+        assert_eq!(merge_path_search(0, row_end, 5), MergeCoord { row: 0, nz: 0 });
+        assert_eq!(merge_path_search(7, row_end, 5), MergeCoord { row: 2, nz: 5 });
+        // Diagonal 2: 2 nonzeros of row 0 consumed, row-end 0 (=2) not
+        // yet passed because row_end[0]=2 > d-mid-1 = 2-0-1 = 1.
+        assert_eq!(merge_path_search(2, row_end, 5), MergeCoord { row: 0, nz: 2 });
+        // Diagonal 3: now row 0's end (offset 2) <= 3-0-1=2, consume it.
+        assert_eq!(merge_path_search(3, row_end, 5), MergeCoord { row: 1, nz: 2 });
+    }
+}

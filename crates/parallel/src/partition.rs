@@ -1,0 +1,170 @@
+//! 1-D work partitions over row ranges.
+//!
+//! A [`Partition`] is a sorted list of chunk boundaries over `0..n`.
+//! Two policies are provided, matching the work-distribution strategies
+//! of the paper's CPU formats:
+//!
+//! * **static rows** — equal row counts per chunk, oblivious to row
+//!   lengths (the OpenMP `schedule(static)` default of Naive-CSR);
+//! * **balanced by prefix** — chunk boundaries chosen by binary search
+//!   on a prefix-weight array (for CSR, `row_ptr` itself), giving each
+//!   chunk nearly equal total weight (Balanced-CSR's nonzero
+//!   balancing).
+
+/// A partition of `0..n` into contiguous chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    bounds: Vec<usize>,
+}
+
+impl Partition {
+    /// Equal-count partition of `0..n` into `chunks` chunks
+    /// (chunk `t` is `[t·n/chunks, (t+1)·n/chunks)`).
+    pub fn static_rows(n: usize, chunks: usize) -> Self {
+        let chunks = chunks.max(1);
+        let bounds = (0..=chunks).map(|t| t * n / chunks).collect();
+        Self { bounds }
+    }
+
+    /// Weight-balanced partition of `0..n` where `prefix` holds the
+    /// cumulative weights (`prefix.len() == n + 1`, `prefix[0] == 0`,
+    /// non-decreasing). For CSR matrices, pass `row_ptr` to balance by
+    /// nonzeros.
+    ///
+    /// # Panics
+    /// Panics if `prefix` is empty.
+    pub fn balanced_by_prefix(prefix: &[usize], chunks: usize) -> Self {
+        assert!(!prefix.is_empty(), "prefix must have at least one element");
+        let n = prefix.len() - 1;
+        let total = prefix[n];
+        let chunks = chunks.max(1);
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        bounds.push(0);
+        for t in 1..chunks {
+            let target = t * total / chunks;
+            // Nearest boundary: partition_point gives the first index
+            // with cumulative weight >= target; the previous index may
+            // be closer to the target.
+            let hi = prefix.partition_point(|&w| w < target).min(n);
+            let b = if hi > 0 && target - prefix[hi - 1] <= prefix[hi] - target {
+                hi - 1
+            } else {
+                hi
+            };
+            bounds.push(b.max(*bounds.last().expect("nonempty")));
+        }
+        bounds.push(n);
+        Self { bounds }
+    }
+
+    /// Number of chunks.
+    pub fn chunks(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The half-open range of chunk `t`.
+    pub fn range(&self, t: usize) -> std::ops::Range<usize> {
+        self.bounds[t]..self.bounds[t + 1]
+    }
+
+    /// Iterator over all chunk ranges.
+    pub fn ranges(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        (0..self.chunks()).map(|t| self.range(t))
+    }
+
+    /// The imbalance factor `max(chunk weight) / mean(chunk weight)`
+    /// under the given prefix weights. 1.0 is perfect balance.
+    pub fn imbalance(&self, prefix: &[usize]) -> f64 {
+        let total = *prefix.last().unwrap_or(&0);
+        if total == 0 {
+            return 1.0;
+        }
+        let max_w = self
+            .ranges()
+            .map(|r| prefix[r.end] - prefix[r.start])
+            .max()
+            .unwrap_or(0);
+        max_w as f64 / (total as f64 / self.chunks() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_rows_covers_exactly() {
+        let p = Partition::static_rows(10, 3);
+        let items: Vec<usize> = p.ranges().flatten().collect();
+        assert_eq!(items, (0..10).collect::<Vec<_>>());
+        assert_eq!(p.chunks(), 3);
+    }
+
+    #[test]
+    fn static_rows_more_chunks_than_items() {
+        let p = Partition::static_rows(2, 8);
+        let items: Vec<usize> = p.ranges().flatten().collect();
+        assert_eq!(items, vec![0, 1]);
+        // Some chunks are empty, but coverage is exact.
+        assert_eq!(p.chunks(), 8);
+    }
+
+    #[test]
+    fn balanced_by_prefix_equalizes_weight() {
+        // Ten rows, weights 1..=10 (prefix 0,1,3,6,...,55).
+        let mut prefix = vec![0usize];
+        for w in 1..=10usize {
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        let p = Partition::balanced_by_prefix(&prefix, 5);
+        // Total 55, ideal 11 per chunk; max chunk weight must be far
+        // below the static worst case.
+        let imb = p.imbalance(&prefix);
+        assert!(imb < 1.8, "imbalance {imb}");
+        // Coverage is exact and ordered.
+        let items: Vec<usize> = p.ranges().flatten().collect();
+        assert_eq!(items, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn balanced_handles_hotspot_better_than_static() {
+        // Row 7 of 8 has weight 100, others weight 1.
+        let mut prefix = vec![0usize];
+        for r in 0..8usize {
+            let w = if r == 7 { 100 } else { 1 };
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        let stat = Partition::static_rows(8, 4).imbalance(&prefix);
+        let bal = Partition::balanced_by_prefix(&prefix, 4).imbalance(&prefix);
+        assert!(bal <= stat);
+        // Hotspot cannot be split below one row, so the bound is the
+        // hot row itself: 100 / (107/4).
+        assert!(bal >= 100.0 / (107.0 / 4.0) - 1e-9);
+    }
+
+    #[test]
+    fn imbalance_of_empty_weights_is_one() {
+        let prefix = vec![0usize, 0, 0, 0];
+        let p = Partition::static_rows(3, 2);
+        assert_eq!(p.imbalance(&prefix), 1.0);
+    }
+
+    #[test]
+    fn zero_chunks_clamped_to_one() {
+        let p = Partition::static_rows(5, 0);
+        assert_eq!(p.chunks(), 1);
+        assert_eq!(p.range(0), 0..5);
+    }
+
+    #[test]
+    fn balanced_boundaries_monotone() {
+        let prefix = vec![0usize, 0, 0, 50, 50, 100];
+        let p = Partition::balanced_by_prefix(&prefix, 4);
+        let mut prev = 0;
+        for r in p.ranges() {
+            assert!(r.start >= prev);
+            prev = r.end;
+        }
+        assert_eq!(prev, 5);
+    }
+}

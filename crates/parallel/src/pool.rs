@@ -1,0 +1,303 @@
+//! A persistent broadcast-style thread pool.
+//!
+//! SpMV is called thousands of times per campaign on matrices that can
+//! be small enough for thread-spawn latency to dominate, so the pool
+//! keeps its workers alive between calls (the same reason the paper's
+//! OpenMP runtimes pin threads once, §IV). A job is *broadcast*: every
+//! worker receives the same closure together with its worker id and
+//! decides which chunk of the work it owns. [`ThreadPool::broadcast`]
+//! blocks until every worker has finished, which is what makes passing
+//! borrowed (non-`'static`) closures sound.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A raw, lifetime-erased job pointer. Soundness argument: the pointee
+/// is a stack-allocated closure in [`ThreadPool::broadcast`], which does
+/// not return before every worker has signalled completion of that very
+/// job, so workers never dereference a dangling pointer.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared access from many threads is the
+// whole point) and the pointer is only dereferenced while `broadcast`
+// keeps the closure alive (see the barrier protocol below).
+unsafe impl Send for JobPtr {}
+unsafe impl Sync for JobPtr {}
+
+struct Shared {
+    /// Current job and its epoch; `None` means "shut down".
+    slot: Mutex<(u64, Option<JobPtr>)>,
+    /// Signals a new epoch to the workers.
+    job_ready: Condvar,
+    /// Number of workers still running the current job.
+    remaining: AtomicUsize,
+    /// Signals job completion back to the caller.
+    job_done: Condvar,
+    /// Paired with `job_done`.
+    done_lock: Mutex<()>,
+    /// Set when any worker's job closure panicked; `broadcast`
+    /// re-raises so the panic is not silently swallowed.
+    panicked: AtomicBool,
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new((0, None)),
+            job_ready: Condvar::new(),
+            remaining: AtomicUsize::new(0),
+            job_done: Condvar::new(),
+            done_lock: Mutex::new(()),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spmv-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, &shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles, threads }
+    }
+
+    /// A pool sized to the number of available hardware threads.
+    pub fn with_all_cores() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(worker_id)` on every worker concurrently and returns
+    /// once all workers have finished.
+    ///
+    /// The closure may borrow local data: `broadcast` does not return
+    /// until the last worker is done with it.
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: we erase the lifetime; the barrier below guarantees
+        // the closure outlives all uses (see `JobPtr` docs).
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                erased,
+            )
+        });
+        self.shared.remaining.store(self.threads, Ordering::Release);
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.0 += 1;
+            slot.1 = Some(ptr);
+            self.shared.job_ready.notify_all();
+        }
+        let mut guard = self.shared.done_lock.lock();
+        while self.shared.remaining.load(Ordering::Acquire) != 0 {
+            self.shared.job_done.wait(&mut guard);
+        }
+        drop(guard);
+        if self.shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("a thread-pool worker panicked while running a broadcast job");
+        }
+    }
+
+    /// Splits `0..n_items` into `threads()` contiguous chunks and runs
+    /// `f(chunk_range)` for each chunk on its own worker.
+    pub fn parallel_chunks<F>(&self, n_items: usize, f: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        let t = self.threads;
+        self.broadcast(|tid| {
+            let lo = tid * n_items / t;
+            let hi = (tid + 1) * n_items / t;
+            if lo < hi {
+                f(lo..hi);
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.0 += 1;
+            slot.1 = None;
+            self.shared.job_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            while slot.0 == last_epoch {
+                shared.job_ready.wait(&mut slot);
+            }
+            last_epoch = slot.0;
+            slot.1
+        };
+        match job {
+            None => return, // shutdown
+            Some(ptr) => {
+                // SAFETY: see `JobPtr` — the caller is blocked in
+                // `broadcast` until we decrement `remaining`.
+                let f = unsafe { &*ptr.0 };
+                // A panicking job must still decrement `remaining`,
+                // otherwise the caller waits forever; the flag makes
+                // `broadcast` re-raise on the calling thread.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(tid))).is_err() {
+                    shared.panicked.store(true, Ordering::Release);
+                }
+                if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let _guard = shared.done_lock.lock();
+                    shared.job_done.notify_all();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn all_workers_run_once_per_broadcast() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.broadcast(|_tid| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        pool.broadcast(|_tid| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_ids_are_distinct_and_complete() {
+        let pool = ThreadPool::new(8);
+        let seen = Mutex::new(vec![false; 8]);
+        pool.broadcast(|tid| {
+            seen.lock()[tid] = true;
+        });
+        assert!(seen.lock().iter().all(|&s| s));
+    }
+
+    #[test]
+    fn borrows_local_data_mutably_via_disjoint_chunks() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u64; 1000];
+        let base = data.as_mut_ptr() as usize;
+        pool.parallel_chunks(1000, |range| {
+            // Disjoint chunks: safe to write through the raw pointer.
+            for i in range {
+                unsafe { *(base as *mut u64).add(i) = i as u64 };
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn parallel_chunks_covers_all_items_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_chunks(100, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let pool = ThreadPool::new(16);
+        let counter = AtomicU64::new(0);
+        pool.parallel_chunks(3, |range| {
+            counter.fetch_add(range.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn zero_items_is_a_no_op() {
+        let pool = ThreadPool::new(4);
+        pool.parallel_chunks(0, |_range| panic!("must not be called"));
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let counter = AtomicU64::new(0);
+        pool.broadcast(|tid| {
+            assert_eq!(tid, 0);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_survives_many_sequential_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        for _ in 0..1000 {
+            pool.broadcast(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(4);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let pool = ThreadPool::new(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(|tid| {
+                if tid == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "broadcast must re-raise the worker panic");
+        // The pool stays usable for subsequent jobs.
+        let counter = AtomicU64::new(0);
+        pool.broadcast(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

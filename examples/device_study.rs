@@ -1,0 +1,125 @@
+//! Device study: take three application-shaped matrices the paper's
+//! introduction motivates (a circuit-simulation matrix, a web graph,
+//! and a structural-FEM matrix), and compare the nine testbeds on
+//! performance, power and energy efficiency — including which storage
+//! format each device would pick.
+//!
+//! ```text
+//! cargo run --release --example device_study
+//! ```
+
+use spmv_suite::devices::{all_devices, estimate, MatrixSummary};
+use spmv_suite::gen::generator::params_for_features;
+
+/// An application scenario expressed through the paper's features.
+struct Scenario {
+    name: &'static str,
+    blurb: &'static str,
+    footprint_mb: f64,
+    avg_nnz: f64,
+    skew: f64,
+    crs: f64,
+    neigh: f64,
+    bw: f64,
+}
+
+const SCENARIOS: [Scenario; 3] = [
+    Scenario {
+        name: "circuit (scircuit-like)",
+        blurb: "sparse rows, mild skew, strong diagonal locality",
+        footprint_mb: 12.0,
+        avg_nnz: 5.6,
+        skew: 62.0,
+        crs: 0.5,
+        neigh: 0.95,
+        bw: 0.05,
+    },
+    Scenario {
+        name: "web graph (webbase-like)",
+        blurb: "power-law rows: heavy skew, irregular accesses",
+        footprint_mb: 40.0,
+        avg_nnz: 3.1,
+        skew: 1500.0,
+        crs: 0.05,
+        neigh: 0.05,
+        bw: 0.6,
+    },
+    Scenario {
+        name: "FEM (cant-like)",
+        blurb: "long regular rows, clustered nonzeros, balanced",
+        footprint_mb: 46.0,
+        avg_nnz: 64.0,
+        skew: 0.2,
+        crs: 0.95,
+        neigh: 1.9,
+        bw: 0.05,
+    },
+];
+
+fn main() {
+    // The study runs at the default 1/16 scale: matrices are generated
+    // 16x smaller and device capacities shrink by the same factor, so
+    // every cache/capacity crossover lands where the paper's would.
+    let scale = 16.0;
+
+    for sc in &SCENARIOS {
+        let params = params_for_features(
+            sc.footprint_mb / scale,
+            sc.avg_nnz,
+            sc.skew,
+            sc.crs,
+            sc.neigh,
+            sc.bw,
+            7,
+        );
+        let csr = params.generate().expect("scenario generates");
+        let summary = MatrixSummary::from_csr(sc.name, 7, &csr);
+
+        println!("=== {} ===", sc.name);
+        println!("    {}", sc.blurb);
+        println!(
+            "    {} rows, {} nnz, {:.1} MB at paper scale\n",
+            csr.rows(),
+            csr.nnz(),
+            summary.features.mem_footprint_mb * scale
+        );
+        println!(
+            "    {:<14} {:>16} {:>10} {:>9} {:>9}",
+            "device", "best format", "GFLOP/s", "W", "GF/W"
+        );
+
+        let mut rows: Vec<(String, String, f64, f64)> = Vec::new();
+        for dev in all_devices() {
+            let dev = dev.scaled(scale);
+            let best = dev
+                .formats
+                .iter()
+                .filter_map(|&k| estimate(&dev, k, &summary).ok().map(|e| (k, e)))
+                .max_by(|a, b| a.1.gflops.total_cmp(&b.1.gflops));
+            match best {
+                Some((k, e)) => rows.push((
+                    dev.name.to_string(),
+                    k.name().to_string(),
+                    e.gflops,
+                    e.watts,
+                )),
+                None => println!("    {:<14} {:>16}", dev.name, "refuses (capacity)"),
+            }
+        }
+        rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+        for (dev, fmt, gf, w) in &rows {
+            println!("    {:<14} {:>16} {:>10.1} {:>9.1} {:>9.2}", dev, fmt, gf, w, gf / w);
+        }
+
+        let best_eff = rows
+            .iter()
+            .max_by(|a, b| (a.2 / a.3).total_cmp(&(b.2 / b.3)))
+            .expect("at least one device runs");
+        println!(
+            "    -> fastest: {}; most energy-efficient: {} ({:.2} GF/W)\n",
+            rows[0].0,
+            best_eff.0,
+            best_eff.2 / best_eff.3
+        );
+    }
+}

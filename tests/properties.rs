@@ -1,0 +1,131 @@
+//! Cross-crate property-based tests: the generator's output is always a
+//! valid CSR matrix, every storage format computes the same SpMV, and
+//! SpMV itself is linear.
+
+use proptest::prelude::*;
+use spmv_suite::core::{vec_mismatch, FeatureSet};
+use spmv_suite::formats::{build_format, FormatKind};
+use spmv_suite::gen::{GeneratorParams, RowDist};
+use spmv_suite::parallel::ThreadPool;
+
+fn arb_params() -> impl Strategy<Value = GeneratorParams> {
+    (
+        50usize..800,          // rows
+        0.5f64..30.0,          // avg nnz per row
+        0.0f64..400.0,         // skew
+        0.0f64..1.0,           // cross-row similarity
+        0.0f64..1.99,          // neighbors
+        0.02f64..1.0,          // bandwidth fraction
+        any::<u64>(),          // seed
+    )
+        .prop_map(|(rows, avg, skew, crs, neigh, bw, seed)| GeneratorParams {
+            nr_rows: rows,
+            nr_cols: rows + 7,
+            avg_nz_row: avg.min(rows as f64),
+            std_nz_row: avg * 0.15,
+            distribution: RowDist::Normal,
+            skew_coeff: skew,
+            bw_scaled: bw,
+            cross_row_sim: crs,
+            avg_num_neigh: neigh,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_matrices_are_valid_csr(p in arb_params()) {
+        let m = p.generate().unwrap();
+        m.validate().unwrap();
+        prop_assert_eq!(m.rows(), p.nr_rows);
+        prop_assert_eq!(m.cols(), p.nr_cols);
+    }
+
+    #[test]
+    fn all_formats_agree_with_the_dense_reference(p in arb_params()) {
+        let m = p.generate().unwrap();
+        let x: Vec<f64> = (0..m.cols()).map(|i| ((i * 31 + 7) % 17) as f64 - 8.0).collect();
+        let reference = m.spmv(&x);
+        let pool = ThreadPool::new(3);
+        for kind in FormatKind::ALL {
+            let Ok(fmt) = build_format(kind, &m) else { continue };
+            let mut y = vec![f64::NAN; m.rows()];
+            fmt.spmv(&x, &mut y);
+            prop_assert_eq!(
+                vec_mismatch(&y, &reference, 1e-9, 1e-9),
+                None,
+                "{} sequential", fmt.name()
+            );
+            let mut y2 = vec![f64::NAN; m.rows()];
+            fmt.spmv_parallel(&pool, &x, &mut y2);
+            prop_assert_eq!(
+                vec_mismatch(&y2, &reference, 1e-9, 1e-9),
+                None,
+                "{} parallel", fmt.name()
+            );
+        }
+    }
+
+    #[test]
+    fn spmv_is_linear(p in arb_params(), alpha in -4.0f64..4.0) {
+        let m = p.generate().unwrap();
+        let x1: Vec<f64> = (0..m.cols()).map(|i| (i % 5) as f64).collect();
+        let x2: Vec<f64> = (0..m.cols()).map(|i| ((i + 2) % 3) as f64 - 1.0).collect();
+        // A(x1 + a*x2) == A x1 + a * A x2
+        let combined: Vec<f64> =
+            x1.iter().zip(&x2).map(|(a, b)| a + alpha * b).collect();
+        let lhs = m.spmv(&combined);
+        let y1 = m.spmv(&x1);
+        let y2 = m.spmv(&x2);
+        for i in 0..m.rows() {
+            let rhs = y1[i] + alpha * y2[i];
+            prop_assert!(
+                (lhs[i] - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()),
+                "row {}: {} vs {}", i, lhs[i], rhs
+            );
+        }
+    }
+
+    #[test]
+    fn feature_extraction_matches_requests_within_tolerance(p in arb_params()) {
+        prop_assume!(p.avg_nz_row >= 2.0);
+        let m = p.generate().unwrap();
+        let f = FeatureSet::extract(&m);
+        // The nonzero budget is hit almost exactly.
+        let rel = (f.avg_nnz_per_row - p.avg_nz_row).abs() / p.avg_nz_row;
+        prop_assert!(rel < 0.05, "avg {} vs requested {}", f.avg_nnz_per_row, p.avg_nz_row);
+        // The skew saturates at the achievable value, never above ~15%
+        // over it.
+        let achievable = p.achievable_skew();
+        prop_assert!(
+            f.skew_coeff <= 1.15 * achievable.max(1.0) + 5.0,
+            "skew {} vs achievable {}", f.skew_coeff, achievable
+        );
+    }
+
+    #[test]
+    fn csr_coo_round_trip(p in arb_params()) {
+        let m = p.generate().unwrap();
+        let coo = spmv_suite::core::CooMatrix::from_csr(&m);
+        let back = coo.to_csr();
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn format_bytes_never_undercount_the_payload(p in arb_params()) {
+        let m = p.generate().unwrap();
+        prop_assume!(m.nnz() > 0);
+        for kind in FormatKind::ALL {
+            let Ok(fmt) = build_format(kind, &m) else { continue };
+            // Any format must store at least the 8-byte values of every
+            // logical nonzero.
+            prop_assert!(
+                fmt.bytes() >= 8 * m.nnz(),
+                "{} reports {} B for {} nnz", fmt.name(), fmt.bytes(), m.nnz()
+            );
+            prop_assert!(fmt.padding_ratio() >= 1.0 - 1e-12);
+        }
+    }
+}

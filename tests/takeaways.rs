@@ -1,0 +1,188 @@
+//! The paper's takeaways, asserted as integration tests over a
+//! subsampled campaign: if a refactor breaks one of the headline
+//! shapes, these tests fail before a human reads EXPERIMENTS.md.
+
+use spmv_suite::devices::{Campaign, Record};
+use spmv_suite::gen::dataset::{Dataset, DatasetSize};
+use spmv_suite::parallel::ThreadPool;
+
+const SCALE: f64 = 16.0;
+
+fn campaign_records(stride: usize) -> Vec<Record> {
+    let pool = ThreadPool::new(4);
+    let specs =
+        Dataset { size: DatasetSize::Medium, scale: SCALE, base_seed: 0x5EED_CAFE }
+            .specs_subsampled(stride);
+    Campaign::new(SCALE).run_specs(&pool, &specs)
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    assert!(!v.is_empty());
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn best_of(records: &[Record]) -> Vec<Record> {
+    Campaign::best_per_matrix_device(records)
+}
+
+fn device_median_gflops(best: &[Record], device: &str) -> f64 {
+    median(best.iter().filter(|r| r.device == device).map(|r| r.gflops).collect())
+}
+
+fn device_median_eff(best: &[Record], device: &str) -> f64 {
+    median(best.iter().filter(|r| r.device == device).map(|r| r.gflops_per_watt()).collect())
+}
+
+#[test]
+fn takeaway_2_gpus_lead_cpus_follow_fpga_trails() {
+    let best = best_of(&campaign_records(151));
+    let a100 = device_median_gflops(&best, "Tesla-A100");
+    let best_cpu = ["AMD-EPYC-24", "AMD-EPYC-64", "ARM-NEON", "INTEL-XEON", "IBM-POWER9"]
+        .iter()
+        .map(|d| device_median_gflops(&best, d))
+        .fold(0.0f64, f64::max);
+    let u280 = device_median_gflops(&best, "Alveo-U280");
+    assert!(a100 > best_cpu, "A100 {a100:.1} must lead CPUs {best_cpu:.1}");
+    assert!(best_cpu > 0.3 * a100, "CPUs must stay competitive ({best_cpu:.1} vs {a100:.1})");
+    assert!(u280 < best_cpu, "the FPGA trails in raw performance");
+}
+
+#[test]
+fn takeaway_3_fpga_most_energy_efficient_arm_best_cpu() {
+    let best = best_of(&campaign_records(151));
+    let u280 = device_median_eff(&best, "Alveo-U280");
+    let a100 = device_median_eff(&best, "Tesla-A100");
+    assert!(u280 > a100, "U280 {u280:.2} GF/W must lead A100 {a100:.2}");
+    let arm = device_median_eff(&best, "ARM-NEON");
+    for cpu in ["AMD-EPYC-24", "AMD-EPYC-64", "INTEL-XEON", "IBM-POWER9"] {
+        let e = device_median_eff(&best, cpu);
+        assert!(arm > e, "ARM {arm:.2} must lead {cpu} {e:.2}");
+    }
+}
+
+#[test]
+fn takeaway_5_cpu_llc_cliff_and_gpu_size_preference() {
+    let best = best_of(&campaign_records(97));
+    // CPU: small matrices (fitting the scaled 16 MB LLC) vs the largest
+    // class collapses by roughly 7x on AMD-EPYC-64.
+    let small = median(
+        best.iter()
+            .filter(|r| r.device == "AMD-EPYC-64" && r.footprint_mb * SCALE < 32.0)
+            .map(|r| r.gflops)
+            .collect(),
+    );
+    let large = median(
+        best.iter()
+            .filter(|r| r.device == "AMD-EPYC-64" && r.footprint_mb * SCALE >= 512.0)
+            .map(|r| r.gflops)
+            .collect(),
+    );
+    let cliff = small / large;
+    assert!((3.5..=14.0).contains(&cliff), "CPU LLC cliff {cliff:.1}x");
+
+    // GPU: the largest class beats the smallest by roughly 2x.
+    let gsmall = median(
+        best.iter()
+            .filter(|r| r.device == "Tesla-A100" && r.footprint_mb * SCALE < 32.0)
+            .map(|r| r.gflops)
+            .collect(),
+    );
+    let glarge = median(
+        best.iter()
+            .filter(|r| r.device == "Tesla-A100" && r.footprint_mb * SCALE >= 512.0)
+            .map(|r| r.gflops)
+            .collect(),
+    );
+    let gap = glarge / gsmall;
+    assert!((1.2..=4.0).contains(&gap), "GPU size preference {gap:.2}x");
+}
+
+#[test]
+fn takeaway_6_no_format_sweeps_a_rich_cpu_testbed() {
+    let records = campaign_records(97);
+    let epyc24: Vec<&Record> =
+        records.iter().filter(|r| r.device == "AMD-EPYC-24" && r.failed.is_none()).collect();
+    // Count wins per format.
+    use std::collections::BTreeMap;
+    let mut by_matrix: BTreeMap<&str, Vec<&&Record>> = BTreeMap::new();
+    for r in &epyc24 {
+        by_matrix.entry(r.matrix_id.as_str()).or_default().push(r);
+    }
+    let mut wins: BTreeMap<&str, usize> = BTreeMap::new();
+    for rs in by_matrix.values() {
+        let best = rs.iter().max_by(|a, b| a.gflops.total_cmp(&b.gflops)).unwrap();
+        *wins.entry(best.format.as_str()).or_default() += 1;
+    }
+    let total: usize = wins.values().sum();
+    let max_share = wins.values().map(|&w| w as f64 / total as f64).fold(0.0, f64::max);
+    assert!(max_share < 0.60, "one format sweeps {:.0}% of wins", 100.0 * max_share);
+    assert!(wins.len() >= 4, "at least four formats must win somewhere: {wins:?}");
+}
+
+#[test]
+fn takeaway_7_research_formats_win_the_problematic_matrices() {
+    let records = campaign_records(53);
+    // Problematic: large + skewed + irregular.
+    let problem: Vec<&Record> = records
+        .iter()
+        .filter(|r| {
+            r.device == "AMD-EPYC-24"
+                && r.failed.is_none()
+                && r.footprint_mb * SCALE >= 256.0
+                && r.skew >= 1000.0
+                && r.crs <= 0.6
+        })
+        .collect();
+    assert!(!problem.is_empty(), "need problematic matrices in the subsample");
+    use std::collections::BTreeMap;
+    let mut by_matrix: BTreeMap<&str, Vec<&&Record>> = BTreeMap::new();
+    for r in &problem {
+        by_matrix.entry(r.matrix_id.as_str()).or_default().push(r);
+    }
+    let research = ["CSR5", "Merge-CSR", "SELL-C-s", "SparseX"];
+    let mut research_wins = 0usize;
+    let mut contests = 0usize;
+    for rs in by_matrix.values() {
+        let best = rs.iter().max_by(|a, b| a.gflops.total_cmp(&b.gflops)).unwrap();
+        contests += 1;
+        if research.contains(&best.format.as_str()) {
+            research_wins += 1;
+        }
+    }
+    let share = research_wins as f64 / contests as f64;
+    assert!(
+        share > 0.5,
+        "research formats must win the majority of problematic matrices \
+         ({research_wins}/{contests})"
+    );
+}
+
+#[test]
+fn fpga_refuses_sparse_large_matrices_like_the_paper() {
+    let records = campaign_records(97);
+    let refused = records
+        .iter()
+        .filter(|r| r.device == "Alveo-U280" && r.failed.is_some())
+        .count();
+    let ran = records
+        .iter()
+        .filter(|r| r.device == "Alveo-U280" && r.failed.is_none())
+        .count();
+    assert!(refused > 0, "some matrices must overflow the scaled HBM");
+    assert!(ran > refused, "but most of the dataset must still run");
+    // Refusals concentrate on short columns (the zero-padding
+    // pathology): the shortest-row matrices must be among them, and no
+    // long-row matrix (which pads negligibly) may refuse.
+    let refused_avg: Vec<f64> = records
+        .iter()
+        .filter(|r| r.device == "Alveo-U280" && r.failed.is_some())
+        .map(|r| r.avg_nnz)
+        .collect();
+    let min_refused = refused_avg.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(min_refused <= 10.5, "the sparsest matrices must refuse, min {min_refused}");
+    assert!(
+        refused_avg.iter().all(|&a| a <= 150.0),
+        "long-row matrices pad little and must run"
+    );
+}
