@@ -140,8 +140,7 @@ mod tests {
         let stats = BoxStats::from_values(&[10.0, 25.0, 50.0, 75.0, 90.0]).unwrap();
         let row = ascii_boxplot_row(&stats, 0.0, 100.0, 50, false);
         assert_eq!(row.len(), 50);
-        let pos =
-            |c: char| row.find(c).unwrap_or_else(|| panic!("marker {c} missing in {row:?}"));
+        let pos = |c: char| row.find(c).unwrap_or_else(|| panic!("marker {c} missing in {row:?}"));
         assert!(pos('|') <= pos('['));
         assert!(pos('[') <= pos('M'));
         assert!(pos('M') <= pos(']'));

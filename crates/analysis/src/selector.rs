@@ -97,11 +97,8 @@ impl FormatSelector {
         }
         let probe = features.embed();
         // Partial selection of the k nearest (k is tiny; linear scan).
-        let mut nearest: Vec<(f64, &str)> = self
-            .embedded
-            .iter()
-            .map(|(e, fmt)| (dist2(e, &probe), fmt.as_str()))
-            .collect();
+        let mut nearest: Vec<(f64, &str)> =
+            self.embedded.iter().map(|(e, fmt)| (dist2(e, &probe), fmt.as_str())).collect();
         nearest.sort_by(|a, b| a.0.total_cmp(&b.0));
         nearest.truncate(self.k);
 
@@ -145,10 +142,8 @@ pub fn evaluate(
     let mut frac = 0.0f64;
     let mut n = 0usize;
     for (features, options) in candidates {
-        let Some((best_fmt, best_gf)) = options
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(f, g)| (f.as_str(), *g))
+        let Some((best_fmt, best_gf)) =
+            options.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(f, g)| (f.as_str(), *g))
         else {
             continue;
         };
@@ -221,10 +216,7 @@ mod tests {
 
     #[test]
     fn tie_breaks_toward_nearest() {
-        let train = vec![
-            obs(1.0, 10.0, 0.0, "NEAR"),
-            obs(100.0, 10.0, 0.0, "FAR"),
-        ];
+        let train = vec![obs(1.0, 10.0, 0.0, "NEAR"), obs(100.0, 10.0, 0.0, "FAR")];
         let sel = FormatSelector::fit(&train, 2);
         // Both vote once; the closer observation's label wins.
         assert_eq!(sel.recommend(&feat(1.1, 10.0, 0.0)), Some("NEAR"));

@@ -21,10 +21,8 @@ impl WinTally {
     /// better; non-finite scores are ignored). Ties award the win to
     /// every tied leader. Contests with no finite score are skipped.
     pub fn record(&mut self, scores: &BTreeMap<String, f64>) {
-        let best = scores
-            .values()
-            .filter(|v| v.is_finite())
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let best =
+            scores.values().filter(|v| v.is_finite()).fold(f64::NEG_INFINITY, |a, &b| a.max(b));
         if !best.is_finite() {
             return;
         }

@@ -25,12 +25,9 @@ fn matrix(class: &str) -> spmv_core::CsrMatrix {
     };
     let p = match class {
         "skewed" => GeneratorParams { skew_coeff: 1000.0, std_nz_row: 0.0, ..base },
-        "irregular" => GeneratorParams {
-            cross_row_sim: 0.05,
-            avg_num_neigh: 0.05,
-            bw_scaled: 0.9,
-            ..base
-        },
+        "irregular" => {
+            GeneratorParams { cross_row_sim: 0.05, avg_num_neigh: 0.05, bw_scaled: 0.9, ..base }
+        }
         _ => base,
     };
     p.generate().expect("bench matrix generates")

@@ -35,11 +35,9 @@ fn bench_memsim(c: &mut Criterion) {
     let mut group = c.benchmark_group("memsim");
     group.sample_size(10);
     for cache_kb in [256usize, 4096] {
-        group.bench_with_input(
-            BenchmarkId::new("trace_sim", cache_kb),
-            &cache_kb,
-            |b, &kb| b.iter(|| black_box(simulate_x_hit_rate(&m, kb * 1024, 8, 64))),
-        );
+        group.bench_with_input(BenchmarkId::new("trace_sim", cache_kb), &cache_kb, |b, &kb| {
+            b.iter(|| black_box(simulate_x_hit_rate(&m, kb * 1024, 8, 64)))
+        });
         let inputs = LocalityInputs {
             rows: m.rows(),
             cols: m.cols(),
@@ -50,11 +48,9 @@ fn bench_memsim(c: &mut Criterion) {
             cache_bytes: cache_kb * 1024,
             line_bytes: 64,
         };
-        group.bench_with_input(
-            BenchmarkId::new("analytic", cache_kb),
-            &inputs,
-            |b, inputs| b.iter(|| black_box(analytic_x_hit_rate(inputs))),
-        );
+        group.bench_with_input(BenchmarkId::new("analytic", cache_kb), &inputs, |b, inputs| {
+            b.iter(|| black_box(analytic_x_hit_rate(inputs)))
+        });
     }
     group.finish();
 }

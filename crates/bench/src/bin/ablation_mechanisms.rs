@@ -8,12 +8,12 @@
 //! intensity (the hierarchy term), low ILP, load imbalance, and memory
 //! latency (locality), plus the GPU-specific parallel-slack term.
 
+use parking_lot::Mutex;
 use spmv_analysis::Table;
 use spmv_bench::RunConfig;
 use spmv_devices::specs::device_by_name;
 use spmv_devices::{estimate_with, MatrixSummary, ModelConfig};
 use spmv_parallel::ThreadPool;
-use parking_lot::Mutex;
 
 fn main() {
     let cfg = RunConfig::from_env();

@@ -83,10 +83,7 @@ fn main() {
         let mut tally = WinTally::new();
         let mut per_matrix: BTreeMap<&str, BTreeMap<String, f64>> = BTreeMap::new();
         for r in &ok {
-            per_matrix
-                .entry(r.matrix_id.as_str())
-                .or_default()
-                .insert(r.format.clone(), r.gflops);
+            per_matrix.entry(r.matrix_id.as_str()).or_default().insert(r.format.clone(), r.gflops);
         }
         for scores in per_matrix.values() {
             tally.record(scores);
@@ -95,11 +92,8 @@ fn main() {
 
         let best_gf: Vec<f64> =
             best.iter().filter(|r| &r.device == device).map(|r| r.gflops).collect();
-        let best_eff: Vec<f64> = best
-            .iter()
-            .filter(|r| &r.device == device)
-            .map(|r| r.gflops_per_watt())
-            .collect();
+        let best_eff: Vec<f64> =
+            best.iter().filter(|r| &r.device == device).map(|r| r.gflops_per_watt()).collect();
         let gf = BoxStats::from_values(&best_gf);
         let eff = BoxStats::from_values(&best_eff);
         table.row(vec![

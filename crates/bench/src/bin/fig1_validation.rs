@@ -3,9 +3,9 @@
 //! with the memory and LLC roofline bounds.
 
 use spmv_analysis::BoxStats;
+use spmv_analysis::{ape_best, mape_to_median, Table};
 use spmv_bench::validation::{mape_pairs, run_validation};
 use spmv_bench::RunConfig;
-use spmv_analysis::{ape_best, mape_to_median, Table};
 
 fn main() {
     let cfg = RunConfig::from_env();
@@ -16,8 +16,15 @@ fn main() {
     let points = run_validation(&cfg, friends);
 
     let mut csv = Table::new(&[
-        "device", "id", "matrix", "gflops", "friends_q1", "friends_median", "friends_q3",
-        "roof_mem", "roof_llc",
+        "device",
+        "id",
+        "matrix",
+        "gflops",
+        "friends_q1",
+        "friends_median",
+        "friends_q3",
+        "roof_mem",
+        "roof_llc",
     ]);
     let mut current_device = String::new();
     for p in &points {

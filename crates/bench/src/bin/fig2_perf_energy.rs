@@ -36,10 +36,8 @@ fn main() {
     // Fraction of matrices that failed to run on the FPGA (paper: the
     // Vitis library refuses heavily padded matrices).
     let fpga_total = records.iter().filter(|r| r.device == "Alveo-U280").count();
-    let fpga_failed = records
-        .iter()
-        .filter(|r| r.device == "Alveo-U280" && r.failed.is_some())
-        .count();
+    let fpga_failed =
+        records.iter().filter(|r| r.device == "Alveo-U280" && r.failed.is_some()).count();
     if fpga_total > 0 {
         println!(
             "\nAlveo-U280: {fpga_failed}/{fpga_total} (matrix, format) runs refused for HBM capacity"

@@ -43,14 +43,15 @@ fn main() {
 
     // Takeaway-4 check: CPU in its favorable window vs the A100.
     let window = |r: &&Record| (64.0..=256.0).contains(&(r.footprint_mb * cfg.scale));
-    let epyc: Vec<f64> =
-        gflops_of(&best.iter().filter(|r| r.device == "AMD-EPYC-64").filter(window).collect::<Vec<_>>());
-    let a100: Vec<f64> =
-        gflops_of(&best.iter().filter(|r| r.device == "Tesla-A100").filter(window).collect::<Vec<_>>());
-    if let (Some(e), Some(a)) = (
-        spmv_analysis::BoxStats::from_values(&epyc),
-        spmv_analysis::BoxStats::from_values(&a100),
-    ) {
+    let epyc: Vec<f64> = gflops_of(
+        &best.iter().filter(|r| r.device == "AMD-EPYC-64").filter(window).collect::<Vec<_>>(),
+    );
+    let a100: Vec<f64> = gflops_of(
+        &best.iter().filter(|r| r.device == "Tesla-A100").filter(window).collect::<Vec<_>>(),
+    );
+    if let (Some(e), Some(a)) =
+        (spmv_analysis::BoxStats::from_values(&epyc), spmv_analysis::BoxStats::from_values(&a100))
+    {
         println!(
             "\n64-256MB window: EPYC-64 median {:.1} GF = {:.0}% of A100 median {:.1} GF (paper: ~60%)",
             e.median,

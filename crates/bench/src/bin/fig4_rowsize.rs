@@ -29,8 +29,7 @@ fn main() {
                 .filter(|r| is_large(r.footprint_mb, cfg.scale) == large)
                 .cloned()
                 .collect();
-            let by_rows =
-                group_by(&split, |r| nearest_lattice(r.avg_nnz, &AVG_NNZ_VALUES) as i64);
+            let by_rows = group_by(&split, |r| nearest_lattice(r.avg_nnz, &AVG_NNZ_VALUES) as i64);
             for (avg, rs) in &by_rows {
                 series.push(Series {
                     label: format!("{} rows~{avg}", if large { "large" } else { "small" }),

@@ -2,12 +2,12 @@
 //! device; the bar behind each boxplot is the percentage of the
 //! dataset on which that format wins.
 
+use spmv_analysis::WinTally;
 use spmv_bench::figures::{panel_csv, print_panel, Series};
 use spmv_bench::grouping::{gflops_of, group_by};
 use spmv_bench::RunConfig;
 use spmv_devices::Campaign;
 use spmv_parallel::ThreadPool;
-use spmv_analysis::WinTally;
 use std::collections::BTreeMap;
 
 fn main() {

@@ -52,10 +52,7 @@ fn main() {
         .collect();
     for class in classes {
         let get = |size: &str| {
-            medians
-                .iter()
-                .find(|(s, c, _)| s == size && *c == class)
-                .map(|(_, _, m)| *m)
+            medians.iter().find(|(s, c, _)| s == size && *c == class).map(|(_, _, m)| *m)
         };
         if let (Some(s), Some(m), Some(l)) = (get("small"), get("medium"), get("large")) {
             println!(

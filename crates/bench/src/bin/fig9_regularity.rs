@@ -24,9 +24,24 @@ fn main() {
     // "Intuitively good" fixed features for a CPU: small/medium size,
     // long rows, low imbalance — and the bad end of each.
     let combos = [
-        Fixed { label: "good (small, long rows, balanced)", footprint_mb: 16.0, avg_nnz: 100.0, skew: 0.0 },
-        Fixed { label: "medium (mid size, mid rows, skew 100)", footprint_mb: 128.0, avg_nnz: 20.0, skew: 100.0 },
-        Fixed { label: "bad (large, short rows, skew 10000)", footprint_mb: 1024.0, avg_nnz: 5.0, skew: 10000.0 },
+        Fixed {
+            label: "good (small, long rows, balanced)",
+            footprint_mb: 16.0,
+            avg_nnz: 100.0,
+            skew: 0.0,
+        },
+        Fixed {
+            label: "medium (mid size, mid rows, skew 100)",
+            footprint_mb: 128.0,
+            avg_nnz: 20.0,
+            skew: 100.0,
+        },
+        Fixed {
+            label: "bad (large, short rows, skew 10000)",
+            footprint_mb: 1024.0,
+            avg_nnz: 5.0,
+            skew: 10000.0,
+        },
     ];
     let neigh_values = [0.05, 0.5, 0.95, 1.4, 1.9];
 
@@ -78,11 +93,8 @@ fn main() {
     // Paper observations: bad fixed features stay <= ~40% of peak;
     // good fixed features gain up to ~1.6x along the sweep.
     for combo in &combos {
-        let series: Vec<f64> = results
-            .iter()
-            .filter(|(l, _, _)| l == combo.label)
-            .map(|(_, _, m)| *m)
-            .collect();
+        let series: Vec<f64> =
+            results.iter().filter(|(l, _, _)| l == combo.label).map(|(_, _, m)| *m).collect();
         let gain = series.last().unwrap_or(&0.0) / series.first().unwrap_or(&1.0).max(1e-9);
         let peak_frac = series.iter().cloned().fold(0.0, f64::max) / device_peak.max(1e-9);
         println!(

@@ -5,13 +5,13 @@
 //! the campaign (the Criterion bench `memsim` shows the ~10^5x speed
 //! gap that motivates it).
 
+use parking_lot::Mutex;
 use spmv_analysis::Table;
 use spmv_bench::RunConfig;
 use spmv_gen::{GeneratorParams, RowDist};
 use spmv_memsim::analytic::{analytic_x_hit_rate, LocalityInputs};
 use spmv_memsim::trace::simulate_x_hit_rate;
 use spmv_parallel::ThreadPool;
-use parking_lot::Mutex;
 
 struct Case {
     neigh: f64,

@@ -12,7 +12,10 @@ fn main() {
     let cfg = RunConfig::from_env();
     cfg.banner("Table I: features used for artificial matrix generation");
 
-    println!("\nlabel  feature          values (at paper scale; campaign divides footprints by {})", cfg.scale);
+    println!(
+        "\nlabel  feature          values (at paper scale; campaign divides footprints by {})",
+        cfg.scale
+    );
     println!("f1     mem_footprint    {:?} MB", FOOTPRINT_CLASSES_MB);
     println!("f2     avg_nnz_per_row  {:?}", AVG_NNZ_VALUES);
     println!("f3     skew_coeff       {:?}", SKEW_VALUES);

@@ -10,8 +10,8 @@ fn main() {
     cfg.banner("Table II: testbed characteristics");
 
     let mut t = Table::new(&[
-        "device", "class", "cores", "GHz", "peak GF", "LLC MB", "mem GB/s", "LLC GB/s",
-        "idle W", "max W", "formats",
+        "device", "class", "cores", "GHz", "peak GF", "LLC MB", "mem GB/s", "LLC GB/s", "idle W",
+        "max W", "formats",
     ]);
     for d in all_devices() {
         t.row(vec![

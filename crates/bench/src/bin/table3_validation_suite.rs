@@ -11,8 +11,16 @@ fn main() {
     cfg.banner("Table III: validation suite (stand-ins synthesized at 1/scale footprint)");
 
     let mut t = Table::new(&[
-        "id", "matrix", "f1 MB (paper)", "f1 MB (ours x scale)", "f2 (paper)", "f2 (ours)",
-        "f3 (paper)", "f3 (ours)", "f4 (paper)", "f4 (ours)",
+        "id",
+        "matrix",
+        "f1 MB (paper)",
+        "f1 MB (ours x scale)",
+        "f2 (paper)",
+        "f2 (ours)",
+        "f3 (paper)",
+        "f3 (ours)",
+        "f4 (paper)",
+        "f4 (ours)",
     ]);
     let mut worst_f2: f64 = 0.0;
     for vm in &VALIDATION_SUITE {

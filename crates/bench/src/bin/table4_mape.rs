@@ -16,12 +16,7 @@ fn main() {
     for (device, p) in &pairs {
         let m = mape_to_median(p).unwrap_or(f64::NAN);
         let b = ape_best(p).unwrap_or(f64::NAN);
-        t.row(vec![
-            device.clone(),
-            format!("{m:.2}"),
-            format!("{b:.2}"),
-            p.len().to_string(),
-        ]);
+        t.row(vec![device.clone(), format!("{m:.2}"), format!("{b:.2}"), p.len().to_string()]);
         ms += m;
         bs += b;
         n += 1;

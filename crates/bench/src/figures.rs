@@ -20,10 +20,8 @@ pub fn print_panel(title: &str, series: &[Series]) -> Vec<(String, Option<BoxSta
         .flat_map(|s| s.values.iter().copied())
         .filter(|v| v.is_finite() && *v > 0.0)
         .collect();
-    let stats_out: Vec<(String, Option<BoxStats>)> = series
-        .iter()
-        .map(|s| (s.label.clone(), BoxStats::from_values(&s.values)))
-        .collect();
+    let stats_out: Vec<(String, Option<BoxStats>)> =
+        series.iter().map(|s| (s.label.clone(), BoxStats::from_values(&s.values))).collect();
     if all.is_empty() {
         println!("(no data)");
         return stats_out;
@@ -36,29 +34,19 @@ pub fn print_panel(title: &str, series: &[Series]) -> Vec<(String, Option<BoxSta
         match st {
             Some(st) => {
                 let plot = ascii_boxplot_row(st, lo, hi, width, true);
-                println!(
-                    "{label:label_w$} {plot} med {:>8.2}  n={}",
-                    st.median, st.count
-                );
+                println!("{label:label_w$} {plot} med {:>8.2}  n={}", st.median, st.count);
             }
             None => println!("{label:label_w$} (no runnable matrices)"),
         }
     }
-    println!(
-        "{:label_w$} log axis: {:.2} .. {:.2}",
-        "",
-        lo,
-        hi,
-        label_w = label_w
-    );
+    println!("{:label_w$} log axis: {:.2} .. {:.2}", "", lo, hi, label_w = label_w);
     stats_out
 }
 
 /// Renders panel stats into a CSV table (one row per series).
 pub fn panel_csv(figure: &str, panel: &str, stats: &[(String, Option<BoxStats>)]) -> Table {
-    let mut t = Table::new(&[
-        "figure", "panel", "series", "n", "min", "q1", "median", "q3", "max", "mean",
-    ]);
+    let mut t =
+        Table::new(&["figure", "panel", "series", "n", "min", "q1", "median", "q3", "max", "mean"]);
     for (label, st) in stats {
         match st {
             Some(s) => {

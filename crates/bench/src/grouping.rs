@@ -24,9 +24,7 @@ pub fn nearest_lattice(value: f64, lattice: &[f64]) -> f64 {
     lattice
         .iter()
         .copied()
-        .min_by(|a, b| {
-            (a - value).abs().partial_cmp(&(b - value).abs()).expect("non-NaN lattice")
-        })
+        .min_by(|a, b| (a - value).abs().partial_cmp(&(b - value).abs()).expect("non-NaN lattice"))
         .unwrap_or(value)
 }
 
@@ -83,7 +81,8 @@ mod tests {
 
     #[test]
     fn grouping_by_device() {
-        let rs = vec![rec("A", 1.0, 1.0, false), rec("B", 2.0, 1.0, false), rec("A", 3.0, 1.0, false)];
+        let rs =
+            vec![rec("A", 1.0, 1.0, false), rec("B", 2.0, 1.0, false), rec("A", 3.0, 1.0, false)];
         let g = group_by(&rs, |r| r.device.clone());
         assert_eq!(g["A"].len(), 2);
         assert_eq!(g["B"].len(), 1);

@@ -55,7 +55,8 @@ pub fn run_validation(cfg: &RunConfig, friends: usize) -> Vec<ValidationPoint> {
     // Build all specs: index 0 = the validation stand-in, then friends.
     let mut all_specs: Vec<(usize, bool, MatrixSpec)> = Vec::new();
     for vm in &VALIDATION_SUITE {
-        let standin = spec_for(vm, vm.standin_params(cfg.scale, cfg.seed), format!("v{:02}", vm.id));
+        let standin =
+            spec_for(vm, vm.standin_params(cfg.scale, cfg.seed), format!("v{:02}", vm.id));
         all_specs.push((vm.id, false, standin));
         for (k, fp) in vm.friend_params(friends, cfg.scale, cfg.seed).into_iter().enumerate() {
             all_specs.push((vm.id, true, spec_for(vm, fp, format!("v{:02}f{k:02}", vm.id))));

@@ -37,10 +37,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::OutOfBounds { row, col, rows, cols } => write!(
-                f,
-                "entry ({row}, {col}) out of bounds for a {rows}x{cols} matrix"
-            ),
+            SparseError::OutOfBounds { row, col, rows, cols } => {
+                write!(f, "entry ({row}, {col}) out of bounds for a {rows}x{cols} matrix")
+            }
             SparseError::BadRowPtr(msg) => write!(f, "malformed row_ptr: {msg}"),
             SparseError::UnsortedRow { row } => {
                 write!(f, "row {row} has unsorted or duplicate column indices")

@@ -228,11 +228,8 @@ impl FeatureAccumulator {
         let rows = self.rows_declared;
         let nnz = self.nnz;
         let mean = if rows > 0 { nnz as f64 / rows as f64 } else { 0.0 };
-        let var = if rows > 0 {
-            (self.sum_sq_row / rows as f64 - mean * mean).max(0.0)
-        } else {
-            0.0
-        };
+        let var =
+            if rows > 0 { (self.sum_sq_row / rows as f64 - mean * mean).max(0.0) } else { 0.0 };
         let skew = if mean > 0.0 { (self.max_row as f64 - mean) / mean } else { 0.0 };
         let footprint_bytes =
             (crate::VALUE_BYTES + crate::INDEX_BYTES) * nnz + crate::INDEX_BYTES * (rows + 1);
@@ -245,7 +242,11 @@ impl FeatureAccumulator {
             std_nnz_per_row: var.sqrt(),
             max_nnz_per_row: self.max_row,
             skew_coeff: skew,
-            cross_row_sim: if self.crs_rows > 0 { self.crs_sum / self.crs_rows as f64 } else { 0.0 },
+            cross_row_sim: if self.crs_rows > 0 {
+                self.crs_sum / self.crs_rows as f64
+            } else {
+                0.0
+            },
             avg_num_neigh: if nnz > 0 { 2.0 * self.neigh_pairs as f64 / nnz as f64 } else { 0.0 },
             bandwidth_scaled: if self.nonempty_rows > 0 {
                 self.bw_sum / self.nonempty_rows as f64
@@ -316,24 +317,18 @@ mod tests {
     fn cross_row_sim_identical_rows_is_one() {
         // Two identical rows: every element of row 0 has a same-column
         // cross neighbor.
-        let m = CsrMatrix::from_triplets(
-            2,
-            8,
-            &[(0, 1, 1.0), (0, 4, 1.0), (1, 1, 1.0), (1, 4, 1.0)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_triplets(2, 8, &[(0, 1, 1.0), (0, 4, 1.0), (1, 1, 1.0), (1, 4, 1.0)])
+                .unwrap();
         let f = FeatureSet::extract(&m);
         assert!((f.cross_row_sim - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn cross_row_sim_disjoint_rows_is_zero() {
-        let m = CsrMatrix::from_triplets(
-            2,
-            10,
-            &[(0, 0, 1.0), (0, 4, 1.0), (1, 7, 1.0), (1, 9, 1.0)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_triplets(2, 10, &[(0, 0, 1.0), (0, 4, 1.0), (1, 7, 1.0), (1, 9, 1.0)])
+                .unwrap();
         let f = FeatureSet::extract(&m);
         assert_eq!(f.cross_row_sim, 0.0);
     }
@@ -352,8 +347,7 @@ mod tests {
     #[test]
     fn cross_row_sim_partial() {
         // Row 0: cols {0, 5}; row 1: col {5}. Half of row 0 matches.
-        let m =
-            CsrMatrix::from_triplets(2, 10, &[(0, 0, 1.0), (0, 5, 1.0), (1, 5, 1.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, 10, &[(0, 0, 1.0), (0, 5, 1.0), (1, 5, 1.0)]).unwrap();
         let f = FeatureSet::extract(&m);
         assert!((f.cross_row_sim - 0.5).abs() < 1e-12);
     }

@@ -153,12 +153,8 @@ mod tests {
     use super::*;
 
     fn small_csr() -> CsrMatrix {
-        CsrMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 1, 1.5), (1, 0, -2.0), (1, 3, 4.0), (2, 2, 8.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triplets(3, 4, &[(0, 1, 1.5), (1, 0, -2.0), (1, 3, 4.0), (2, 2, 8.0)])
+            .unwrap()
     }
 
     #[test]

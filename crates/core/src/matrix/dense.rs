@@ -56,9 +56,7 @@ impl DenseMatrix {
     /// Dense reference SpMV: `y = A·x`.
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "x length must equal cols");
-        (0..self.rows)
-            .map(|r| (0..self.cols).map(|c| self.get(r, c) * x[c]).sum())
-            .collect()
+        (0..self.rows).map(|r| (0..self.cols).map(|c| self.get(r, c) * x[c]).sum()).collect()
     }
 }
 
@@ -68,12 +66,8 @@ mod tests {
 
     #[test]
     fn dense_matches_csr() {
-        let csr = CsrMatrix::from_triplets(
-            2,
-            3,
-            &[(0, 0, 1.0), (0, 2, -2.0), (1, 1, 3.5)],
-        )
-        .unwrap();
+        let csr =
+            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, -2.0), (1, 1, 3.5)]).unwrap();
         let d = DenseMatrix::from_csr(&csr);
         assert_eq!(d.get(0, 0), 1.0);
         assert_eq!(d.get(0, 1), 0.0);

@@ -155,9 +155,7 @@ pub fn read_mtx(reader: impl Read) -> Result<CsrMatrix, MtxError> {
                     break l;
                 }
             }
-            None => {
-                return Err(MtxError::Parse { line: line_no, msg: "missing size line".into() })
-            }
+            None => return Err(MtxError::Parse { line: line_no, msg: "missing size line".into() }),
         }
     };
     let dims: Vec<&str> = size_line.split_whitespace().collect();
@@ -281,15 +279,10 @@ mod tests {
 
     #[test]
     fn reads_pattern_and_integer() {
-        let m = parse(
-            "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n",
-        )
-        .unwrap();
+        let m =
+            parse("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n").unwrap();
         assert_eq!(m.values(), &[1.0, 1.0]);
-        let m = parse(
-            "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 2 -3\n",
-        )
-        .unwrap();
+        let m = parse("%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 2 -3\n").unwrap();
         assert_eq!(m.values(), &[-3.0]);
     }
 
@@ -302,10 +295,8 @@ mod tests {
         // (1,0,2) mirrored to (0,1,2); (2,1,3) mirrored to (1,2,3).
         assert_eq!(m.nnz(), 5);
         assert_eq!(m.row(0), (&[0u32, 1][..], &[1.0, 2.0][..]));
-        let s = parse(
-            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4.0\n",
-        )
-        .unwrap();
+        let s = parse("%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4.0\n")
+            .unwrap();
         assert_eq!(s.row(0), (&[1u32][..], &[-4.0][..]));
         assert_eq!(s.row(1), (&[0u32][..], &[4.0][..]));
     }
@@ -371,10 +362,9 @@ mod tests {
 
     #[test]
     fn header_case_insensitive_and_blank_tolerant() {
-        let m = parse(
-            "\n%%matrixmarket MATRIX Coordinate Real General\n\n% c\n2 2 1\n\n1 1 5.0\n\n",
-        )
-        .unwrap();
+        let m =
+            parse("\n%%matrixmarket MATRIX Coordinate Real General\n\n% c\n2 2 1\n\n1 1 5.0\n\n")
+                .unwrap();
         assert_eq!(m.nnz(), 1);
     }
 }

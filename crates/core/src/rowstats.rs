@@ -120,11 +120,8 @@ pub fn nnz_balanced_boundaries(row_ptr: &[usize], chunks: usize) -> Vec<usize> {
         // Nearest row boundary to the ideal split offset; clamp to keep
         // the boundary sequence monotone and within [0, rows].
         let hi = row_ptr.partition_point(|&off| off < target).min(rows);
-        let row = if hi > 0 && target - row_ptr[hi - 1] <= row_ptr[hi] - target {
-            hi - 1
-        } else {
-            hi
-        };
+        let row =
+            if hi > 0 && target - row_ptr[hi - 1] <= row_ptr[hi] - target { hi - 1 } else { hi };
         let row = row.max(*bounds.last().expect("bounds nonempty"));
         bounds.push(row);
     }

@@ -103,8 +103,7 @@ impl Campaign {
     /// Runs the sweep over dataset specs, building summaries in
     /// parallel on the given pool.
     pub fn run_specs(&self, pool: &ThreadPool, specs: &[MatrixSpec]) -> Vec<Record> {
-        let results: Mutex<Vec<Vec<Record>>> =
-            Mutex::new(vec![Vec::new(); specs.len()]);
+        let results: Mutex<Vec<Vec<Record>>> = Mutex::new(vec![Vec::new(); specs.len()]);
         pool.parallel_chunks(specs.len(), |range| {
             for i in range {
                 let summary = MatrixSummary::from_spec(&specs[i]);

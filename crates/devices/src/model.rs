@@ -217,9 +217,8 @@ fn format_bytes_per_nnz(
             // short columns most segments hold < depth nonzeros, so
             // sparse matrices inflate dramatically — exactly the
             // matrices the paper reports as refusing to run.
-            let (parts, depth) = fpga
-                .map(|p| (p.channels as f64, p.pipeline_depth as f64))
-                .unwrap_or((16.0, 8.0));
+            let (parts, depth) =
+                fpga.map(|p| (p.channels as f64, p.pipeline_depth as f64)).unwrap_or((16.0, 8.0));
             let col_len = (f.nnz as f64 / f.cols.max(1) as f64).max(1e-9);
             let seg = col_len / parts;
             // Poisson estimate of the nonempty-segment fraction.
@@ -417,25 +416,22 @@ pub fn estimate_with(
         let regularity = 0.5 * (p_adj + f.cross_row_sim.clamp(0.0, 1.0));
         ilp_eff /= 1.0 + 0.25 * (1.0 - regularity);
     }
-    let parallel_eff = if cfg.parallel_slack {
-        (nnz / (nnz + dev.nnz_half_util)).powf(0.3)
-    } else {
-        1.0
-    };
+    let parallel_eff =
+        if cfg.parallel_slack { (nnz / (nnz + dev.nnz_half_util)).powf(0.3) } else { 1.0 };
     let balance_eff = if !cfg.imbalance {
         1.0
     } else {
         match dev.class {
-        DeviceClass::Fpga => {
-            // Hot rows serialize the per-row accumulators.
-            let hot_share = s.max_row_nnz as f64 * dev.sched_units as f64 / nnz;
-            1.0 / (1.0 + 3.0 * hot_share.min(1.0))
-        }
-        _ => match policy_of(kind, dev.class) {
-            Policy::StaticRows => 1.0 / s.imbalance.static_at(dev.sched_units),
-            Policy::BalancedRows => 1.0 / s.imbalance.balanced_at(dev.sched_units),
-            Policy::Perfect => 1.0,
-        },
+            DeviceClass::Fpga => {
+                // Hot rows serialize the per-row accumulators.
+                let hot_share = s.max_row_nnz as f64 * dev.sched_units as f64 / nnz;
+                1.0 / (1.0 + 3.0 * hot_share.min(1.0))
+            }
+            _ => match policy_of(kind, dev.class) {
+                Policy::StaticRows => 1.0 / s.imbalance.static_at(dev.sched_units),
+                Policy::BalancedRows => 1.0 / s.imbalance.balanced_at(dev.sched_units),
+                Policy::Perfect => 1.0,
+            },
         }
     };
 
@@ -466,8 +462,7 @@ pub fn estimate_with(
     // all units clocked up; FPGA dynamic power tracks pipeline activity
     // directly (static draw is already `idle_w`).
     let dyn_floor = if dev.class == DeviceClass::Fpga { 0.0 } else { 0.35 };
-    let watts =
-        dev.idle_w + (dev.max_w - dev.idle_w) * (dyn_floor + (1.0 - dyn_floor) * util);
+    let watts = dev.idle_w + (dev.max_w - dev.idle_w) * (dyn_floor + (1.0 - dyn_floor) * util);
 
     Ok(Estimate {
         gflops,
@@ -679,7 +674,13 @@ mod tests {
                         dev.max_w
                     );
                     assert!(e.gflops > 0.0);
-                    assert!(e.gflops < 500.0, "{} {:?}: {} GF implausible", dev.name, kind, e.gflops);
+                    assert!(
+                        e.gflops < 500.0,
+                        "{} {:?}: {} GF implausible",
+                        dev.name,
+                        kind,
+                        e.gflops
+                    );
                 }
             }
         }

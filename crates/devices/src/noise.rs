@@ -59,18 +59,16 @@ mod tests {
 
     #[test]
     fn distribution_is_tight_around_one() {
-        let samples: Vec<f64> =
-            (0..20_000).map(|i| noise_factor(i, "dev", "fmt")).collect();
+        let samples: Vec<f64> = (0..20_000).map(|i| noise_factor(i, "dev", "fmt")).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
-        let within_40pct =
-            samples.iter().filter(|&&s| (0.6..1.4).contains(&s)).count() as f64
-                / samples.len() as f64;
+        let within_40pct = samples.iter().filter(|&&s| (0.6..1.4).contains(&s)).count() as f64
+            / samples.len() as f64;
         assert!(within_40pct > 0.99, "only {within_40pct} within 40%");
         assert!(samples.iter().all(|&s| s > 0.0));
         // But it is not degenerate: the calibrated spread exists.
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         assert!((var.sqrt() - NOISE_SIGMA).abs() < 0.03, "std {}", var.sqrt());
     }
 }

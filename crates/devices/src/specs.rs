@@ -106,7 +106,15 @@ pub fn all_devices() -> Vec<DeviceSpec> {
             max_w: 180.0,
             sched_units: 24,
             nnz_half_util: 60_000.0,
-            formats: vec![NaiveCsr, VectorizedCsr, BalancedCsr, Csr5, MergeCsr, SparseX, SellCSigma],
+            formats: vec![
+                NaiveCsr,
+                VectorizedCsr,
+                BalancedCsr,
+                Csr5,
+                MergeCsr,
+                SparseX,
+                SellCSigma,
+            ],
             fpga: None,
         },
         DeviceSpec {
@@ -159,7 +167,15 @@ pub fn all_devices() -> Vec<DeviceSpec> {
             max_w: 105.0,
             sched_units: 14,
             nnz_half_util: 40_000.0,
-            formats: vec![NaiveCsr, VectorizedCsr, BalancedCsr, Csr5, MergeCsr, SparseX, SellCSigma],
+            formats: vec![
+                NaiveCsr,
+                VectorizedCsr,
+                BalancedCsr,
+                Csr5,
+                MergeCsr,
+                SparseX,
+                SellCSigma,
+            ],
             fpga: None,
         },
         DeviceSpec {

@@ -99,8 +99,7 @@ impl BcsrFormat {
                 for (&c, &v) in cs.iter().zip(vs) {
                     let bc = c / block as u32;
                     // Position of this block within the block row.
-                    let k = base_block
-                        + block_col[base_block..].partition_point(|&x| x < bc);
+                    let k = base_block + block_col[base_block..].partition_point(|&x| x < bc);
                     let within = (r - r_lo) * block + (c as usize - bc as usize * block);
                     values[k * block * block + within] = v;
                 }
@@ -130,12 +129,7 @@ impl BcsrFormat {
         }
     }
 
-    fn spmv_block_rows(
-        &self,
-        block_rows: std::ops::Range<usize>,
-        x: &[f64],
-        out: &DisjointWriter,
-    ) {
+    fn spmv_block_rows(&self, block_rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter) {
         let b = self.block;
         let mut acc = vec![0.0f64; b];
         for br in block_rows {

@@ -81,9 +81,13 @@ impl DiaFormat {
             // which binds even for negative offsets when rows > cols).
             let lo = rows.start.max((-off).max(0) as usize);
             let hi = rows.end.min((self.cols as i64 - off).max(0) as usize);
-            for r in lo..hi {
+            if lo >= hi {
+                continue;
+            }
+            for (i, &lv) in lane[lo..hi].iter().enumerate() {
+                let r = lo + i;
                 let c = (r as i64 + off) as usize;
-                out.add(r, lane[r] * x[c]);
+                out.add(r, lv * x[c]);
             }
         }
     }
@@ -224,8 +228,7 @@ mod tests {
     fn refuses_scattered_matrices() {
         // Every nonzero on its own diagonal: padding ratio = rows.
         let n = 64usize;
-        let t: Vec<(usize, usize, f64)> =
-            (0..n).map(|r| (r, (r * r + 3) % n, 1.0)).collect();
+        let t: Vec<(usize, usize, f64)> = (0..n).map(|r| (r, (r * r + 3) % n, 1.0)).collect();
         let m = CsrMatrix::from_triplets(n, n, &t).unwrap();
         let err = DiaFormat::from_csr(&m).map(|_| ()).unwrap_err();
         assert!(matches!(err, FormatBuildError::PaddingOverflow { format: "DIA", .. }));

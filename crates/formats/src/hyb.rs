@@ -163,7 +163,8 @@ impl SparseFormat for HybFormat {
             return;
         }
         let (ri, ci, v) = (&self.coo_row, &self.coo_col, &self.coo_val);
-        let mut carries: Vec<(usize, f64, usize, f64)> = vec![(usize::MAX, 0.0, usize::MAX, 0.0); t];
+        let mut carries: Vec<(usize, f64, usize, f64)> =
+            vec![(usize::MAX, 0.0, usize::MAX, 0.0); t];
         {
             let carries_ptr = carries.as_mut_ptr() as usize;
             pool.broadcast(|tid| {

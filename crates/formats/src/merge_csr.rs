@@ -145,10 +145,7 @@ mod tests {
             let mut got = vec![f64::NAN; m.rows()];
             f.spmv_parallel(&pool, &x, &mut got);
             for (i, (a, b)) in got.iter().zip(&want).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-9,
-                    "threads {threads}, row {i}: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-9, "threads {threads}, row {i}: {a} vs {b}");
             }
         }
     }

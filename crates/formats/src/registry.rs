@@ -89,10 +89,7 @@ impl FormatKind {
     pub fn is_research(self) -> bool {
         matches!(
             self,
-            FormatKind::SellCSigma
-                | FormatKind::Csr5
-                | FormatKind::MergeCsr
-                | FormatKind::SparseX
+            FormatKind::SellCSigma | FormatKind::Csr5 | FormatKind::MergeCsr | FormatKind::SparseX
         )
     }
 }
@@ -104,9 +101,7 @@ pub fn build_format(
 ) -> Result<Box<dyn SparseFormat>, FormatBuildError> {
     Ok(match kind {
         FormatKind::NaiveCsr => Box::new(CsrFormat::new(csr.clone(), CsrVariant::Naive)),
-        FormatKind::VectorizedCsr => {
-            Box::new(CsrFormat::new(csr.clone(), CsrVariant::Vectorized))
-        }
+        FormatKind::VectorizedCsr => Box::new(CsrFormat::new(csr.clone(), CsrVariant::Vectorized)),
         FormatKind::BalancedCsr => Box::new(CsrFormat::new(csr.clone(), CsrVariant::Balanced)),
         FormatKind::Coo => Box::new(CooFormat::from_csr(csr)),
         FormatKind::Dia => Box::new(DiaFormat::from_csr(csr)?),

@@ -81,7 +81,18 @@ impl SellCSigmaFormat {
                 }
             }
         }
-        Self { rows, cols: csr.cols(), nnz: csr.nnz(), c, sigma, perm, chunk_ptr, chunk_width, col_idx, values }
+        Self {
+            rows,
+            cols: csr.cols(),
+            nnz: csr.nnz(),
+            c,
+            sigma,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+        }
     }
 
     /// Chunk height C.
@@ -216,8 +227,7 @@ mod tests {
         for w in 0..(50usize.div_ceil(8)) {
             let lo = w * 8;
             let hi = (lo + 8).min(50);
-            let lens: Vec<usize> =
-                (lo..hi).map(|p| m.row_nnz(f.perm()[p] as usize)).collect();
+            let lens: Vec<usize> = (lo..hi).map(|p| m.row_nnz(f.perm()[p] as usize)).collect();
             assert!(lens.windows(2).all(|ab| ab[0] >= ab[1]), "window {w}: {lens:?}");
         }
     }

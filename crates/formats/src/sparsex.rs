@@ -60,9 +60,7 @@ impl SparseXFormat {
             let (cols, _) = csr.row(r);
             encode_row(cols, &mut stream);
             if stream.len() > u32::MAX as usize {
-                return Err(FormatBuildError::Unsupported(
-                    "index stream exceeds 4 GiB".into(),
-                ));
+                return Err(FormatBuildError::Unsupported("index stream exceeds 4 GiB".into()));
             }
             stream_ptr.push(stream.len() as u32);
         }
@@ -96,9 +94,9 @@ impl SparseXFormat {
             while s < end {
                 let tag = self.stream[s];
                 let count = self.stream[s + 1] as usize;
-                let start = u32::from_le_bytes(
-                    self.stream[s + 2..s + 6].try_into().expect("start col"),
-                ) as usize;
+                let start =
+                    u32::from_le_bytes(self.stream[s + 2..s + 6].try_into().expect("start col"))
+                        as usize;
                 s += 6;
                 match tag {
                     T_DENSE => {
@@ -159,10 +157,7 @@ fn encode_row(cols: &[u32], stream: &mut Vec<u8>) {
     while i < cols.len() {
         // Measure the dense run starting at i.
         let mut run = 1usize;
-        while i + run < cols.len()
-            && run < MAX_UNIT
-            && cols[i + run] == cols[i + run - 1] + 1
-        {
+        while i + run < cols.len() && run < MAX_UNIT && cols[i + run] == cols[i + run - 1] + 1 {
             run += 1;
         }
         if run >= MIN_DENSE_RUN {
@@ -234,7 +229,9 @@ impl SparseFormat for SparseXFormat {
     }
 
     fn bytes(&self) -> usize {
-        self.values.len() * 8 + self.stream.len() + self.stream_ptr.len() * 4
+        self.values.len() * 8
+            + self.stream.len()
+            + self.stream_ptr.len() * 4
             + self.val_ptr.len() * 4
     }
 
@@ -368,8 +365,7 @@ mod tests {
     #[test]
     fn mixed_rows_with_runs_and_jumps() {
         // Row: run of 5, jump 1000, pair, jump 70000, single.
-        let cols: Vec<usize> =
-            vec![10, 11, 12, 13, 14, 1014, 1015, 71015, 71020];
+        let cols: Vec<usize> = vec![10, 11, 12, 13, 14, 1014, 1015, 71015, 71020];
         let t: Vec<(usize, usize, f64)> =
             cols.iter().map(|&c| (0usize, c, c as f64 * 1e-3)).collect();
         let m = CsrMatrix::from_triplets(1, 80_000, &t).unwrap();

@@ -25,10 +25,9 @@ pub enum FormatBuildError {
 impl fmt::Display for FormatBuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FormatBuildError::PaddingOverflow { needed_bytes, limit_bytes, format } => write!(
-                f,
-                "{format}: padded size {needed_bytes} B exceeds capacity {limit_bytes} B"
-            ),
+            FormatBuildError::PaddingOverflow { needed_bytes, limit_bytes, format } => {
+                write!(f, "{format}: padded size {needed_bytes} B exceeds capacity {limit_bytes} B")
+            }
             FormatBuildError::Unsupported(msg) => write!(f, "unsupported matrix: {msg}"),
         }
     }
@@ -130,11 +129,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = FormatBuildError::PaddingOverflow {
-            needed_bytes: 100,
-            limit_bytes: 10,
-            format: "ELL",
-        };
+        let e =
+            FormatBuildError::PaddingOverflow { needed_bytes: 100, limit_bytes: 10, format: "ELL" };
         assert!(e.to_string().contains("ELL"));
         assert!(e.to_string().contains("100"));
     }

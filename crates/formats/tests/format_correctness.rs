@@ -24,14 +24,23 @@ fn corpus() -> Vec<(String, spmv_core::CsrMatrix)> {
     let mut out = Vec::new();
     let cases = [
         ("balanced_regular", GeneratorParams { cross_row_sim: 0.9, avg_num_neigh: 1.8, ..base }),
-        ("balanced_irregular", GeneratorParams { cross_row_sim: 0.05, avg_num_neigh: 0.05, bw_scaled: 0.6, ..base }),
+        (
+            "balanced_irregular",
+            GeneratorParams { cross_row_sim: 0.05, avg_num_neigh: 0.05, bw_scaled: 0.6, ..base },
+        ),
         ("skewed", GeneratorParams { skew_coeff: 40.0, std_nz_row: 0.0, ..base }),
-        ("heavily_skewed", GeneratorParams { skew_coeff: 55.0, avg_nz_row: 5.0, std_nz_row: 0.0, ..base }),
+        (
+            "heavily_skewed",
+            GeneratorParams { skew_coeff: 55.0, avg_nz_row: 5.0, std_nz_row: 0.0, ..base },
+        ),
         ("short_rows", GeneratorParams { avg_nz_row: 2.0, std_nz_row: 1.0, ..base }),
         ("long_rows", GeneratorParams { avg_nz_row: 90.0, std_nz_row: 10.0, ..base }),
         ("narrow_band", GeneratorParams { bw_scaled: 0.05, avg_num_neigh: 1.5, ..base }),
         ("uniform_dist", GeneratorParams { distribution: RowDist::Uniform, ..base }),
-        ("constant_dist", GeneratorParams { distribution: RowDist::Constant, std_nz_row: 0.0, ..base }),
+        (
+            "constant_dist",
+            GeneratorParams { distribution: RowDist::Constant, std_nz_row: 0.0, ..base },
+        ),
     ];
     for (name, p) in cases {
         out.push((name.to_string(), p.generate().unwrap()));
@@ -41,11 +50,21 @@ fn corpus() -> Vec<(String, spmv_core::CsrMatrix)> {
     out.push(("empty".into(), spmv_core::CsrMatrix::zeros(32, 32)));
     out.push((
         "single_row".into(),
-        spmv_core::CsrMatrix::from_triplets(1, 200, &(0..200).map(|c| (0usize, c, 0.01 * c as f64)).collect::<Vec<_>>()).unwrap(),
+        spmv_core::CsrMatrix::from_triplets(
+            1,
+            200,
+            &(0..200).map(|c| (0usize, c, 0.01 * c as f64)).collect::<Vec<_>>(),
+        )
+        .unwrap(),
     ));
     out.push((
         "single_col".into(),
-        spmv_core::CsrMatrix::from_triplets(200, 1, &(0..200).step_by(3).map(|r| (r, 0usize, r as f64)).collect::<Vec<_>>()).unwrap(),
+        spmv_core::CsrMatrix::from_triplets(
+            200,
+            1,
+            &(0..200).step_by(3).map(|r| (r, 0usize, r as f64)).collect::<Vec<_>>(),
+        )
+        .unwrap(),
     ));
     out
 }

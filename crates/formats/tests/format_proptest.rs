@@ -16,21 +16,19 @@ use std::collections::BTreeMap;
 fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
     (1usize..40, 1usize..40).prop_flat_map(|(rows, cols)| {
         let max_entries = (rows * cols).min(160);
-        proptest::collection::vec(
-            (0..rows, 0..cols, -8i32..8),
-            0..=max_entries,
+        proptest::collection::vec((0..rows, 0..cols, -8i32..8), 0..=max_entries).prop_map(
+            move |entries| {
+                // Deduplicate coordinates (from_triplets rejects duplicates);
+                // keep the last value for each coordinate.
+                let mut dedup: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+                for (r, c, v) in entries {
+                    dedup.insert((r, c), v as f64 * 0.5 + 0.25);
+                }
+                let triplets: Vec<(usize, usize, f64)> =
+                    dedup.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+                CsrMatrix::from_triplets(rows, cols, &triplets).expect("deduplicated triplets")
+            },
         )
-        .prop_map(move |entries| {
-            // Deduplicate coordinates (from_triplets rejects duplicates);
-            // keep the last value for each coordinate.
-            let mut dedup: BTreeMap<(usize, usize), f64> = BTreeMap::new();
-            for (r, c, v) in entries {
-                dedup.insert((r, c), v as f64 * 0.5 + 0.25);
-            }
-            let triplets: Vec<(usize, usize, f64)> =
-                dedup.into_iter().map(|((r, c), v)| (r, c, v)).collect();
-            CsrMatrix::from_triplets(rows, cols, &triplets).expect("deduplicated triplets")
-        })
     })
 }
 

@@ -269,8 +269,8 @@ mod tests {
             .unwrap();
         let m = spec.materialize().unwrap();
         let f = spmv_core::FeatureSet::extract(&m);
-        let rel = (f.mem_footprint_mb - spec.point.mem_footprint_mb).abs()
-            / spec.point.mem_footprint_mb;
+        let rel =
+            (f.mem_footprint_mb - spec.point.mem_footprint_mb).abs() / spec.point.mem_footprint_mb;
         assert!(rel < 0.1, "footprint rel err {rel}");
     }
 }

@@ -135,13 +135,7 @@ impl GeneratorParams {
             }
             row_ptr.push(col_idx.len());
         }
-        Ok(CsrMatrix::from_parts_unchecked(
-            self.nr_rows,
-            self.nr_cols,
-            row_ptr,
-            col_idx,
-            values,
-        ))
+        Ok(CsrMatrix::from_parts_unchecked(self.nr_rows, self.nr_cols, row_ptr, col_idx, values))
     }
 }
 
@@ -204,12 +198,7 @@ pub fn plan_row_lengths(p: &GeneratorParams, rng: &mut StdRng) -> Vec<usize> {
 
 /// Fills the exponential skew envelope `MAX · exp(−C·i/n)` over a prefix
 /// of rows; returns `(spike_rows, spike_total)`.
-fn fill_skew_envelope(
-    lengths: &mut [usize],
-    n: usize,
-    avg: f64,
-    max_len: usize,
-) -> (usize, usize) {
+fn fill_skew_envelope(lengths: &mut [usize], n: usize, avg: f64, max_len: usize) -> (usize, usize) {
     let ratio = (max_len as f64 / avg.max(1e-9)).max(1.0 + 1e-9);
     // Width of the spike as a fraction of the matrix: chosen so the
     // spike consumes at most ~40% of the total nonzero budget, keeping
@@ -289,7 +278,13 @@ impl RowPlacer {
 
     /// Places `len` sorted, unique columns for row `row_index` into
     /// `out` (cleared first), updating the previous-row state.
-    pub fn place_row(&mut self, rng: &mut StdRng, row_index: usize, len: usize, out: &mut Vec<u32>) {
+    pub fn place_row(
+        &mut self,
+        rng: &mut StdRng,
+        row_index: usize,
+        len: usize,
+        out: &mut Vec<u32>,
+    ) {
         out.clear();
         self.seen.clear();
         let cols = self.nr_cols;
@@ -456,11 +451,7 @@ mod tests {
     fn hits_requested_average_row_length() {
         let p = base_params();
         let f = FeatureSet::extract(&p.generate().unwrap());
-        assert!(
-            (f.avg_nnz_per_row - 20.0).abs() / 20.0 < 0.02,
-            "avg = {}",
-            f.avg_nnz_per_row
-        );
+        assert!((f.avg_nnz_per_row - 20.0).abs() / 20.0 < 0.02, "avg = {}", f.avg_nnz_per_row);
     }
 
     #[test]

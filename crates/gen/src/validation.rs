@@ -42,51 +42,411 @@ use RegularityClass::{Large as L, Medium as M, Small as S};
 
 /// Table III of the paper: the 45-matrix validation suite.
 pub const VALIDATION_SUITE: [ValidationMatrix; 45] = [
-    ValidationMatrix { id: 1, name: "scircuit", mem_footprint_mb: 11.63, avg_nnz_per_row: 5.61, skew_coeff: 61.95, crs_class: M, neigh_class: M },
-    ValidationMatrix { id: 2, name: "mac_econ_fwd500", mem_footprint_mb: 15.36, avg_nnz_per_row: 6.17, skew_coeff: 6.14, crs_class: M, neigh_class: S },
-    ValidationMatrix { id: 3, name: "raefsky3", mem_footprint_mb: 17.12, avg_nnz_per_row: 70.22, skew_coeff: 0.14, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 4, name: "bbmat", mem_footprint_mb: 20.42, avg_nnz_per_row: 45.73, skew_coeff: 1.76, crs_class: L, neigh_class: M },
-    ValidationMatrix { id: 5, name: "conf5_4-8x8-15", mem_footprint_mb: 22.13, avg_nnz_per_row: 39.0, skew_coeff: 0.0, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 6, name: "mc2depi", mem_footprint_mb: 26.04, avg_nnz_per_row: 3.99, skew_coeff: 0.0, crs_class: L, neigh_class: S },
-    ValidationMatrix { id: 7, name: "rma10", mem_footprint_mb: 27.35, avg_nnz_per_row: 50.69, skew_coeff: 1.86, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 8, name: "cop20k_A", mem_footprint_mb: 30.5, avg_nnz_per_row: 21.65, skew_coeff: 2.74, crs_class: M, neigh_class: M },
-    ValidationMatrix { id: 9, name: "thermomech_dK", mem_footprint_mb: 33.35, avg_nnz_per_row: 13.93, skew_coeff: 0.44, crs_class: M, neigh_class: M },
-    ValidationMatrix { id: 10, name: "webbase-1M", mem_footprint_mb: 39.35, avg_nnz_per_row: 3.11, skew_coeff: 1512.43, crs_class: L, neigh_class: S },
-    ValidationMatrix { id: 11, name: "cant", mem_footprint_mb: 46.1, avg_nnz_per_row: 64.17, skew_coeff: 0.22, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 12, name: "ASIC_680k", mem_footprint_mb: 46.91, avg_nnz_per_row: 5.67, skew_coeff: 69710.56, crs_class: L, neigh_class: M },
-    ValidationMatrix { id: 13, name: "pdb1HYS", mem_footprint_mb: 49.86, avg_nnz_per_row: 119.31, skew_coeff: 0.71, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 14, name: "TSOPF_RS_b300_c3", mem_footprint_mb: 50.67, avg_nnz_per_row: 104.74, skew_coeff: 1.0, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 15, name: "Chebyshev4", mem_footprint_mb: 61.8, avg_nnz_per_row: 78.94, skew_coeff: 861.9, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 16, name: "consph", mem_footprint_mb: 69.1, avg_nnz_per_row: 72.13, skew_coeff: 0.12, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 17, name: "com-Youtube", mem_footprint_mb: 72.71, avg_nnz_per_row: 5.27, skew_coeff: 5460.3, crs_class: M, neigh_class: S },
-    ValidationMatrix { id: 18, name: "rajat30", mem_footprint_mb: 73.13, avg_nnz_per_row: 9.59, skew_coeff: 47421.8, crs_class: M, neigh_class: M },
-    ValidationMatrix { id: 19, name: "radiation", mem_footprint_mb: 88.26, avg_nnz_per_row: 34.23, skew_coeff: 101.18, crs_class: S, neigh_class: S },
-    ValidationMatrix { id: 20, name: "Stanford_Berkeley", mem_footprint_mb: 89.39, avg_nnz_per_row: 11.1, skew_coeff: 7519.69, crs_class: M, neigh_class: M },
-    ValidationMatrix { id: 21, name: "shipsec1", mem_footprint_mb: 89.95, avg_nnz_per_row: 55.46, skew_coeff: 0.84, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 22, name: "PR02R", mem_footprint_mb: 94.29, avg_nnz_per_row: 50.82, skew_coeff: 0.81, crs_class: L, neigh_class: M },
-    ValidationMatrix { id: 23, name: "gupta3", mem_footprint_mb: 106.76, avg_nnz_per_row: 555.53, skew_coeff: 25.41, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 24, name: "mip1", mem_footprint_mb: 118.73, avg_nnz_per_row: 155.77, skew_coeff: 425.24, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 25, name: "rail4284", mem_footprint_mb: 129.15, avg_nnz_per_row: 2633.99, skew_coeff: 20.33, crs_class: S, neigh_class: L },
-    ValidationMatrix { id: 26, name: "pwtk", mem_footprint_mb: 133.98, avg_nnz_per_row: 53.39, skew_coeff: 2.37, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 27, name: "crankseg_2", mem_footprint_mb: 162.16, avg_nnz_per_row: 221.64, skew_coeff: 14.44, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 28, name: "Si41Ge41H72", mem_footprint_mb: 172.5, avg_nnz_per_row: 80.86, skew_coeff: 7.19, crs_class: L, neigh_class: M },
-    ValidationMatrix { id: 29, name: "TSOPF_RS_b2383", mem_footprint_mb: 185.21, avg_nnz_per_row: 424.22, skew_coeff: 1.32, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 30, name: "in-2004", mem_footprint_mb: 198.88, avg_nnz_per_row: 12.23, skew_coeff: 632.78, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 31, name: "Ga41As41H72", mem_footprint_mb: 212.61, avg_nnz_per_row: 68.96, skew_coeff: 9.18, crs_class: L, neigh_class: M },
-    ValidationMatrix { id: 32, name: "eu-2005", mem_footprint_mb: 223.42, avg_nnz_per_row: 22.3, skew_coeff: 312.27, crs_class: L, neigh_class: M },
-    ValidationMatrix { id: 33, name: "wikipedia-20051105", mem_footprint_mb: 232.29, avg_nnz_per_row: 12.08, skew_coeff: 410.37, crs_class: S, neigh_class: S },
-    ValidationMatrix { id: 34, name: "human_gene1", mem_footprint_mb: 282.41, avg_nnz_per_row: 1107.11, skew_coeff: 6.17, crs_class: S, neigh_class: S },
-    ValidationMatrix { id: 35, name: "delaunay_n22", mem_footprint_mb: 304.0, avg_nnz_per_row: 6.0, skew_coeff: 2.83, crs_class: M, neigh_class: S },
-    ValidationMatrix { id: 36, name: "sx-stackoverflow", mem_footprint_mb: 424.58, avg_nnz_per_row: 13.93, skew_coeff: 2738.46, crs_class: S, neigh_class: S },
-    ValidationMatrix { id: 37, name: "dgreen", mem_footprint_mb: 442.43, avg_nnz_per_row: 31.87, skew_coeff: 4.87, crs_class: S, neigh_class: S },
-    ValidationMatrix { id: 38, name: "mawi_201512012345", mem_footprint_mb: 506.18, avg_nnz_per_row: 2.05, skew_coeff: 8006372.09, crs_class: L, neigh_class: M },
-    ValidationMatrix { id: 39, name: "ldoor", mem_footprint_mb: 536.04, avg_nnz_per_row: 48.86, skew_coeff: 0.58, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 40, name: "dielFilterV2real", mem_footprint_mb: 559.9, avg_nnz_per_row: 41.94, skew_coeff: 1.62, crs_class: M, neigh_class: M },
-    ValidationMatrix { id: 41, name: "circuit5M", mem_footprint_mb: 702.4, avg_nnz_per_row: 10.71, skew_coeff: 120504.85, crs_class: L, neigh_class: M },
-    ValidationMatrix { id: 42, name: "soc-LiveJournal1", mem_footprint_mb: 808.06, avg_nnz_per_row: 14.23, skew_coeff: 1424.81, crs_class: S, neigh_class: S },
-    ValidationMatrix { id: 43, name: "bone010", mem_footprint_mb: 823.92, avg_nnz_per_row: 72.63, skew_coeff: 0.12, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 44, name: "audikw_1", mem_footprint_mb: 892.25, avg_nnz_per_row: 82.28, skew_coeff: 3.19, crs_class: L, neigh_class: L },
-    ValidationMatrix { id: 45, name: "cage15", mem_footprint_mb: 1154.91, avg_nnz_per_row: 19.24, skew_coeff: 1.44, crs_class: L, neigh_class: S },
+    ValidationMatrix {
+        id: 1,
+        name: "scircuit",
+        mem_footprint_mb: 11.63,
+        avg_nnz_per_row: 5.61,
+        skew_coeff: 61.95,
+        crs_class: M,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 2,
+        name: "mac_econ_fwd500",
+        mem_footprint_mb: 15.36,
+        avg_nnz_per_row: 6.17,
+        skew_coeff: 6.14,
+        crs_class: M,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 3,
+        name: "raefsky3",
+        mem_footprint_mb: 17.12,
+        avg_nnz_per_row: 70.22,
+        skew_coeff: 0.14,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 4,
+        name: "bbmat",
+        mem_footprint_mb: 20.42,
+        avg_nnz_per_row: 45.73,
+        skew_coeff: 1.76,
+        crs_class: L,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 5,
+        name: "conf5_4-8x8-15",
+        mem_footprint_mb: 22.13,
+        avg_nnz_per_row: 39.0,
+        skew_coeff: 0.0,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 6,
+        name: "mc2depi",
+        mem_footprint_mb: 26.04,
+        avg_nnz_per_row: 3.99,
+        skew_coeff: 0.0,
+        crs_class: L,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 7,
+        name: "rma10",
+        mem_footprint_mb: 27.35,
+        avg_nnz_per_row: 50.69,
+        skew_coeff: 1.86,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 8,
+        name: "cop20k_A",
+        mem_footprint_mb: 30.5,
+        avg_nnz_per_row: 21.65,
+        skew_coeff: 2.74,
+        crs_class: M,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 9,
+        name: "thermomech_dK",
+        mem_footprint_mb: 33.35,
+        avg_nnz_per_row: 13.93,
+        skew_coeff: 0.44,
+        crs_class: M,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 10,
+        name: "webbase-1M",
+        mem_footprint_mb: 39.35,
+        avg_nnz_per_row: 3.11,
+        skew_coeff: 1512.43,
+        crs_class: L,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 11,
+        name: "cant",
+        mem_footprint_mb: 46.1,
+        avg_nnz_per_row: 64.17,
+        skew_coeff: 0.22,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 12,
+        name: "ASIC_680k",
+        mem_footprint_mb: 46.91,
+        avg_nnz_per_row: 5.67,
+        skew_coeff: 69710.56,
+        crs_class: L,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 13,
+        name: "pdb1HYS",
+        mem_footprint_mb: 49.86,
+        avg_nnz_per_row: 119.31,
+        skew_coeff: 0.71,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 14,
+        name: "TSOPF_RS_b300_c3",
+        mem_footprint_mb: 50.67,
+        avg_nnz_per_row: 104.74,
+        skew_coeff: 1.0,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 15,
+        name: "Chebyshev4",
+        mem_footprint_mb: 61.8,
+        avg_nnz_per_row: 78.94,
+        skew_coeff: 861.9,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 16,
+        name: "consph",
+        mem_footprint_mb: 69.1,
+        avg_nnz_per_row: 72.13,
+        skew_coeff: 0.12,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 17,
+        name: "com-Youtube",
+        mem_footprint_mb: 72.71,
+        avg_nnz_per_row: 5.27,
+        skew_coeff: 5460.3,
+        crs_class: M,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 18,
+        name: "rajat30",
+        mem_footprint_mb: 73.13,
+        avg_nnz_per_row: 9.59,
+        skew_coeff: 47421.8,
+        crs_class: M,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 19,
+        name: "radiation",
+        mem_footprint_mb: 88.26,
+        avg_nnz_per_row: 34.23,
+        skew_coeff: 101.18,
+        crs_class: S,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 20,
+        name: "Stanford_Berkeley",
+        mem_footprint_mb: 89.39,
+        avg_nnz_per_row: 11.1,
+        skew_coeff: 7519.69,
+        crs_class: M,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 21,
+        name: "shipsec1",
+        mem_footprint_mb: 89.95,
+        avg_nnz_per_row: 55.46,
+        skew_coeff: 0.84,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 22,
+        name: "PR02R",
+        mem_footprint_mb: 94.29,
+        avg_nnz_per_row: 50.82,
+        skew_coeff: 0.81,
+        crs_class: L,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 23,
+        name: "gupta3",
+        mem_footprint_mb: 106.76,
+        avg_nnz_per_row: 555.53,
+        skew_coeff: 25.41,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 24,
+        name: "mip1",
+        mem_footprint_mb: 118.73,
+        avg_nnz_per_row: 155.77,
+        skew_coeff: 425.24,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 25,
+        name: "rail4284",
+        mem_footprint_mb: 129.15,
+        avg_nnz_per_row: 2633.99,
+        skew_coeff: 20.33,
+        crs_class: S,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 26,
+        name: "pwtk",
+        mem_footprint_mb: 133.98,
+        avg_nnz_per_row: 53.39,
+        skew_coeff: 2.37,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 27,
+        name: "crankseg_2",
+        mem_footprint_mb: 162.16,
+        avg_nnz_per_row: 221.64,
+        skew_coeff: 14.44,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 28,
+        name: "Si41Ge41H72",
+        mem_footprint_mb: 172.5,
+        avg_nnz_per_row: 80.86,
+        skew_coeff: 7.19,
+        crs_class: L,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 29,
+        name: "TSOPF_RS_b2383",
+        mem_footprint_mb: 185.21,
+        avg_nnz_per_row: 424.22,
+        skew_coeff: 1.32,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 30,
+        name: "in-2004",
+        mem_footprint_mb: 198.88,
+        avg_nnz_per_row: 12.23,
+        skew_coeff: 632.78,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 31,
+        name: "Ga41As41H72",
+        mem_footprint_mb: 212.61,
+        avg_nnz_per_row: 68.96,
+        skew_coeff: 9.18,
+        crs_class: L,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 32,
+        name: "eu-2005",
+        mem_footprint_mb: 223.42,
+        avg_nnz_per_row: 22.3,
+        skew_coeff: 312.27,
+        crs_class: L,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 33,
+        name: "wikipedia-20051105",
+        mem_footprint_mb: 232.29,
+        avg_nnz_per_row: 12.08,
+        skew_coeff: 410.37,
+        crs_class: S,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 34,
+        name: "human_gene1",
+        mem_footprint_mb: 282.41,
+        avg_nnz_per_row: 1107.11,
+        skew_coeff: 6.17,
+        crs_class: S,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 35,
+        name: "delaunay_n22",
+        mem_footprint_mb: 304.0,
+        avg_nnz_per_row: 6.0,
+        skew_coeff: 2.83,
+        crs_class: M,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 36,
+        name: "sx-stackoverflow",
+        mem_footprint_mb: 424.58,
+        avg_nnz_per_row: 13.93,
+        skew_coeff: 2738.46,
+        crs_class: S,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 37,
+        name: "dgreen",
+        mem_footprint_mb: 442.43,
+        avg_nnz_per_row: 31.87,
+        skew_coeff: 4.87,
+        crs_class: S,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 38,
+        name: "mawi_201512012345",
+        mem_footprint_mb: 506.18,
+        avg_nnz_per_row: 2.05,
+        skew_coeff: 8006372.09,
+        crs_class: L,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 39,
+        name: "ldoor",
+        mem_footprint_mb: 536.04,
+        avg_nnz_per_row: 48.86,
+        skew_coeff: 0.58,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 40,
+        name: "dielFilterV2real",
+        mem_footprint_mb: 559.9,
+        avg_nnz_per_row: 41.94,
+        skew_coeff: 1.62,
+        crs_class: M,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 41,
+        name: "circuit5M",
+        mem_footprint_mb: 702.4,
+        avg_nnz_per_row: 10.71,
+        skew_coeff: 120504.85,
+        crs_class: L,
+        neigh_class: M,
+    },
+    ValidationMatrix {
+        id: 42,
+        name: "soc-LiveJournal1",
+        mem_footprint_mb: 808.06,
+        avg_nnz_per_row: 14.23,
+        skew_coeff: 1424.81,
+        crs_class: S,
+        neigh_class: S,
+    },
+    ValidationMatrix {
+        id: 43,
+        name: "bone010",
+        mem_footprint_mb: 823.92,
+        avg_nnz_per_row: 72.63,
+        skew_coeff: 0.12,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 44,
+        name: "audikw_1",
+        mem_footprint_mb: 892.25,
+        avg_nnz_per_row: 82.28,
+        skew_coeff: 3.19,
+        crs_class: L,
+        neigh_class: L,
+    },
+    ValidationMatrix {
+        id: 45,
+        name: "cage15",
+        mem_footprint_mb: 1154.91,
+        avg_nnz_per_row: 19.24,
+        skew_coeff: 1.44,
+        crs_class: L,
+        neigh_class: S,
+    },
 ];
 
 /// Representative numeric value for an S/M/L cross-row-similarity class
@@ -187,11 +547,7 @@ mod tests {
         let f = FeatureSet::extract(&p.generate().unwrap());
         assert!((f.mem_footprint_mb - 11.63 / 8.0).abs() / (11.63 / 8.0) < 0.1);
         assert!((f.avg_nnz_per_row - 5.61).abs() / 5.61 < 0.15);
-        assert!(
-            (f.skew_coeff - 61.95).abs() / 61.95 < 0.3,
-            "skew {} vs 61.95",
-            f.skew_coeff
-        );
+        assert!((f.skew_coeff - 61.95).abs() / 61.95 < 0.3, "skew {} vs 61.95", f.skew_coeff);
     }
 
     #[test]

@@ -117,7 +117,13 @@ mod tests {
         .unwrap()
     }
 
-    fn inputs(m: &spmv_core::CsrMatrix, bw: f64, neigh: f64, crs: f64, cache: usize) -> LocalityInputs {
+    fn inputs(
+        m: &spmv_core::CsrMatrix,
+        bw: f64,
+        neigh: f64,
+        crs: f64,
+        cache: usize,
+    ) -> LocalityInputs {
         let f = spmv_core::FeatureSet::extract(m);
         LocalityInputs {
             rows: m.rows(),

@@ -162,11 +162,7 @@ mod tests {
             for &a in &trace {
                 c.access(a);
             }
-            assert!(
-                c.hit_rate() >= prev - 0.02,
-                "{kb} KB: {} < {prev}",
-                c.hit_rate()
-            );
+            assert!(c.hit_rate() >= prev - 0.02, "{kb} KB: {} < {prev}", c.hit_rate());
             prev = c.hit_rate();
         }
     }

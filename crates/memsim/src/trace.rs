@@ -125,10 +125,7 @@ mod tests {
         let m = banded(4000, 50_000, 20_000, 12);
         let full = simulate_x_hit_rate(&m, 128 * 1024, 8, 64);
         let sampled = simulate_x_hit_rate_sampled(&m, 128 * 1024, 8, 64, 10_000);
-        assert!(
-            (full - sampled).abs() < 0.1,
-            "full {full} vs sampled {sampled}"
-        );
+        assert!((full - sampled).abs() < 0.1, "full {full} vs sampled {sampled}");
     }
 
     #[test]

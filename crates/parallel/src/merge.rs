@@ -76,10 +76,7 @@ mod tests {
             assert!(w[1].nz >= w[0].nz, "nnz decrease at segment {t}");
             let len = (w[1].row - w[0].row) + (w[1].nz - w[0].nz);
             let ideal = total / chunks;
-            assert!(
-                len <= ideal + 1,
-                "segment {t} length {len} exceeds ideal {ideal}+1"
-            );
+            assert!(len <= ideal + 1, "segment {t} length {len} exceeds ideal {ideal}+1");
             // Consistency: nonzeros consumed up to coords[t] lie inside
             // the current row's range.
             let c = w[1];

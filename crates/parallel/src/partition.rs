@@ -46,11 +46,8 @@ impl Partition {
             // with cumulative weight >= target; the previous index may
             // be closer to the target.
             let hi = prefix.partition_point(|&w| w < target).min(n);
-            let b = if hi > 0 && target - prefix[hi - 1] <= prefix[hi] - target {
-                hi - 1
-            } else {
-                hi
-            };
+            let b =
+                if hi > 0 && target - prefix[hi - 1] <= prefix[hi] - target { hi - 1 } else { hi };
             bounds.push(b.max(*bounds.last().expect("nonempty")));
         }
         bounds.push(n);
@@ -79,11 +76,7 @@ impl Partition {
         if total == 0 {
             return 1.0;
         }
-        let max_w = self
-            .ranges()
-            .map(|r| prefix[r.end] - prefix[r.start])
-            .max()
-            .unwrap_or(0);
+        let max_w = self.ranges().map(|r| prefix[r.end] - prefix[r.start]).max().unwrap_or(0);
         max_w as f64 / (total as f64 / self.chunks() as f64)
     }
 }

@@ -98,9 +98,7 @@ impl ThreadPool {
         // SAFETY: we erase the lifetime; the barrier below guarantees
         // the closure outlives all uses (see `JobPtr` docs).
         let ptr = JobPtr(unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
-                erased,
-            )
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
         });
         self.shared.remaining.store(self.threads, Ordering::Release);
         {

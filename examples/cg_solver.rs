@@ -101,8 +101,7 @@ fn cg(a: &dyn SparseFormat, pool: &ThreadPool, b: &[f64], tol: f64, max_iters: u
 }
 
 fn main() {
-    let grid_n: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let grid_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
     let wanted = std::env::args().nth(2);
 
     let a = poisson_2d(grid_n);
@@ -116,10 +115,9 @@ fn main() {
     let pool = ThreadPool::with_all_cores();
 
     let kinds: Vec<FormatKind> = match wanted.as_deref() {
-        Some(name) => FormatKind::ALL
-            .into_iter()
-            .filter(|k| k.name().eq_ignore_ascii_case(name))
-            .collect(),
+        Some(name) => {
+            FormatKind::ALL.into_iter().filter(|k| k.name().eq_ignore_ascii_case(name)).collect()
+        }
         None => vec![
             FormatKind::NaiveCsr,
             FormatKind::VectorizedCsr,
@@ -153,8 +151,7 @@ fn main() {
             }
         };
         let res = cg(fmt.as_ref(), &pool, &b, 1e-8, 4 * grid_n);
-        let gflops =
-            2.0 * a.nnz() as f64 * res.iterations as f64 / res.spmv_secs.max(1e-12) / 1e9;
+        let gflops = 2.0 * a.nnz() as f64 * res.iterations as f64 / res.spmv_secs.max(1e-12) / 1e9;
         println!(
             "{:<16} {:>6} {:>11.3} {:>11.3} {:>10.1}% {:>9.2}",
             fmt.name(),

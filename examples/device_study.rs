@@ -97,12 +97,9 @@ fn main() {
                 .filter_map(|&k| estimate(&dev, k, &summary).ok().map(|e| (k, e)))
                 .max_by(|a, b| a.1.gflops.total_cmp(&b.1.gflops));
             match best {
-                Some((k, e)) => rows.push((
-                    dev.name.to_string(),
-                    k.name().to_string(),
-                    e.gflops,
-                    e.watts,
-                )),
+                Some((k, e)) => {
+                    rows.push((dev.name.to_string(), k.name().to_string(), e.gflops, e.watts))
+                }
                 None => println!("    {:<14} {:>16}", dev.name, "refuses (capacity)"),
             }
         }

@@ -33,10 +33,9 @@ fn sweep_points(which: &str) -> Vec<SweepPoint> {
             .iter()
             .map(|&n| mk(format!("neigh={n}"), 20.0, 0.0, 0.5, n))
             .collect(),
-        "cross_row_sim" => [0.05, 0.5, 0.95]
-            .iter()
-            .map(|&c| mk(format!("crs={c}"), 20.0, 0.0, c, 0.95))
-            .collect(),
+        "cross_row_sim" => {
+            [0.05, 0.5, 0.95].iter().map(|&c| mk(format!("crs={c}"), 20.0, 0.0, c, 0.95)).collect()
+        }
         // default: row length (feature f2) — the paper's second most
         // impactful feature.
         _ => [5.0, 10.0, 20.0, 50.0, 100.0, 500.0]

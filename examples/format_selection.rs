@@ -81,20 +81,26 @@ fn main() {
     // A couple of concrete recommendations, for flavor.
     println!("\nsample recommendations:");
     for (label, f) in [
-        ("small regular (2 MB, 50 nnz/row)", SelectorFeatures {
-            footprint_mb: 2.0 / scale * 16.0,
-            avg_nnz_per_row: 50.0,
-            skew: 0.0,
-            cross_row_sim: 0.9,
-            avg_num_neigh: 1.5,
-        }),
-        ("large skewed web graph (1 GB, 4 nnz/row)", SelectorFeatures {
-            footprint_mb: 1024.0 / scale,
-            avg_nnz_per_row: 4.0,
-            skew: 5000.0,
-            cross_row_sim: 0.05,
-            avg_num_neigh: 0.05,
-        }),
+        (
+            "small regular (2 MB, 50 nnz/row)",
+            SelectorFeatures {
+                footprint_mb: 2.0 / scale * 16.0,
+                avg_nnz_per_row: 50.0,
+                skew: 0.0,
+                cross_row_sim: 0.9,
+                avg_num_neigh: 1.5,
+            },
+        ),
+        (
+            "large skewed web graph (1 GB, 4 nnz/row)",
+            SelectorFeatures {
+                footprint_mb: 1024.0 / scale,
+                avg_nnz_per_row: 4.0,
+                skew: 5000.0,
+                cross_row_sim: 0.05,
+                avg_num_neigh: 0.05,
+            },
+        ),
     ] {
         println!("  {label:<42} -> {}", selector.recommend(&f).unwrap_or("?"));
     }

@@ -100,9 +100,7 @@ fn best_format_reduction_agrees_with_exhaustive_search() {
     for b in &best {
         let max = records
             .iter()
-            .filter(|r| {
-                r.matrix_id == b.matrix_id && r.device == b.device && r.failed.is_none()
-            })
+            .filter(|r| r.matrix_id == b.matrix_id && r.device == b.device && r.failed.is_none())
             .map(|r| r.gflops)
             .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(b.gflops, max, "{}/{}", b.matrix_id, b.device);

@@ -10,13 +10,13 @@ use spmv_suite::parallel::ThreadPool;
 
 fn arb_params() -> impl Strategy<Value = GeneratorParams> {
     (
-        50usize..800,          // rows
-        0.5f64..30.0,          // avg nnz per row
-        0.0f64..400.0,         // skew
-        0.0f64..1.0,           // cross-row similarity
-        0.0f64..1.99,          // neighbors
-        0.02f64..1.0,          // bandwidth fraction
-        any::<u64>(),          // seed
+        50usize..800,  // rows
+        0.5f64..30.0,  // avg nnz per row
+        0.0f64..400.0, // skew
+        0.0f64..1.0,   // cross-row similarity
+        0.0f64..1.99,  // neighbors
+        0.02f64..1.0,  // bandwidth fraction
+        any::<u64>(),  // seed
     )
         .prop_map(|(rows, avg, skew, crs, neigh, bw, seed)| GeneratorParams {
             nr_rows: rows,

@@ -10,9 +10,8 @@ const SCALE: f64 = 16.0;
 
 fn campaign_records(stride: usize) -> Vec<Record> {
     let pool = ThreadPool::new(4);
-    let specs =
-        Dataset { size: DatasetSize::Medium, scale: SCALE, base_seed: 0x5EED_CAFE }
-            .specs_subsampled(stride);
+    let specs = Dataset { size: DatasetSize::Medium, scale: SCALE, base_seed: 0x5EED_CAFE }
+        .specs_subsampled(stride);
     Campaign::new(SCALE).run_specs(&pool, &specs)
 }
 
@@ -161,14 +160,8 @@ fn takeaway_7_research_formats_win_the_problematic_matrices() {
 #[test]
 fn fpga_refuses_sparse_large_matrices_like_the_paper() {
     let records = campaign_records(97);
-    let refused = records
-        .iter()
-        .filter(|r| r.device == "Alveo-U280" && r.failed.is_some())
-        .count();
-    let ran = records
-        .iter()
-        .filter(|r| r.device == "Alveo-U280" && r.failed.is_none())
-        .count();
+    let refused = records.iter().filter(|r| r.device == "Alveo-U280" && r.failed.is_some()).count();
+    let ran = records.iter().filter(|r| r.device == "Alveo-U280" && r.failed.is_none()).count();
     assert!(refused > 0, "some matrices must overflow the scaled HBM");
     assert!(ran > refused, "but most of the dataset must still run");
     // Refusals concentrate on short columns (the zero-padding
@@ -181,8 +174,5 @@ fn fpga_refuses_sparse_large_matrices_like_the_paper() {
         .collect();
     let min_refused = refused_avg.iter().copied().fold(f64::INFINITY, f64::min);
     assert!(min_refused <= 10.5, "the sparsest matrices must refuse, min {min_refused}");
-    assert!(
-        refused_avg.iter().all(|&a| a <= 150.0),
-        "long-row matrices pad little and must run"
-    );
+    assert!(refused_avg.iter().all(|&a| a <= 150.0), "long-row matrices pad little and must run");
 }

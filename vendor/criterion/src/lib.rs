@@ -1,0 +1,191 @@
+//! Offline shim for the `criterion` 0.5 API subset this workspace
+//! uses: `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`, `bench_function`/`bench_with_input` and
+//! `Bencher::iter`. Instead of criterion's statistical engine it runs
+//! a short warm-up plus a fixed number of timed samples and prints the
+//! median time per iteration (and throughput when one is declared).
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (one per `criterion_group!`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+}
+
+/// Throughput declaration used to derive rate numbers from timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function_name` run against `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let per_iter = run_samples(self.sample_size, |b| f(b));
+        report(&self.name, &id, per_iter, self.throughput);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let per_iter = run_samples(self.sample_size, |b| f(b, input));
+        report(&self.name, &id, per_iter, self.throughput);
+        self
+    }
+
+    /// Close the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_samples(samples: usize, mut run: impl FnMut(&mut Bencher)) -> Duration {
+    // One untimed warm-up iteration, then `samples` single-iteration
+    // samples; report the median so stray scheduler noise is clipped.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    run(&mut b);
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            run(&mut b);
+            b.elapsed
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn report(group: &str, id: &BenchmarkId, per_iter: Duration, throughput: Option<Throughput>) {
+    let secs = per_iter.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            format!("  {:.3} Melem/s", n as f64 / secs / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            format!("  {:.3} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{id}: {:.3} ms/iter{rate}", secs * 1e3);
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Run every benchmark registered in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! Offline shim for `serde`: marker traits plus the no-op derive
+//! macros from the sibling `serde_derive` shim. See `vendor/README.md`
+//! for how to swap the real crate back in on a networked machine.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derive macros parse nothing and
+//! emit nothing. The workspace only uses `#[derive(Serialize,
+//! Deserialize)]` as forward-looking markers — no code path serializes
+//! through the traits yet — so empty expansions keep every annotated
+//! type compiling without pulling `syn`/`quote` into an offline build.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
