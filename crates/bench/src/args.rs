@@ -124,6 +124,32 @@ impl RunConfig {
     }
 }
 
+/// Shared `--flag value` parsing skeleton for binaries whose flag set
+/// does not fit [`RunConfig`] (e.g. `spmm_throughput`): walks the
+/// process arguments in pairs, prints `usage` and exits on `--help`,
+/// a missing value, or a flag `apply` rejects. `apply(flag, value)`
+/// returns `false` for unknown flags.
+pub fn parse_flag_pairs(usage: &str, mut apply: impl FnMut(&str, &str) -> bool) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            println!("{usage}");
+            std::process::exit(0);
+        }
+        let Some(value) = argv.get(i + 1) else {
+            eprintln!("missing value for {flag}; usage: {usage}");
+            std::process::exit(2);
+        };
+        if !apply(flag, value) {
+            eprintln!("unknown flag {flag}; usage: {usage}");
+            std::process::exit(2);
+        }
+        i += 2;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

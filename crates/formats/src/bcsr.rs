@@ -10,9 +10,9 @@
 //! The converter auto-selects `b` from a small candidate set by total
 //! stored bytes (like OSKI-style autotuners), or takes it explicitly.
 
-use crate::traits::{DisjointWriter, FormatBuildError, SparseFormat};
+use crate::traits::{FormatBuildError, SparseFormat};
 use spmv_core::CsrMatrix;
-use spmv_parallel::{Partition, ThreadPool};
+use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
 use std::collections::BTreeSet;
 
 /// Block sizes the auto-tuner considers.
@@ -129,7 +129,12 @@ impl BcsrFormat {
         }
     }
 
-    fn spmv_block_rows(&self, block_rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter) {
+    fn spmv_block_rows(
+        &self,
+        block_rows: std::ops::Range<usize>,
+        x: &[f64],
+        out: &DisjointWriter<'_>,
+    ) {
         let b = self.block;
         let mut acc = vec![0.0f64; b];
         for br in block_rows {
@@ -195,13 +200,14 @@ impl SparseFormat for BcsrFormat {
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        let out = DisjointWriter::new(y);
-        let partition = Partition::static_rows(self.block_rows, pool.threads());
-        pool.broadcast(|tid| {
-            if tid < partition.chunks() {
-                self.spmv_block_rows(partition.range(tid), x, &out);
-            }
-        });
+        // Block-row chunks map to disjoint row ranges (block row `br`
+        // owns rows `br·b .. br·b + b`), satisfying the executor's
+        // kernel contract.
+        Executor::new(pool).run_disjoint(
+            Schedule::Static { items: self.block_rows },
+            y,
+            |range, out| self.spmv_block_rows(range, x, out),
+        );
     }
 }
 

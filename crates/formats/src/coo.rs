@@ -2,11 +2,12 @@
 //! worker) at the cost of redundant row metadata. This mirrors the
 //! cuSPARSE COO algorithm: each worker owns a contiguous nonzero range
 //! and hands partial sums of its boundary rows to a fix-up pass, so no
-//! atomics are needed.
+//! atomics are needed — the `accumulate_rows` carry kernel shared with
+//! the HYB COO tail, orchestrated by the executor.
 
-use crate::traits::{par_zero, DisjointWriter, SparseFormat};
+use crate::traits::SparseFormat;
 use spmv_core::{CooMatrix, CsrMatrix};
-use spmv_parallel::ThreadPool;
+use spmv_parallel::{accumulate_rows, Executor, ThreadPool};
 
 /// COO storage (row-major sorted triplets).
 pub struct CooFormat {
@@ -59,72 +60,15 @@ impl SparseFormat for CooFormat {
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols());
         assert_eq!(y.len(), self.rows());
-        let t = pool.threads();
-        let nnz = self.nnz();
-        par_zero(pool, y);
-        if nnz == 0 {
-            return;
-        }
-        let out = DisjointWriter::new(y);
+        let exec = Executor::new(pool);
+        exec.zero(y);
         let (ri, ci, v) = (self.coo.row_idx(), self.coo.col_idx(), self.coo.values());
-        // Per-chunk carries: partial sums of the chunk's first and last
-        // rows, which may be shared with neighboring chunks.
-        let mut carries: Vec<(usize, f64, usize, f64)> = vec![(0, 0.0, 0, 0.0); t];
-        {
-            let carries_ptr = carries.as_mut_ptr() as usize;
-            pool.broadcast(|tid| {
-                let lo = tid * nnz / t;
-                let hi = (tid + 1) * nnz / t;
-                if lo >= hi {
-                    // Empty chunk: encode "no carry" as rows usize::MAX.
-                    // SAFETY: each worker writes only its own slot.
-                    unsafe {
-                        *(carries_ptr as *mut (usize, f64, usize, f64)).add(tid) =
-                            (usize::MAX, 0.0, usize::MAX, 0.0)
-                    };
-                    return;
-                }
-                let first_row = ri[lo] as usize;
-                let last_row = ri[hi - 1] as usize;
-                let mut first_sum = 0.0;
-                let mut cur_row = first_row;
-                let mut acc = 0.0;
-                for i in lo..hi {
-                    let r = ri[i] as usize;
-                    if r != cur_row {
-                        if cur_row == first_row {
-                            first_sum = acc;
-                        } else {
-                            out.write(cur_row, acc);
-                        }
-                        cur_row = r;
-                        acc = 0.0;
-                    }
-                    acc += v[i] * x[ci[i] as usize];
-                }
-                // Close the last open row.
-                let (fr, fs, lr, ls) = if cur_row == first_row {
-                    // Whole chunk inside one row.
-                    (first_row, acc, usize::MAX, 0.0)
-                } else {
-                    (first_row, first_sum, last_row, acc)
-                };
-                // SAFETY: one slot per worker.
-                unsafe {
-                    *(carries_ptr as *mut (usize, f64, usize, f64)).add(tid) = (fr, fs, lr, ls)
-                };
-            });
-        }
-        // Sequential fix-up: boundary rows may receive contributions
-        // from several chunks; interior rows were written exactly once.
-        for &(fr, fs, lr, ls) in &carries {
-            if fr != usize::MAX {
-                y[fr] += fs;
-            }
-            if lr != usize::MAX {
-                y[lr] += ls;
-            }
-        }
+        // Equal nonzero chunks; interior rows are accumulated directly
+        // (y is zeroed), boundary rows come back as carries and are
+        // merged sequentially by the executor.
+        exec.run_chunks_carry(self.nnz(), y, |range, out| {
+            accumulate_rows(range, |i| ri[i] as usize, |i| v[i] * x[ci[i] as usize], out)
+        });
     }
 }
 

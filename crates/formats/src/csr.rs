@@ -5,9 +5,9 @@
 //! (nnz-balanced row chunks — "adds nonzero balancing (row
 //! resolution)").
 
-use crate::traits::{DisjointWriter, SparseFormat};
+use crate::traits::SparseFormat;
 use spmv_core::CsrMatrix;
-use spmv_parallel::{Partition, ThreadPool};
+use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
 
 /// Which CSR kernel variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +49,7 @@ impl CsrFormat {
         }
     }
 
-    fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter) {
+    fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
         for r in rows {
             out.write(r, self.row_sum(r, x));
         }
@@ -112,18 +112,40 @@ impl SparseFormat for CsrFormat {
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols());
         assert_eq!(y.len(), self.rows());
-        let out = DisjointWriter::new(y);
-        let partition = match self.variant {
-            CsrVariant::Balanced => {
-                Partition::balanced_by_prefix(self.matrix.row_ptr(), pool.threads())
-            }
-            _ => Partition::static_rows(self.rows(), pool.threads()),
+        let schedule = match self.variant {
+            CsrVariant::Balanced => Schedule::Balanced { prefix: self.matrix.row_ptr() },
+            _ => Schedule::Static { items: self.rows() },
         };
-        pool.broadcast(|tid| {
-            if tid < partition.chunks() {
-                self.spmv_rows(partition.range(tid), x, &out);
+        Executor::new(pool).run_disjoint(schedule, y, |range, out| self.spmv_rows(range, x, out));
+    }
+
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert_eq!(x.len(), cols * k, "x must be a column-major cols × k block");
+        assert_eq!(y.len(), rows * k, "y must be a column-major rows × k block");
+        if k == 0 {
+            return;
+        }
+        // Fused kernel: each row's column indices and values are read
+        // once and reused across all k vectors, so the matrix stream —
+        // the bandwidth bottleneck of SpMV — is amortized k-fold.
+        let row_ptr = self.matrix.row_ptr();
+        let col_idx = self.matrix.col_idx();
+        let values = self.matrix.values();
+        let mut acc = vec![0.0f64; k];
+        for r in 0..rows {
+            acc.fill(0.0);
+            for i in row_ptr[r]..row_ptr[r + 1] {
+                let c = col_idx[i] as usize;
+                let v = values[i];
+                for (j, a) in acc.iter_mut().enumerate() {
+                    *a += v * x[j * cols + c];
+                }
             }
-        });
+            for (j, &a) in acc.iter().enumerate() {
+                y[j * rows + r] = a;
+            }
+        }
     }
 }
 
@@ -211,5 +233,24 @@ mod tests {
         let mut y = vec![1.0; 3];
         f.spmv_parallel(&pool, &[0.0; 3], &mut y);
         assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn spmm_matches_k_independent_spmvs() {
+        let m = test_matrix();
+        let (rows, cols) = (m.rows(), m.cols());
+        for variant in [CsrVariant::Naive, CsrVariant::Vectorized, CsrVariant::Balanced] {
+            let f = CsrFormat::new(m.clone(), variant);
+            for k in [0usize, 1, 3, 8] {
+                let x: Vec<f64> = (0..cols * k).map(|i| (i as f64 * 0.041).sin()).collect();
+                let got = f.spmm_alloc(&x, k);
+                for j in 0..k {
+                    let want = f.spmv_alloc(&x[j * cols..(j + 1) * cols]);
+                    for (i, (a, b)) in got[j * rows..(j + 1) * rows].iter().zip(&want).enumerate() {
+                        assert!((a - b).abs() < 1e-12, "{variant:?} k={k} col {j} row {i}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -10,9 +10,9 @@
 //! remark that CSR5's "requirement for additional metadata for row
 //! splitting ... slightly increases memory footprint".
 
-use crate::traits::{par_zero, DisjointWriter, SparseFormat};
+use crate::traits::SparseFormat;
 use spmv_core::CsrMatrix;
-use spmv_parallel::ThreadPool;
+use spmv_parallel::{Carries, Executor, ThreadPool};
 
 /// Default tile size in nonzeros (ω·σ of the original design).
 pub const DEFAULT_TILE_NNZ: usize = 128;
@@ -87,64 +87,47 @@ impl SparseFormat for Csr5Format {
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols());
         assert_eq!(y.len(), self.rows());
-        let t = pool.threads();
-        let tiles = self.tiles();
         let nnz = self.nnz();
-        par_zero(pool, y);
+        let exec = Executor::new(pool);
+        exec.zero(y);
         if nnz == 0 {
             return;
         }
         let row_ptr = self.matrix.row_ptr();
         let col_idx = self.matrix.col_idx();
         let values = self.matrix.values();
-        let out = DisjointWriter::new(y);
         // Each worker owns a contiguous tile range = contiguous nnz
         // range; segmented sum with a carry for the first (shared) row.
-        let mut carries: Vec<(usize, f64)> = vec![(usize::MAX, 0.0); t];
-        {
-            let carries_ptr = carries.as_mut_ptr() as usize;
-            pool.broadcast(|tid| {
-                let tile_lo = tid * tiles / t;
-                let tile_hi = (tid + 1) * tiles / t;
-                if tile_lo >= tile_hi {
-                    return;
+        exec.run_chunks_carry(self.tiles(), y, |tile_range, out| {
+            let lo = tile_range.start * self.tile_nnz;
+            let hi = (tile_range.end * self.tile_nnz).min(nnz);
+            let first_row = self.tile_row[tile_range.start] as usize;
+            let mut k = lo;
+            let mut r = first_row;
+            let mut carry = 0.0;
+            while k < hi {
+                let row_end = row_ptr[r + 1].min(hi);
+                let mut acc = 0.0;
+                while k < row_end {
+                    acc += values[k] * x[col_idx[k] as usize];
+                    k += 1;
                 }
-                let lo = tile_lo * self.tile_nnz;
-                let hi = (tile_hi * self.tile_nnz).min(nnz);
-                let first_row = self.tile_row[tile_lo] as usize;
-                let mut k = lo;
-                let mut r = first_row;
-                let mut carry = 0.0;
-                while k < hi {
-                    let row_end = row_ptr[r + 1].min(hi);
-                    let mut acc = 0.0;
-                    while k < row_end {
-                        acc += values[k] * x[col_idx[k] as usize];
-                        k += 1;
-                    }
-                    if r == first_row {
-                        carry = acc;
-                    } else {
-                        out.write(r, acc);
-                    }
-                    if k >= hi {
-                        break;
-                    }
-                    // Skip empty rows (their range is empty).
+                if r == first_row {
+                    carry = acc;
+                } else {
+                    out.write(r, acc);
+                }
+                if k >= hi {
+                    break;
+                }
+                // Skip empty rows (their range is empty).
+                r += 1;
+                while row_ptr[r + 1] <= k {
                     r += 1;
-                    while row_ptr[r + 1] <= k {
-                        r += 1;
-                    }
                 }
-                // SAFETY: one slot per worker.
-                unsafe { *(carries_ptr as *mut (usize, f64)).add(tid) = (first_row, carry) };
-            });
-        }
-        for &(row, val) in &carries {
-            if row != usize::MAX {
-                y[row] += val;
             }
-        }
+            Carries { first: Some((first_row, carry)), last: None }
+        });
     }
 }
 

@@ -6,23 +6,38 @@
 //! diagonals — conversion therefore enforces a padding budget like
 //! [`EllFormat`](crate::ell::EllFormat) does.
 
-use crate::traits::{DisjointWriter, FormatBuildError, SparseFormat};
+use crate::traits::{FormatBuildError, SparseFormat};
 use spmv_core::CsrMatrix;
-use spmv_parallel::{Partition, ThreadPool};
+use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
 use std::collections::BTreeMap;
 
 /// Default cap on `stored entries / nnz` before conversion refuses.
 pub const DEFAULT_MAX_PADDING_RATIO: f64 = 16.0;
 
-/// Diagonal storage: `diags.len()` lanes of `rows` values each.
+/// The in-bounds row span of diagonal `off` in a `rows × cols` matrix:
+/// rows `r` with `0 ≤ r < rows` and `0 ≤ r + off < cols`, i.e.
+/// `[max(0, −off), min(rows, cols − off))`. Lanes are sized to this
+/// span — sizing them to `rows` overcounts rectangular matrices badly
+/// (a 40×3 matrix would pad every lane to 40 entries for a ≤3-entry
+/// diagonal, spuriously blowing the padding budget).
+fn lane_span(rows: usize, cols: usize, off: i64) -> (usize, usize) {
+    let lo = (-off).max(0) as usize;
+    let hi = (cols as i64 - off).clamp(0, rows as i64) as usize;
+    (lo, hi.max(lo))
+}
+
+/// Diagonal storage: one lane per occupied diagonal, sized to the
+/// diagonal's true in-bounds span.
 pub struct DiaFormat {
     rows: usize,
     cols: usize,
     nnz: usize,
     /// Occupied diagonal offsets (`col − row`), ascending.
     offsets: Vec<i64>,
-    /// One dense lane per offset, entry `r` holding `A[r][r+offset]`
-    /// (`0.0` where the diagonal has no nonzero or leaves the matrix).
+    /// One dense lane per offset covering the diagonal's in-bounds row
+    /// span: entry `i` holds `A[lo+i][lo+i+offset]` where
+    /// `lo = max(0, −offset)` (`0.0` where the diagonal has no
+    /// nonzero).
     lanes: Vec<Vec<f64>>,
 }
 
@@ -32,7 +47,8 @@ impl DiaFormat {
         Self::from_csr_with_budget(csr, DEFAULT_MAX_PADDING_RATIO)
     }
 
-    /// Converts from CSR, refusing if `diagonals·rows > budget·nnz`.
+    /// Converts from CSR, refusing if the stored span entries exceed
+    /// `budget·nnz`.
     pub fn from_csr_with_budget(
         csr: &CsrMatrix,
         max_padding_ratio: f64,
@@ -46,7 +62,13 @@ impl DiaFormat {
         for (r, c, _) in csr.triplets() {
             *occupied.entry(c as i64 - r as i64).or_default() += 1;
         }
-        let stored = occupied.len().saturating_mul(rows);
+        let stored: usize = occupied
+            .keys()
+            .map(|&off| {
+                let (lo, hi) = lane_span(rows, cols, off);
+                hi - lo
+            })
+            .sum();
         if nnz > 0 && stored as f64 > max_padding_ratio * nnz as f64 {
             return Err(FormatBuildError::PaddingOverflow {
                 needed_bytes: stored * 8,
@@ -58,10 +80,18 @@ impl DiaFormat {
         let offsets: Vec<i64> = occupied.keys().copied().collect();
         let index_of: BTreeMap<i64, usize> =
             offsets.iter().enumerate().map(|(i, &o)| (o, i)).collect();
-        let mut lanes = vec![vec![0.0f64; rows]; offsets.len()];
+        let mut lanes: Vec<Vec<f64>> = offsets
+            .iter()
+            .map(|&off| {
+                let (lo, hi) = lane_span(rows, cols, off);
+                vec![0.0f64; hi - lo]
+            })
+            .collect();
         for (r, c, v) in csr.triplets() {
-            let d = index_of[&(c as i64 - r as i64)];
-            lanes[d][r] = v;
+            let off = c as i64 - r as i64;
+            let d = index_of[&off];
+            let (lo, _) = lane_span(rows, cols, off);
+            lanes[d][r - lo] = v;
         }
         Ok(Self { rows, cols, nnz, offsets, lanes })
     }
@@ -71,20 +101,24 @@ impl DiaFormat {
         self.offsets.len()
     }
 
-    fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter) {
+    /// Stored entries across all lanes (the true span footprint).
+    fn stored_entries(&self) -> usize {
+        self.lanes.iter().map(Vec::len).sum()
+    }
+
+    fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
         for r in rows.clone() {
             out.write(r, 0.0);
         }
         for (lane, &off) in self.lanes.iter().zip(&self.offsets) {
-            // Row range for which `r + off` lands inside [0, cols):
-            // `r ≥ −off` (left edge) and `r < cols − off` (right edge,
-            // which binds even for negative offsets when rows > cols).
-            let lo = rows.start.max((-off).max(0) as usize);
-            let hi = rows.end.min((self.cols as i64 - off).max(0) as usize);
+            // Intersect the requested row range with the lane's span.
+            let (lane_lo, _) = lane_span(self.rows, self.cols, off);
+            let lo = rows.start.max(lane_lo);
+            let hi = rows.end.min(lane_lo + lane.len());
             if lo >= hi {
                 continue;
             }
-            for (i, &lv) in lane[lo..hi].iter().enumerate() {
+            for (i, &lv) in lane[lo - lane_lo..hi - lane_lo].iter().enumerate() {
                 let r = lo + i;
                 let c = (r as i64 + off) as usize;
                 out.add(r, lv * x[c]);
@@ -111,14 +145,14 @@ impl SparseFormat for DiaFormat {
     }
 
     fn bytes(&self) -> usize {
-        self.lanes.len() * self.rows * 8 + self.offsets.len() * 8
+        self.stored_entries() * 8 + self.offsets.len() * 8
     }
 
     fn padding_ratio(&self) -> f64 {
         if self.nnz == 0 {
             1.0
         } else {
-            (self.lanes.len() * self.rows) as f64 / self.nnz as f64
+            self.stored_entries() as f64 / self.nnz as f64
         }
     }
 
@@ -132,12 +166,8 @@ impl SparseFormat for DiaFormat {
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        let out = DisjointWriter::new(y);
-        let partition = Partition::static_rows(self.rows, pool.threads());
-        pool.broadcast(|tid| {
-            if tid < partition.chunks() {
-                self.spmv_rows(partition.range(tid), x, &out);
-            }
+        Executor::new(pool).run_disjoint(Schedule::Static { items: self.rows }, y, |range, out| {
+            self.spmv_rows(range, x, out)
         });
     }
 }
@@ -239,8 +269,45 @@ mod tests {
     fn padding_and_bytes_accounting() {
         let m = banded_matrix();
         let f = DiaFormat::from_csr(&m).unwrap();
-        assert_eq!(f.bytes(), 4 * 24 * 8 + 4 * 8);
-        assert!((f.padding_ratio() - (4.0 * 24.0) / m.nnz() as f64).abs() < 1e-12);
+        // True spans in 24×24: off −1 → 23, off 0 → 24, off +1 → 23,
+        // off +3 → 21 entries (not 4 · 24 = 96 full-height lanes).
+        let stored = 23 + 24 + 23 + 21;
+        assert_eq!(f.bytes(), stored * 8 + 4 * 8);
+        assert!((f.padding_ratio() - stored as f64 / m.nnz() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tall_rectangular_matrix_builds_with_span_sized_lanes() {
+        // Regression: a 40×3 matrix with 3 nnz on 3 diagonals used to
+        // be refused (lanes were padded to 40 rows each: 960 B against
+        // a 384 B budget). With span-sized lanes each diagonal stores
+        // at most 3 entries.
+        let m = CsrMatrix::from_triplets(40, 3, &[(0, 0, 1.0), (5, 0, 2.0), (39, 2, 3.0)]).unwrap();
+        let f = DiaFormat::from_csr(&m).expect("span-sized DIA accepts tall matrices");
+        assert_eq!(f.diagonals(), 3);
+        // off 0 → span 3, off −5 → rows 5..8 → 3, off −37 → rows 37..40 → 3.
+        assert_eq!(f.bytes(), 9 * 8 + 3 * 8);
+        assert!((f.padding_ratio() - 3.0).abs() < 1e-12);
+        let x = vec![1.0, 10.0, 100.0];
+        let want = DenseMatrix::from_csr(&m).spmv(&x);
+        assert_eq!(f.spmv_alloc(&x), want);
+        let pool = ThreadPool::new(8);
+        let mut got = vec![f64::NAN; 40];
+        f.spmv_parallel(&pool, &x, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wide_rectangular_matrix_spans_clamp_to_columns() {
+        // 3×40: positive offsets exist for a handful of rows only.
+        let m =
+            CsrMatrix::from_triplets(3, 40, &[(0, 30, 1.0), (1, 31, 2.0), (2, 0, 4.0)]).unwrap();
+        let f = DiaFormat::from_csr(&m).unwrap();
+        // off 30 → rows 0..3 (cols−30=10 ≥ rows) → 3; off −2 → rows 2..3 → 1.
+        assert_eq!(f.bytes(), (3 + 1) * 8 + 2 * 8);
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let want = DenseMatrix::from_csr(&m).spmv(&x);
+        assert_eq!(f.spmv_alloc(&x), want);
     }
 
     #[test]

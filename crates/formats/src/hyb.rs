@@ -4,9 +4,9 @@
 //! padding-light while the skewed tail goes to the balanced COO part —
 //! this is the cuSPARSE-9.2 HYB of the GPU testbeds.
 
-use crate::traits::{DisjointWriter, SparseFormat};
+use crate::traits::SparseFormat;
 use spmv_core::CsrMatrix;
-use spmv_parallel::{Partition, ThreadPool};
+use spmv_parallel::{accumulate_rows, DisjointWriter, Executor, Schedule, ThreadPool};
 
 /// Hybrid ELL + COO storage.
 pub struct HybFormat {
@@ -87,7 +87,7 @@ impl HybFormat {
         self.ell_nnz
     }
 
-    fn ell_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter) {
+    fn ell_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
         for r in rows.clone() {
             out.write(r, 0.0);
         }
@@ -146,67 +146,18 @@ impl SparseFormat for HybFormat {
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        let out = DisjointWriter::new(y);
-        // Phase 1: ELL slab over static row chunks.
-        let partition = Partition::static_rows(self.rows, pool.threads());
-        pool.broadcast(|tid| {
-            if tid < partition.chunks() {
-                self.ell_rows(partition.range(tid), x, &out);
-            }
+        let exec = Executor::new(pool);
+        // Phase 1: ELL slab over static row chunks (overwrites y).
+        exec.run_disjoint(Schedule::Static { items: self.rows }, y, |range, out| {
+            self.ell_rows(range, x, out)
         });
-        // Phase 2: COO tail over nnz chunks with boundary carries, as
-        // in the standalone COO kernel, but *adding* on top of the ELL
-        // result (interior rows are owned by exactly one chunk).
-        let t = pool.threads();
-        let nnz = self.coo_val.len();
-        if nnz == 0 {
-            return;
-        }
+        // Phase 2: COO tail via the shared carry kernel, *adding* on
+        // top of the ELL partial sums (interior rows are owned by
+        // exactly one chunk; boundary rows merge sequentially).
         let (ri, ci, v) = (&self.coo_row, &self.coo_col, &self.coo_val);
-        let mut carries: Vec<(usize, f64, usize, f64)> =
-            vec![(usize::MAX, 0.0, usize::MAX, 0.0); t];
-        {
-            let carries_ptr = carries.as_mut_ptr() as usize;
-            pool.broadcast(|tid| {
-                let lo = tid * nnz / t;
-                let hi = (tid + 1) * nnz / t;
-                if lo >= hi {
-                    return;
-                }
-                let first_row = ri[lo] as usize;
-                let mut first_sum = 0.0;
-                let mut cur_row = first_row;
-                let mut acc = 0.0;
-                for i in lo..hi {
-                    let r = ri[i] as usize;
-                    if r != cur_row {
-                        if cur_row == first_row {
-                            first_sum = acc;
-                        } else {
-                            out.add(cur_row, acc);
-                        }
-                        cur_row = r;
-                        acc = 0.0;
-                    }
-                    acc += v[i] * x[ci[i] as usize];
-                }
-                let slot = if cur_row == first_row {
-                    (first_row, acc, usize::MAX, 0.0)
-                } else {
-                    (first_row, first_sum, cur_row, acc)
-                };
-                // SAFETY: one slot per worker.
-                unsafe { *(carries_ptr as *mut (usize, f64, usize, f64)).add(tid) = slot };
-            });
-        }
-        for &(fr, fs, lr, ls) in &carries {
-            if fr != usize::MAX {
-                y[fr] += fs;
-            }
-            if lr != usize::MAX {
-                y[lr] += ls;
-            }
-        }
+        exec.run_chunks_carry(self.coo_val.len(), y, |range, out| {
+            accumulate_rows(range, |i| ri[i] as usize, |i| v[i] * x[ci[i] as usize], out)
+        });
     }
 }
 

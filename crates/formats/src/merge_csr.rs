@@ -5,9 +5,9 @@
 //! chunks here are equal segments of the `(rows + nnz)` merge path, so
 //! even a single giant row is split across workers.
 
-use crate::traits::{par_zero, DisjointWriter, SparseFormat};
+use crate::traits::SparseFormat;
 use spmv_core::CsrMatrix;
-use spmv_parallel::{merge_path_partition, ThreadPool};
+use spmv_parallel::{merge_path_partition, Carries, Executor, ThreadPool};
 
 /// CSR storage with merge-path parallel execution.
 pub struct MergeCsrFormat {
@@ -52,60 +52,51 @@ impl SparseFormat for MergeCsrFormat {
         let row_ptr = self.matrix.row_ptr();
         let col_idx = self.matrix.col_idx();
         let values = self.matrix.values();
-        let t = pool.threads();
-        par_zero(pool, y);
-        let coords = merge_path_partition(row_ptr, t);
-        let out = DisjointWriter::new(y);
-        // Per-segment carry for the segment's first (possibly shared)
-        // row; rows > start.row are owned exclusively by this segment's
-        // direct writes (the *next* segment treats the shared boundary
-        // row as its own first row and also carries it).
-        let mut carries: Vec<(usize, f64)> = vec![(usize::MAX, 0.0); t];
-        {
-            let carries_ptr = carries.as_mut_ptr() as usize;
-            pool.broadcast(|tid| {
-                let start = coords[tid];
-                let end = coords[tid + 1];
-                if start.row == end.row && start.nz == end.nz {
-                    return;
-                }
-                let mut k = start.nz;
-                let mut carry = 0.0;
-                let mut r = start.row;
-                while r < end.row {
-                    let row_end = row_ptr[r + 1];
-                    let mut acc = 0.0;
-                    while k < row_end {
-                        acc += values[k] * x[col_idx[k] as usize];
-                        k += 1;
-                    }
-                    if r == start.row {
-                        carry = acc;
-                    } else {
-                        out.write(r, acc);
-                    }
-                    r += 1;
-                }
-                // Partial tail of the boundary row (r == end.row).
+        let exec = Executor::new(pool);
+        exec.zero(y);
+        let coords = merge_path_partition(row_ptr, exec.threads());
+        // One merge-path segment per worker. The segment's first
+        // (possibly shared) row is returned as a carry; rows >
+        // start.row are owned exclusively by this segment's direct
+        // writes (the *next* segment treats the shared boundary row as
+        // its own first row and also carries it).
+        exec.run_chunks_carry(coords.len() - 1, y, |seg, out| {
+            debug_assert_eq!(seg.len(), 1, "one merge segment per worker");
+            let start = coords[seg.start];
+            let end = coords[seg.start + 1];
+            if start.row == end.row && start.nz == end.nz {
+                return Carries::none();
+            }
+            let mut k = start.nz;
+            let mut carry = 0.0;
+            let mut r = start.row;
+            while r < end.row {
+                let row_end = row_ptr[r + 1];
                 let mut acc = 0.0;
-                while k < end.nz {
+                while k < row_end {
                     acc += values[k] * x[col_idx[k] as usize];
                     k += 1;
                 }
                 if r == start.row {
-                    carry = acc; // whole segment inside one row
-                } else if acc != 0.0 || end.nz > row_ptr[r] {
+                    carry = acc;
+                } else {
                     out.write(r, acc);
                 }
-                // SAFETY: one slot per worker.
-                unsafe { *(carries_ptr as *mut (usize, f64)).add(tid) = (start.row, carry) };
-            });
-        }
-        for &(row, val) in &carries {
-            if row != usize::MAX {
-                y[row] += val;
+                r += 1;
             }
-        }
+            // Partial tail of the boundary row (r == end.row).
+            let mut acc = 0.0;
+            while k < end.nz {
+                acc += values[k] * x[col_idx[k] as usize];
+                k += 1;
+            }
+            if r == start.row {
+                carry = acc; // whole segment inside one row
+            } else if acc != 0.0 || end.nz > row_ptr[r] {
+                out.write(r, acc);
+            }
+            Carries { first: Some((start.row, carry)), last: None }
+        });
     }
 }
 

@@ -1,5 +1,9 @@
 //! Format registry: enumerate, name and build every format uniformly —
-//! the glue the campaign runner and the figure binaries use.
+//! the glue the campaign runner, the figure binaries and the SpMM
+//! throughput bench use. Every built format exposes the full
+//! [`SparseFormat`] surface, including the batched multi-vector
+//! [`SparseFormat::spmm`] kernel (tuned for CSR/ELL/SELL-C-σ, generic
+//! loop-over-SpMV elsewhere).
 
 use crate::bcsr::BcsrFormat;
 use crate::coo::CooFormat;
@@ -136,6 +140,38 @@ mod tests {
             assert_eq!(f.name(), kind.name());
             assert_eq!(f.rows(), 16);
             assert_eq!(f.nnz(), 16);
+        }
+    }
+
+    #[test]
+    fn every_format_spmm_matches_k_independent_spmvs() {
+        // Mixed row lengths so HYB/ELL/SELL exercise real padding.
+        let mut t = Vec::new();
+        for r in 0..24usize {
+            let len = 1 + (r * 5) % 7;
+            for j in 0..len {
+                t.push((r, (r * 3 + j * 11) % 30, (r as f64 - j as f64) * 0.21 + 0.4));
+            }
+        }
+        let m = CsrMatrix::from_triplets(24, 30, &t).unwrap();
+        let k = 4usize;
+        let x: Vec<f64> = (0..m.cols() * k).map(|i| (i as f64 * 0.19).sin()).collect();
+        for kind in FormatKind::ALL {
+            let f = build_format(kind, &m).unwrap();
+            let got = f.spmm_alloc(&x, k);
+            assert_eq!(got.len(), m.rows() * k);
+            for j in 0..k {
+                let want = f.spmv_alloc(&x[j * m.cols()..(j + 1) * m.cols()]);
+                for (i, (a, b)) in
+                    got[j * m.rows()..(j + 1) * m.rows()].iter().zip(&want).enumerate()
+                {
+                    assert!(
+                        (a - b).abs() < 1e-10,
+                        "{} spmm col {j} row {i}: {a} vs {b}",
+                        kind.name()
+                    );
+                }
+            }
         }
     }
 

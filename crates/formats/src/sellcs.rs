@@ -6,9 +6,9 @@
 //! match the underlying hardware capabilities without increasing
 //! memory latency overheads".
 
-use crate::traits::{DisjointWriter, SparseFormat};
+use crate::traits::SparseFormat;
 use spmv_core::CsrMatrix;
-use spmv_parallel::{Partition, ThreadPool};
+use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
 
 /// Default chunk height (AVX2/NEON-friendly).
 pub const DEFAULT_C: usize = 8;
@@ -110,7 +110,7 @@ impl SellCSigmaFormat {
         &self.perm
     }
 
-    fn spmv_chunks(&self, chunks: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter) {
+    fn spmv_chunks(&self, chunks: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
         let c = self.c;
         let mut acc = vec![0.0f64; c];
         for k in chunks {
@@ -176,15 +176,51 @@ impl SparseFormat for SellCSigmaFormat {
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        let out = DisjointWriter::new(y);
         // Chunks own disjoint packed rows, so a chunk partition is a
-        // disjoint row partition. Balance by stored entries.
-        let partition = Partition::balanced_by_prefix(&self.chunk_ptr, pool.threads());
-        pool.broadcast(|tid| {
-            if tid < partition.chunks() {
-                self.spmv_chunks(partition.range(tid), x, &out);
+        // disjoint row partition (via the injective `perm`). Balance by
+        // stored entries using the chunk pointer as the weight prefix.
+        Executor::new(pool).run_disjoint(
+            Schedule::Balanced { prefix: &self.chunk_ptr },
+            y,
+            |chunks, out| self.spmv_chunks(chunks, x, out),
+        );
+    }
+
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols * k, "x must be a column-major cols × k block");
+        assert_eq!(y.len(), self.rows * k, "y must be a column-major rows × k block");
+        if k == 0 {
+            return;
+        }
+        // Fused kernel: every packed (value, column) pair is loaded
+        // once and multiplied against all k vectors; accumulators live
+        // in a C × k scratch block per chunk.
+        let c = self.c;
+        let mut acc = vec![0.0f64; c * k];
+        for chunk in 0..self.chunk_width.len() {
+            acc.fill(0.0);
+            let base = self.chunk_ptr[chunk];
+            let width = self.chunk_width[chunk] as usize;
+            for j in 0..width {
+                let slot = base + j * c;
+                for i in 0..c {
+                    let v = self.values[slot + i];
+                    let col = self.col_idx[slot + i] as usize;
+                    for jj in 0..k {
+                        acc[i * k + jj] += v * x[jj * self.cols + col];
+                    }
+                }
             }
-        });
+            for i in 0..c {
+                let p = chunk * c + i;
+                if p < self.rows {
+                    let r = self.perm[p] as usize;
+                    for jj in 0..k {
+                        y[jj * self.rows + r] = acc[i * k + jj];
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -258,6 +294,25 @@ mod tests {
             f.spmv_parallel(&pool, &x, &mut got);
             for (a, b) in got.iter().zip(&want) {
                 assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_matches_k_independent_spmvs() {
+        let m = mixed_matrix();
+        let (rows, cols) = (m.rows(), m.cols());
+        for (c, sigma) in [(1usize, 1usize), (4, 8), (8, 256)] {
+            let f = SellCSigmaFormat::from_csr_with(&m, c, sigma);
+            for k in [1usize, 3, 8] {
+                let x: Vec<f64> = (0..cols * k).map(|i| (i as f64 * 0.07).sin() - 0.2).collect();
+                let got = f.spmm_alloc(&x, k);
+                for j in 0..k {
+                    let want = f.spmv_alloc(&x[j * cols..(j + 1) * cols]);
+                    for (i, (a, b)) in got[j * rows..(j + 1) * rows].iter().zip(&want).enumerate() {
+                        assert!((a - b).abs() < 1e-12, "C={c} s={sigma} k={k} col {j} row {i}");
+                    }
+                }
             }
         }
     }

@@ -17,9 +17,9 @@
 //! dense runs — "a highly compressed representation of the matrix,
 //! something that can be beneficial especially for large matrices".
 
-use crate::traits::{DisjointWriter, FormatBuildError, SparseFormat};
+use crate::traits::{FormatBuildError, SparseFormat};
 use spmv_core::CsrMatrix;
-use spmv_parallel::{Partition, ThreadPool};
+use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
 
 /// Minimum run length that is worth a DENSE unit.
 const MIN_DENSE_RUN: usize = 4;
@@ -85,7 +85,7 @@ impl SparseXFormat {
         }
     }
 
-    fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter) {
+    fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
         for r in rows {
             let mut s = self.stream_ptr[r] as usize;
             let end = self.stream_ptr[r + 1] as usize;
@@ -245,13 +245,11 @@ impl SparseFormat for SparseXFormat {
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        let out = DisjointWriter::new(y);
-        let partition = Partition::balanced_by_prefix(&self.val_ptr, pool.threads());
-        pool.broadcast(|tid| {
-            if tid < partition.chunks() {
-                self.spmv_rows(partition.range(tid), x, &out);
-            }
-        });
+        Executor::new(pool).run_disjoint(
+            Schedule::Balanced { prefix: &self.val_ptr },
+            y,
+            |range, out| self.spmv_rows(range, x, out),
+        );
     }
 }
 

@@ -37,8 +37,8 @@ impl std::error::Error for FormatBuildError {}
 
 /// A sparse matrix stored in some format, ready to run SpMV.
 ///
-/// Implementations guarantee that `spmv` and `spmv_parallel` produce
-/// the same `y = A·x` as the CSR reference up to floating-point
+/// Implementations guarantee that `spmv`, `spmv_parallel` and `spmm`
+/// produce the same `y = A·x` as the CSR reference up to floating-point
 /// reassociation.
 pub trait SparseFormat: Send + Sync {
     /// Short, stable format name (used in reports and figures).
@@ -64,6 +64,25 @@ pub trait SparseFormat: Send + Sync {
     /// Parallel SpMV over the given pool into `y`.
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]);
 
+    /// Batched multi-vector SpMV (SpMM): `Y = A·X` for `k` right-hand
+    /// sides, the workload of blocked iterative solvers where format
+    /// choice pays off most — the matrix is streamed once and reused
+    /// across all `k` vectors.
+    ///
+    /// `x` is a column-major `cols × k` block (`x[j*cols .. (j+1)*cols]`
+    /// is vector `j`); `y` is the column-major `rows × k` result and is
+    /// fully overwritten. The default implementation loops over
+    /// [`SparseFormat::spmv`]; formats with x-reuse-friendly layouts
+    /// (CSR, ELL, SELL-C-σ) override it with fused kernels.
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert_eq!(x.len(), cols * k, "x must be a column-major cols × k block");
+        assert_eq!(y.len(), rows * k, "y must be a column-major rows × k block");
+        for j in 0..k {
+            self.spmv(&x[j * cols..(j + 1) * cols], &mut y[j * rows..(j + 1) * rows]);
+        }
+    }
+
     /// Padding ratio: stored entries (incl. explicit zeros) over
     /// logical nonzeros; 1.0 when the format stores no padding.
     fn padding_ratio(&self) -> f64 {
@@ -76,50 +95,12 @@ pub trait SparseFormat: Send + Sync {
         self.spmv(x, &mut y);
         y
     }
-}
 
-/// Zeroes `y` in parallel — shared helper for kernels that accumulate.
-pub(crate) fn par_zero(pool: &ThreadPool, y: &mut [f64]) {
-    let n = y.len();
-    let base = y.as_mut_ptr() as usize;
-    pool.parallel_chunks(n, |range| {
-        // SAFETY: chunks are disjoint, so each worker writes a disjoint
-        // sub-slice of `y`.
-        let ptr = base as *mut f64;
-        for i in range {
-            unsafe { *ptr.add(i) = 0.0 };
-        }
-    });
-}
-
-/// A shared-nothing view that lets each worker write a disjoint row
-/// range of `y`. The caller must guarantee ranges are disjoint.
-#[derive(Clone, Copy)]
-pub(crate) struct DisjointWriter {
-    ptr: usize,
-    len: usize,
-}
-
-impl DisjointWriter {
-    pub(crate) fn new(y: &mut [f64]) -> Self {
-        Self { ptr: y.as_mut_ptr() as usize, len: y.len() }
-    }
-
-    /// Writes `val` to `y[i]`.
-    ///
-    /// SAFETY contract (internal): callers partition indices so no two
-    /// workers touch the same `i` concurrently.
-    #[inline]
-    pub(crate) fn write(&self, i: usize, val: f64) {
-        debug_assert!(i < self.len);
-        unsafe { *(self.ptr as *mut f64).add(i) = val };
-    }
-
-    /// Adds `val` to `y[i]` (single-writer contexts only).
-    #[inline]
-    pub(crate) fn add(&self, i: usize, val: f64) {
-        debug_assert!(i < self.len);
-        unsafe { *(self.ptr as *mut f64).add(i) += val };
+    /// Convenience wrapper allocating the SpMM output block.
+    fn spmm_alloc(&self, x: &[f64], k: usize) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows() * k];
+        self.spmm(x, k, &mut y);
+        y
     }
 }
 
@@ -133,22 +114,5 @@ mod tests {
             FormatBuildError::PaddingOverflow { needed_bytes: 100, limit_bytes: 10, format: "ELL" };
         assert!(e.to_string().contains("ELL"));
         assert!(e.to_string().contains("100"));
-    }
-
-    #[test]
-    fn par_zero_clears_everything() {
-        let pool = ThreadPool::new(4);
-        let mut y = vec![7.0; 1003];
-        par_zero(&pool, &mut y);
-        assert!(y.iter().all(|&v| v == 0.0));
-    }
-
-    #[test]
-    fn disjoint_writer_roundtrip() {
-        let mut y = vec![0.0; 4];
-        let w = DisjointWriter::new(&mut y);
-        w.write(1, 5.0);
-        w.add(1, 2.5);
-        assert_eq!(y[1], 7.5);
     }
 }

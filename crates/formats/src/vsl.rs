@@ -15,7 +15,7 @@
 
 use crate::traits::{FormatBuildError, SparseFormat};
 use spmv_core::{CscMatrix, CsrMatrix};
-use spmv_parallel::{Partition, ThreadPool};
+use spmv_parallel::{Executor, Partition, ThreadPool};
 
 /// Number of HBM channels feeding execution units (the U280 setup uses
 /// 16 of its 32 channels for the matrix).
@@ -190,36 +190,20 @@ impl SparseFormat for VslFormat {
             y.fill(0.0);
             return;
         }
+        let exec = Executor::new(pool);
         // Each execution unit scatters into a private output replica
-        // (the FPGA's per-unit URAM accumulators), then the replicas
-        // are reduced row-parallel.
+        // (the FPGA's per-unit URAM accumulators): workers own disjoint
+        // contiguous channel chunks, so each replica has one writer.
         let mut locals: Vec<Vec<f64>> = (0..n_ch).map(|_| vec![0.0; self.rows]).collect();
-        {
-            let locals_ptr = locals.as_mut_ptr() as usize;
-            let t = pool.threads();
-            pool.broadcast(|tid| {
-                let mut ch = tid;
-                while ch < n_ch {
-                    // SAFETY: each channel index maps to exactly one
-                    // worker (tid = ch mod t), so replicas are disjoint.
-                    let y_local: &mut Vec<f64> =
-                        unsafe { &mut *(locals_ptr as *mut Vec<f64>).add(ch) };
-                    self.channel_spmv(&self.channels[ch], x, y_local);
-                    ch += t;
-                }
-            });
-        }
-        let out_ptr = y.as_mut_ptr() as usize;
-        let locals_ref = &locals;
-        pool.parallel_chunks(self.rows, |range| {
-            let ptr = out_ptr as *mut f64;
-            for r in range {
-                let mut acc = 0.0;
-                for l in locals_ref {
-                    acc += l[r];
-                }
-                // SAFETY: row chunks are disjoint.
-                unsafe { *ptr.add(r) = acc };
+        exec.for_each_chunk_mut(&mut locals, |offset, chunk| {
+            for (i, y_local) in chunk.iter_mut().enumerate() {
+                self.channel_spmv(&self.channels[offset + i], x, y_local);
+            }
+        });
+        // Row-parallel reduction of the replicas into y.
+        exec.for_each_chunk_mut(y, |offset, chunk| {
+            for (i, out) in chunk.iter_mut().enumerate() {
+                *out = locals.iter().map(|l| l[offset + i]).sum();
             }
         });
     }

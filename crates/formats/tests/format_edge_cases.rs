@@ -1,0 +1,147 @@
+//! Cross-format edge-case suite: degenerate shapes every converter and
+//! kernel must survive — empty matrices, 1×1, extreme aspect ratios,
+//! rows without nonzeros, pools with more threads than rows — checked
+//! for `spmv`, `spmv_parallel` *and* the batched `spmm`, always against
+//! the dense reference and always with `y` prefilled with garbage to
+//! verify the full-overwrite contract.
+
+use spmv_core::{CsrMatrix, DenseMatrix};
+use spmv_formats::{build_format, FormatKind};
+use spmv_parallel::ThreadPool;
+
+fn edge_corpus() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("empty_5x7", CsrMatrix::zeros(5, 7)),
+        ("one_by_one_zero", CsrMatrix::zeros(1, 1)),
+        ("one_by_one", CsrMatrix::from_triplets(1, 1, &[(0, 0, 2.5)]).unwrap()),
+        (
+            "wide_3x40",
+            CsrMatrix::from_triplets(
+                3,
+                40,
+                &[(0, 0, 1.0), (0, 39, -2.0), (1, 17, 3.5), (2, 5, 0.25), (2, 6, -0.75)],
+            )
+            .unwrap(),
+        ),
+        (
+            "tall_40x3",
+            CsrMatrix::from_triplets(
+                40,
+                3,
+                &[(0, 0, 1.0), (5, 1, 2.0), (19, 2, -1.5), (39, 0, 4.0)],
+            )
+            .unwrap(),
+        ),
+        (
+            "interior_empty_rows",
+            CsrMatrix::from_triplets(10, 10, &[(0, 1, 1.0), (4, 4, -2.0), (9, 0, 3.0)]).unwrap(),
+        ),
+        ("single_nonzero", CsrMatrix::from_triplets(6, 6, &[(3, 2, 7.0)]).unwrap()),
+        (
+            "dense_2x2",
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)])
+                .unwrap(),
+        ),
+    ]
+}
+
+fn garbage(n: usize) -> Vec<f64> {
+    (0..n).map(|i| if i % 2 == 0 { f64::NAN } else { -9e99 }).collect()
+}
+
+fn assert_close(got: &[f64], want: &[f64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-10 * (1.0 + b.abs()),
+            "{ctx} row {i}: {a} vs {b} (garbage leaked into y?)"
+        );
+    }
+}
+
+/// `spmv` and `spmv_parallel` must fully overwrite a garbage-prefilled
+/// `y` on every edge shape, with pools far wider than the row count.
+#[test]
+fn spmv_overwrites_garbage_on_edge_shapes() {
+    // 16 threads > every row count in the corpus except tall_40x3,
+    // where 64 still exceeds it.
+    let pools = [ThreadPool::new(1), ThreadPool::new(16), ThreadPool::new(64)];
+    for (name, m) in edge_corpus() {
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.31).cos() + 0.5).collect();
+        let want = DenseMatrix::from_csr(&m).spmv(&x);
+        for kind in FormatKind::ALL {
+            let f = match build_format(kind, &m) {
+                Ok(f) => f,
+                Err(spmv_formats::FormatBuildError::PaddingOverflow { .. }) => continue,
+                Err(e) => panic!("{name}: {} failed to build: {e}", kind.name()),
+            };
+            let mut y = garbage(m.rows());
+            f.spmv(&x, &mut y);
+            assert_close(&y, &want, &format!("{name}/{} spmv", kind.name()));
+            for pool in &pools {
+                let mut y = garbage(m.rows());
+                f.spmv_parallel(pool, &x, &mut y);
+                assert_close(
+                    &y,
+                    &want,
+                    &format!("{name}/{} spmv_parallel({})", kind.name(), pool.threads()),
+                );
+            }
+        }
+    }
+}
+
+/// `spmm` must match the dense reference column by column and honor the
+/// same full-overwrite contract, for every format (tuned or fallback).
+#[test]
+fn spmm_overwrites_garbage_and_matches_dense() {
+    for (name, m) in edge_corpus() {
+        let dense = DenseMatrix::from_csr(&m);
+        for kind in FormatKind::ALL {
+            let f = match build_format(kind, &m) {
+                Ok(f) => f,
+                Err(spmv_formats::FormatBuildError::PaddingOverflow { .. }) => continue,
+                Err(e) => panic!("{name}: {} failed to build: {e}", kind.name()),
+            };
+            for k in [1usize, 3, 8] {
+                let x: Vec<f64> =
+                    (0..m.cols() * k).map(|i| (i as f64 * 0.17).sin() - 0.2).collect();
+                let mut y = garbage(m.rows() * k);
+                f.spmm(&x, k, &mut y);
+                for j in 0..k {
+                    let want = dense.spmv(&x[j * m.cols()..(j + 1) * m.cols()]);
+                    assert_close(
+                        &y[j * m.rows()..(j + 1) * m.rows()],
+                        &want,
+                        &format!("{name}/{} spmm k={k} col {j}", kind.name()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// DIA accepts the tall and wide rectangular shapes (regression for the
+/// full-height lane accounting that used to refuse them).
+#[test]
+fn dia_builds_every_rectangular_edge_case() {
+    for (name, m) in edge_corpus() {
+        let f =
+            build_format(FormatKind::Dia, &m).unwrap_or_else(|e| panic!("DIA refused {name}: {e}"));
+        // Span-sized lanes can never store more entries than
+        // diagonals × max(rows, cols).
+        assert!(f.bytes() <= (f.nnz().max(1)) * m.rows().max(m.cols()) * 8 + 8 * f.nnz().max(1));
+    }
+}
+
+/// k = 0 is a legal SpMM batch: nothing is read or written.
+#[test]
+fn spmm_with_zero_vectors_is_a_noop() {
+    let m = CsrMatrix::from_triplets(4, 4, &[(1, 2, 5.0)]).unwrap();
+    for kind in FormatKind::ALL {
+        let Ok(f) = build_format(kind, &m) else { continue };
+        let mut y: Vec<f64> = vec![];
+        f.spmm(&[], 0, &mut y);
+        assert!(y.is_empty(), "{}", kind.name());
+    }
+}

@@ -77,6 +77,27 @@ proptest! {
     }
 
     #[test]
+    fn spmm_matches_k_independent_spmvs(m in arb_matrix(), k in 0usize..6) {
+        let (rows, cols) = (m.rows(), m.cols());
+        let x: Vec<f64> = (0..cols * k).map(|i| ((i * 11 + 5) % 9) as f64 * 0.25 - 1.0).collect();
+        for kind in FormatKind::ALL {
+            let Ok(f) = build_format(kind, &m) else { continue };
+            let got = f.spmm_alloc(&x, k);
+            prop_assert_eq!(got.len(), rows * k);
+            for j in 0..k {
+                let want = f.spmv_alloc(&x[j * cols..(j + 1) * cols]);
+                prop_assert_eq!(
+                    vec_mismatch(&got[j * rows..(j + 1) * rows], &want, 1e-10, 1e-10),
+                    None,
+                    "{} spmm col {}",
+                    f.name(),
+                    j
+                );
+            }
+        }
+    }
+
+    #[test]
     fn bytes_and_padding_are_consistent(m in arb_matrix()) {
         prop_assume!(m.nnz() > 0);
         for kind in FormatKind::ALL {

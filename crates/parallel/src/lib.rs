@@ -17,14 +17,22 @@
 //! The pool pins one worker per logical thread and hands out
 //! broadcast-style jobs with borrowed data, so SpMV kernels can run
 //! over `&[f64]` slices without allocation or `'static` bounds.
+//!
+//! On top of the pool sits the shared [`executor`] layer: every storage
+//! format routes its `spmv_parallel` (and batched SpMM) through
+//! [`Executor`] + [`Schedule`] instead of hand-rolling broadcasts, so
+//! the disjoint-write and boundary-carry soundness arguments live in
+//! one place.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod executor;
 pub mod merge;
 pub mod partition;
 pub mod pool;
 
+pub use executor::{accumulate_rows, Carries, DisjointWriter, Executor, Schedule};
 pub use merge::{merge_path_partition, MergeCoord};
 pub use partition::Partition;
 pub use pool::ThreadPool;

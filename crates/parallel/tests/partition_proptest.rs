@@ -1,0 +1,115 @@
+//! Property tests for the two partitioning policies every schedule is
+//! built from: whatever the weights look like — all-zero, one hot row,
+//! empty input, more chunks than rows — a partition must be a sorted
+//! cover of `0..n` with the requested chunk count.
+
+use proptest::prelude::*;
+use spmv_parallel::Partition;
+
+/// Checks the structural invariants every partition must satisfy:
+/// monotone bounds, exact chunk count, and exact coverage of `0..n`.
+fn assert_covers(p: &Partition, n: usize, chunks: usize) {
+    assert_eq!(p.chunks(), chunks.max(1));
+    let mut prev = 0usize;
+    for t in 0..p.chunks() {
+        let r = p.range(t);
+        assert!(r.start <= r.end, "chunk {t} is inverted");
+        assert_eq!(r.start, prev, "chunk {t} leaves a gap or overlaps");
+        prev = r.end;
+    }
+    assert_eq!(prev, n, "partition does not end at n");
+    let items: Vec<usize> = p.ranges().flatten().collect();
+    assert_eq!(items, (0..n).collect::<Vec<_>>());
+}
+
+/// Adversarial prefix arrays: mixes of zero weights, small weights and
+/// occasional huge hot rows, including the empty (`n == 0`) case.
+fn arb_prefix() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec((0u8..8, 1usize..20, 1_000usize..50_000), 0..=80).prop_map(|rows| {
+        let mut prefix = vec![0usize];
+        for (selector, small, hot) in rows {
+            let w = match selector {
+                0..=2 => 0,     // empty rows
+                3..=6 => small, // ordinary rows
+                _ => hot,       // hot rows
+            };
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        prefix
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn static_rows_is_a_sorted_cover(n in 0usize..300, chunks in 0usize..64) {
+        let p = Partition::static_rows(n, chunks);
+        assert_covers(&p, n, chunks);
+    }
+
+    #[test]
+    fn balanced_by_prefix_is_a_sorted_cover(prefix in arb_prefix(), chunks in 0usize..64) {
+        let p = Partition::balanced_by_prefix(&prefix, chunks);
+        assert_covers(&p, prefix.len() - 1, chunks);
+    }
+
+    #[test]
+    fn balanced_never_beats_one_row_resolution(prefix in arb_prefix(), chunks in 1usize..32) {
+        // The max chunk weight can never be forced below the heaviest
+        // single row, but must never exceed hot-row weight + the ideal
+        // share (a boundary lands at most one "ideal chunk" away from
+        // the hot row on either side).
+        let p = Partition::balanced_by_prefix(&prefix, chunks);
+        let n = prefix.len() - 1;
+        let total = prefix[n];
+        prop_assume!(total > 0);
+        let max_row = (0..n).map(|r| prefix[r + 1] - prefix[r]).max().unwrap();
+        let max_chunk =
+            p.ranges().map(|r| prefix[r.end] - prefix[r.start]).max().unwrap();
+        prop_assert!(max_chunk >= total.div_ceil(p.chunks()));
+        prop_assert!(
+            max_chunk <= max_row + total / p.chunks() + 1,
+            "max chunk {max_chunk} far above hot row {max_row} + ideal {}",
+            total / p.chunks()
+        );
+    }
+
+    #[test]
+    fn all_zero_weights_still_cover(n in 0usize..50, chunks in 0usize..16) {
+        let prefix = vec![0usize; n + 1];
+        let p = Partition::balanced_by_prefix(&prefix, chunks);
+        assert_covers(&p, n, chunks);
+    }
+
+    #[test]
+    fn single_hot_row_anywhere_still_covers(
+        n in 1usize..40,
+        hot in 0usize..40,
+        chunks in 1usize..64,
+    ) {
+        let hot = hot % n;
+        let mut prefix = vec![0usize];
+        for r in 0..n {
+            let w = if r == hot { 10_000 } else { 1 };
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        let p = Partition::balanced_by_prefix(&prefix, chunks);
+        assert_covers(&p, n, chunks);
+        // The hot row sits alone in its chunk whenever there are
+        // enough chunks to isolate it.
+        if chunks >= 3 && n >= 3 {
+            let owner = p.ranges().find(|r| r.contains(&hot)).unwrap();
+            let w = prefix[owner.end] - prefix[owner.start];
+            prop_assert!(w <= 10_000 + (n - 1), "hot row chunk weight {w}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_chunks(chunks in 0usize..16) {
+        let p = Partition::balanced_by_prefix(&[0], chunks);
+        assert_covers(&p, 0, chunks);
+        let p = Partition::static_rows(0, chunks);
+        assert_covers(&p, 0, chunks);
+    }
+}
