@@ -17,6 +17,9 @@ pub mod wins;
 
 pub use mape::{ape_best, mape_to_median};
 pub use report::{ascii_boxplot_row, Table};
-pub use selector::{evaluate, FormatSelector, Observation, SelectorFeatures, SelectorScore};
+pub use selector::{
+    best_observations, evaluate, fit_from_runs, FormatSelector, LabeledRun, Observation,
+    SelectorFeatures, SelectorScore,
+};
 pub use stats::BoxStats;
 pub use wins::WinTally;

@@ -57,6 +57,71 @@ pub struct Observation {
     pub best_format: String,
 }
 
+/// One labeled throughput measurement, the raw material selector
+/// training digests: a campaign produces one run per
+/// (matrix, format) pair and [`best_observations`] reduces them to one
+/// [`Observation`] per matrix. The type is deliberately free of any
+/// campaign dependency so every producer of measurements (device
+/// models, real benchmarks, imported CSVs) can feed the same trainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledRun {
+    /// Identifier grouping runs of the same matrix.
+    pub matrix_id: String,
+    /// The matrix's features (identical across the matrix's runs).
+    pub features: SelectorFeatures,
+    /// Storage-format name of this run.
+    pub format: String,
+    /// Measured/modeled throughput (GFLOP/s); failed runs should be
+    /// omitted or carry 0.0 and are never picked as winners over a
+    /// positive alternative.
+    pub gflops: f64,
+}
+
+/// Reduces per-(matrix, format) runs to one labeled observation per
+/// matrix: the format with the highest throughput wins (ties break
+/// lexicographically by format name for determinism). Matrices whose
+/// runs all lack a finite positive throughput are dropped — NaN and
+/// infinite values (possible in imported measurement files) never win.
+pub fn best_observations(runs: &[LabeledRun]) -> Vec<Observation> {
+    let mut best: std::collections::BTreeMap<&str, &LabeledRun> = std::collections::BTreeMap::new();
+    for r in runs {
+        if !r.gflops.is_finite() || r.gflops <= 0.0 {
+            continue;
+        }
+        match best.get(&r.matrix_id.as_str()) {
+            Some(b) if (b.gflops, r.format.as_str()) >= (r.gflops, b.format.as_str()) => {}
+            _ => {
+                best.insert(r.matrix_id.as_str(), r);
+            }
+        }
+    }
+    best.into_values()
+        .map(|r| Observation { features: r.features, best_format: r.format.clone() })
+        .collect()
+}
+
+/// Convenience: [`best_observations`] followed by [`FormatSelector::fit`].
+pub fn fit_from_runs(runs: &[LabeledRun], k: usize) -> FormatSelector {
+    FormatSelector::fit(&best_observations(runs), k)
+}
+
+/// Errors raised while deserializing a portable selector model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelParseError {
+    /// 1-based line where parsing failed.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "selector model line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ModelParseError {}
+
 /// A k-nearest-neighbor format selector for one device.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FormatSelector {
@@ -88,9 +153,62 @@ impl FormatSelector {
         self.embedded.is_empty()
     }
 
+    /// The neighbor count `k` the selector votes over.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Serializes the fitted model to a portable line-oriented text
+    /// format (`f64` values print in Rust's shortest-round-trip form,
+    /// so [`FormatSelector::from_portable`] reconstructs them exactly).
+    /// Labels may contain spaces but must not contain line breaks.
+    pub fn to_portable(&self) -> String {
+        let mut out = String::from("spmv-selector v1\n");
+        out.push_str(&format!("k {}\n", self.k));
+        for (e, label) in &self.embedded {
+            out.push_str(&format!("obs {} {} {} {} {} {label}\n", e[0], e[1], e[2], e[3], e[4]));
+        }
+        out
+    }
+
+    /// Parses a model serialized by [`FormatSelector::to_portable`].
+    pub fn from_portable(text: &str) -> Result<Self, ModelParseError> {
+        let err = |line: usize, message: &str| ModelParseError { line, message: message.into() };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "spmv-selector v1")) => {}
+            _ => return Err(err(1, "expected header `spmv-selector v1`")),
+        }
+        let k = match lines.next() {
+            Some((_, l)) if l.starts_with("k ") => {
+                l[2..].parse::<usize>().map_err(|e| err(2, &format!("bad k: {e}")))?
+            }
+            _ => return Err(err(2, "expected `k <count>`")),
+        };
+        let mut embedded = Vec::new();
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Split on single spaces so the trailing label field may
+            // itself contain spaces (labels are arbitrary strings).
+            let fields: Vec<&str> = line.splitn(7, ' ').collect();
+            if fields.len() != 7 || fields[0] != "obs" || fields[6].is_empty() {
+                return Err(err(i + 1, "expected `obs <5 floats> <label>`"));
+            }
+            let mut e = [0.0f64; 5];
+            for (slot, field) in e.iter_mut().zip(&fields[1..6]) {
+                *slot = field.parse().map_err(|e| err(i + 1, &format!("bad float: {e}")))?;
+            }
+            embedded.push((e, fields[6].to_string()));
+        }
+        Ok(Self { k: k.max(1), embedded })
+    }
+
     /// Recommends a format for the given features by majority vote of
     /// the `k` nearest training matrices (ties break toward the
-    /// nearest neighbor's vote).
+    /// nearest neighbor's vote; exact distance ties order by label, so
+    /// the recommendation is invariant under training-set permutation).
     pub fn recommend(&self, features: &SelectorFeatures) -> Option<&str> {
         if self.embedded.is_empty() {
             return None;
@@ -99,7 +217,7 @@ impl FormatSelector {
         // Partial selection of the k nearest (k is tiny; linear scan).
         let mut nearest: Vec<(f64, &str)> =
             self.embedded.iter().map(|(e, fmt)| (dist2(e, &probe), fmt.as_str())).collect();
-        nearest.sort_by(|a, b| a.0.total_cmp(&b.0));
+        nearest.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(b.1)));
         nearest.truncate(self.k);
 
         let mut votes: Vec<(&str, usize)> = Vec::new();
@@ -236,6 +354,65 @@ mod tests {
         assert_eq!(score.n, 2);
         assert!((score.top1_accuracy - 0.5).abs() < 1e-12);
         assert!((score.fraction_of_optimal - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_observations_reduce_runs_per_matrix() {
+        let run = |id: &str, fmt: &str, gf: f64| LabeledRun {
+            matrix_id: id.into(),
+            features: feat(1.0, 10.0, 0.0),
+            format: fmt.into(),
+            gflops: gf,
+        };
+        let runs = vec![
+            run("m0", "CSR", 5.0),
+            run("m0", "Merge", 7.0),
+            run("m0", "ELL", f64::NAN), // NaN never wins over a real run
+            run("m0", "HYB", f64::INFINITY), // non-finite imports never win
+            run("m1", "CSR", 3.0),
+            run("m1", "Merge", 3.0),    // exact tie -> lexicographic: "CSR"
+            run("m2", "ELL", 0.0),      // all non-positive -> dropped
+            run("m3", "ELL", f64::NAN), // all non-finite -> dropped
+        ];
+        let obs = best_observations(&runs);
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].best_format, "Merge");
+        assert_eq!(obs[1].best_format, "CSR");
+        let sel = fit_from_runs(&runs, 1);
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn portable_serialization_round_trips_exactly() {
+        let train = vec![
+            obs(1.0, 20.0, 0.0, "CSR"),
+            obs(0.123_456_789_012_345_68, 3.0, 777.25, "Merge"),
+            obs(1e-12, 1e9, 1e-9, "SELL-C-s"),
+            obs(2.5, 7.0, 3.0, "cuSPARSE HYB v11"), // labels may contain spaces
+        ];
+        let sel = FormatSelector::fit(&train, 3);
+        let text = sel.to_portable();
+        let back = FormatSelector::from_portable(&text).unwrap();
+        assert_eq!(back.k(), sel.k());
+        assert_eq!(back.len(), sel.len());
+        // Bit-exact embeddings: identical recommendations everywhere.
+        for probe in [feat(0.5, 10.0, 1.0), feat(2e8, 1.0, 0.0), feat(1e-9, 1e8, 1e-8)] {
+            assert_eq!(sel.recommend(&probe), back.recommend(&probe));
+        }
+        assert_eq!(back.to_portable(), text, "serialization is a fixed point");
+    }
+
+    #[test]
+    fn portable_parse_rejects_malformed_input() {
+        assert!(FormatSelector::from_portable("").is_err());
+        assert!(FormatSelector::from_portable("wrong header\nk 1\n").is_err());
+        assert!(FormatSelector::from_portable("spmv-selector v1\nk x\n").is_err());
+        let bad_obs = "spmv-selector v1\nk 1\nobs 1 2 3 CSR\n";
+        let e = FormatSelector::from_portable(bad_obs).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+        let bad_float = "spmv-selector v1\nk 1\nobs 1 2 three 4 5 CSR\n";
+        assert!(FormatSelector::from_portable(bad_float).is_err());
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Property tests locking in the selector invariants the adaptive
+//! engine relies on: a k=1 selector is exact on its own training set,
+//! recommendations do not depend on training-set order, and the
+//! evaluation metrics stay inside their defined ranges (with both
+//! hitting exactly 1.0 when the test set *is* the training set).
+
+use proptest::prelude::*;
+use spmv_analysis::{evaluate, FormatSelector, Observation, SelectorFeatures};
+
+const FORMATS: [&str; 5] = ["Naive-CSR", "Vectorized-CSR", "Merge-CSR", "SELL-C-s", "COO"];
+
+/// Builds a feature point from raw draws. The `salt` index perturbs the
+/// footprint so every generated observation has a distinct embedding
+/// (identical training points with different labels make "exact on the
+/// training set" unsatisfiable for any classifier).
+fn feat(salt: usize, fp: f64, avg: f64, skew: f64, crs: f64, neigh: f64) -> SelectorFeatures {
+    SelectorFeatures {
+        footprint_mb: fp * (1.0 + salt as f64 * 1e-3),
+        avg_nnz_per_row: avg,
+        skew,
+        cross_row_sim: crs,
+        avg_num_neigh: neigh,
+    }
+}
+
+/// Strategy: a non-empty training set of distinct-feature observations.
+fn arb_observations() -> impl Strategy<Value = Vec<Observation>> {
+    proptest::collection::vec(
+        (1u64..1_000_000, 1u64..2000, 0u64..20_000, 0u64..=100, 0u64..=200, 0usize..5),
+        1..=40,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (fp, avg, skew, crs, neigh, fmt))| Observation {
+                features: feat(
+                    i,
+                    fp as f64 * 1e-3,
+                    avg as f64 * 0.1,
+                    skew as f64,
+                    crs as f64 * 0.01,
+                    neigh as f64 * 0.01,
+                ),
+                best_format: FORMATS[fmt].to_string(),
+            })
+            .collect()
+    })
+}
+
+/// Deterministic in-test shuffle (the proptest shim has no
+/// `Just`/`prop_shuffle`; a seeded Fisher–Yates is enough).
+fn shuffled<T: Clone>(items: &[T], mut seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn k1_on_a_training_point_returns_its_own_label(obs in arb_observations(), pick in 0usize..40) {
+        let sel = FormatSelector::fit(&obs, 1);
+        let probe = &obs[pick % obs.len()];
+        prop_assert_eq!(sel.recommend(&probe.features), Some(probe.best_format.as_str()));
+    }
+
+    #[test]
+    fn recommendation_is_invariant_under_training_permutation(
+        obs in arb_observations(),
+        seed in 0u64..u64::MAX,
+        k in 1usize..8,
+        probe_idx in 0usize..40,
+    ) {
+        let sel = FormatSelector::fit(&obs, k);
+        let perm = FormatSelector::fit(&shuffled(&obs, seed), k);
+        // Probe both at a training point and off-lattice between two
+        // training points (a regime where k-boundary ties can appear).
+        let a = &obs[probe_idx % obs.len()].features;
+        let b = &obs[(probe_idx + 1) % obs.len()].features;
+        let mid = SelectorFeatures {
+            footprint_mb: (a.footprint_mb + b.footprint_mb) / 2.0,
+            avg_nnz_per_row: (a.avg_nnz_per_row + b.avg_nnz_per_row) / 2.0,
+            skew: (a.skew + b.skew) / 2.0,
+            cross_row_sim: (a.cross_row_sim + b.cross_row_sim) / 2.0,
+            avg_num_neigh: (a.avg_num_neigh + b.avg_num_neigh) / 2.0,
+        };
+        for probe in [a, &mid] {
+            prop_assert_eq!(sel.recommend(probe), perm.recommend(probe));
+        }
+    }
+
+    #[test]
+    fn metrics_stay_in_range_and_are_perfect_on_train_equals_test(
+        obs in arb_observations(),
+        k in 1usize..8,
+    ) {
+        // Synthesize per-matrix alternatives so that each observation's
+        // label is the strict argmax of its options.
+        let candidates: Vec<(SelectorFeatures, Vec<(String, f64)>)> = obs
+            .iter()
+            .map(|o| {
+                let options: Vec<(String, f64)> = FORMATS
+                    .iter()
+                    .map(|f| {
+                        let gf = if *f == o.best_format { 10.0 } else { 5.0 };
+                        (f.to_string(), gf)
+                    })
+                    .collect();
+                (o.features, options)
+            })
+            .collect();
+
+        // Any selector keeps both metrics inside their ranges.
+        let some_sel = FormatSelector::fit(&obs[..obs.len().div_ceil(2)], k);
+        let score = evaluate(&some_sel, &candidates);
+        prop_assert!(score.n == candidates.len());
+        prop_assert!((0.0..=1.0).contains(&score.top1_accuracy));
+        prop_assert!((0.0..=1.0).contains(&score.fraction_of_optimal));
+
+        // train == test with k = 1: exact memorization, both metrics 1.
+        let exact = FormatSelector::fit(&obs, 1);
+        let perfect = evaluate(&exact, &candidates);
+        prop_assert_eq!(perfect.n, candidates.len());
+        prop_assert!((perfect.top1_accuracy - 1.0).abs() < 1e-15);
+        prop_assert!((perfect.fraction_of_optimal - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Adaptive engine vs. always-CSR: the end-to-end payoff measurement.
+//!
+//! Trains the engine's built-in selector (noise-free campaign over a
+//! Medium-dataset subsample, fixed seed), then sweeps a *different*
+//! fixed-seed Medium subsample and compares, per matrix, the modeled
+//! throughput of the engine-selected format against always-Naive-CSR
+//! on the same device. Both seeds print in the header, so the run is
+//! exactly reproducible.
+//!
+//! Exit status enforces the acceptance bar: geometric-mean speedup
+//! ≥ 1.10× and no single matrix below 0.95× (the selector may tie CSR,
+//! it must never meaningfully lose to it).
+//!
+//! Flags: `--device NAME` (default AMD-EPYC-24), `--scale F` (default
+//! 16), `--stride N` (test subsample stride, default 100), `--seed N`
+//! (test dataset seed), `--train-stride N` (default 45), `--threads N`.
+
+use spmv_analysis::BoxStats;
+use spmv_bench::args::parse_flag_pairs;
+use spmv_devices::{estimate_with, MatrixSummary, ModelConfig};
+use spmv_engine::{Engine, EngineConfig, TrainingPlan};
+use spmv_formats::FormatKind;
+use spmv_gen::dataset::{Dataset, DatasetSize};
+use std::collections::BTreeMap;
+
+struct Config {
+    device: String,
+    scale: f64,
+    stride: usize,
+    seed: u64,
+    train_stride: usize,
+    threads: usize,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        let mut cfg = Self {
+            device: "AMD-EPYC-24".into(),
+            scale: 16.0,
+            stride: 100,
+            seed: 0xB0B5EED,
+            train_stride: 45,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        };
+        parse_flag_pairs(
+            "engine_throughput [--device NAME] [--scale F] [--stride N] [--seed N] \
+             [--train-stride N] [--threads N]",
+            |flag, value| {
+                match flag {
+                    "--device" => cfg.device = value.to_string(),
+                    "--scale" => cfg.scale = value.parse().expect("--scale F"),
+                    "--stride" => cfg.stride = value.parse().expect("--stride N"),
+                    "--seed" => cfg.seed = parse_seed(value),
+                    "--train-stride" => cfg.train_stride = value.parse().expect("--train-stride N"),
+                    "--threads" => cfg.threads = value.parse().expect("--threads N"),
+                    _ => return false,
+                }
+                true
+            },
+        );
+        cfg
+    }
+}
+
+/// Accepts both decimal and the `0x…` hex form the header prints, so a
+/// printed run line pastes back verbatim.
+fn parse_seed(value: &str) -> u64 {
+    match value.strip_prefix("0x").or_else(|| value.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).expect("--seed N or 0xHEX"),
+        None => value.parse().expect("--seed N or 0xHEX"),
+    }
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    let training = TrainingPlan {
+        size: DatasetSize::Medium,
+        stride: cfg.train_stride,
+        ..TrainingPlan::default()
+    };
+    println!(
+        "engine_throughput: device {}, scale {}, train seed {:#x} stride {}, \
+         test seed {:#x} stride {}",
+        cfg.device, cfg.scale, training.base_seed, training.stride, cfg.seed, cfg.stride
+    );
+
+    let engine = Engine::new(EngineConfig {
+        device: cfg.device.clone(),
+        scale: cfg.scale,
+        threads: cfg.threads,
+        training,
+        ..EngineConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("engine construction failed: {e}");
+        std::process::exit(2);
+    });
+    let dev = engine.device();
+    if !dev.formats.contains(&FormatKind::NaiveCsr) {
+        eprintln!("device {} has no CSR baseline (Table II); pick a CPU/GPU testbed", dev.name);
+        std::process::exit(2);
+    }
+    println!(
+        "selector: {} training matrices, k = {}",
+        engine.selector().len(),
+        engine.selector().k()
+    );
+
+    // Score with the deterministic model (noise off): the same ground
+    // truth the training labels came from, one seed apart.
+    let quiet = ModelConfig { noise: false, ..ModelConfig::default() };
+    let specs = Dataset { size: DatasetSize::Medium, scale: cfg.scale, base_seed: cfg.seed }
+        .specs_subsampled(cfg.stride);
+
+    let mut ratios = Vec::new();
+    let mut worst: Option<(String, f64)> = None;
+    let mut picks: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut skipped = 0usize;
+    for spec in &specs {
+        let summary = MatrixSummary::from_spec(spec);
+        let selected = engine.select(&summary.features);
+        // The engine's serve-time fallback chain, in model space.
+        let candidates = [selected, engine.default_format(), FormatKind::NaiveCsr];
+        let Some((kind, gf_sel)) = candidates
+            .iter()
+            .find_map(|&k| estimate_with(&quiet, dev, k, &summary).ok().map(|e| (k, e.gflops)))
+        else {
+            skipped += 1;
+            continue;
+        };
+        let gf_csr = match estimate_with(&quiet, dev, FormatKind::NaiveCsr, &summary) {
+            Ok(e) => e.gflops,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let ratio = gf_sel / gf_csr;
+        if worst.as_ref().is_none_or(|(_, w)| ratio < *w) {
+            worst = Some((spec.id.clone(), ratio));
+        }
+        ratios.push(ratio);
+        *picks.entry(kind.name()).or_default() += 1;
+    }
+    if skipped > 0 {
+        println!("skipped {skipped} matrices the device refused entirely");
+    }
+
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let stats = BoxStats::from_values(&ratios).expect("nonempty test sweep");
+    let (worst_id, min_ratio) = worst.expect("nonempty test sweep");
+
+    println!("\nengine-selected vs always-CSR, {} matrices:", ratios.len());
+    println!("  geomean speedup : {geomean:.3}x");
+    println!(
+        "  min / median / max : {:.3}x ({worst_id}) / {:.3}x / {:.3}x",
+        stats.min, stats.median, stats.max
+    );
+    println!("  selections:");
+    for (name, n) in &picks {
+        println!("    {name:<16} {n}");
+    }
+
+    let mut ok = true;
+    if geomean < 1.10 {
+        eprintln!("FAIL: geomean {geomean:.3}x < 1.10x");
+        ok = false;
+    }
+    if min_ratio < 0.95 {
+        eprintln!("FAIL: matrix {worst_id} at {min_ratio:.3}x < 0.95x");
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("\nPASS: geomean ≥ 1.10x and no matrix below 0.95x");
+}

@@ -108,6 +108,29 @@ impl FeatureSet {
         acc.finish()
     }
 
+    /// Extracts all features from any row source: an iterator yielding
+    /// each row's sorted column indices, top to bottom. This is the
+    /// format-agnostic entry point — every storage format that can walk
+    /// its rows in order (CSR trivially; ELL/SELL chunks, BCSR block
+    /// rows, streamed generators) can produce features without first
+    /// materializing a [`CsrMatrix`].
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the iterator yields a different
+    /// number of rows than declared or unsorted columns, mirroring
+    /// [`FeatureAccumulator::push_row`].
+    pub fn from_rows<I>(rows: usize, cols: usize, row_iter: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u32]>,
+    {
+        let mut acc = FeatureAccumulator::new(rows, cols);
+        for row in row_iter {
+            acc.push_row(row.as_ref());
+        }
+        acc.finish()
+    }
+
     /// Classifies f4.a (range `[0, 1]`) into S/M/L.
     pub fn cross_row_sim_class(&self) -> RegularityClass {
         RegularityClass::classify(self.cross_row_sim, 0.0, 1.0)
@@ -437,6 +460,21 @@ mod tests {
         }
         let streamed = acc.finish();
         assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn from_rows_matches_extract() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            6,
+            &[(0, 0, 1.0), (0, 1, 1.0), (1, 3, 1.0), (2, 2, 1.0), (2, 4, 1.0)],
+        )
+        .unwrap();
+        let via_rows = FeatureSet::from_rows(3, 6, (0..3).map(|r| m.row(r).0));
+        assert_eq!(via_rows, FeatureSet::extract(&m));
+        // Owned row storage works through the same entry point.
+        let owned: Vec<Vec<u32>> = (0..3).map(|r| m.row(r).0.to_vec()).collect();
+        assert_eq!(FeatureSet::from_rows(3, 6, &owned), FeatureSet::extract(&m));
     }
 
     #[test]

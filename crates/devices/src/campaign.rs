@@ -3,7 +3,7 @@
 //! (testbed/matrix/format) we ran 128 iterations of double precision
 //! SpMV", §IV), with the measurement replaced by the device model.
 
-use crate::model::{estimate, ModelFailure};
+use crate::model::{estimate_with, ModelConfig, ModelFailure};
 use crate::specs::{all_devices, DeviceSpec};
 use crate::summary::MatrixSummary;
 use parking_lot::Mutex;
@@ -57,17 +57,31 @@ impl Record {
 pub struct Campaign {
     /// The devices to evaluate (already scaled).
     pub devices: Vec<DeviceSpec>,
+    /// Model mechanism configuration used for every estimate (defaults
+    /// to all mechanisms on, including the measurement-noise channel).
+    pub model_config: ModelConfig,
 }
 
 impl Campaign {
     /// All nine testbeds, scaled by `scale` (match the dataset scale).
     pub fn new(scale: f64) -> Self {
-        Self { devices: all_devices().into_iter().map(|d| d.scaled(scale)).collect() }
+        Self {
+            devices: all_devices().into_iter().map(|d| d.scaled(scale)).collect(),
+            model_config: ModelConfig::default(),
+        }
     }
 
     /// Restrict to devices whose names are in `names`.
     pub fn with_devices(mut self, names: &[&str]) -> Self {
         self.devices.retain(|d| names.contains(&d.name));
+        self
+    }
+
+    /// Replaces the model mechanism configuration — e.g. disable the
+    /// noise channel so the records label formats by the deterministic
+    /// model only (what selector training wants).
+    pub fn with_model_config(mut self, cfg: ModelConfig) -> Self {
+        self.model_config = cfg;
         self
     }
 
@@ -90,7 +104,7 @@ impl Campaign {
                     neigh: s.features.avg_num_neigh,
                     nnz: s.features.nnz,
                 };
-                match estimate(dev, kind, s) {
+                match estimate_with(&self.model_config, dev, kind, s) {
                     Ok(e) => out.push(Record { gflops: e.gflops, watts: e.watts, ..base }),
                     Err(ModelFailure::FormatUnavailable) => {}
                     Err(e) => out.push(Record { failed: Some(e.to_string()), ..base }),
@@ -212,5 +226,29 @@ mod tests {
         let c = Campaign::new(1.0).with_devices(&["Tesla-A100"]);
         assert_eq!(c.devices.len(), 1);
         assert_eq!(c.devices[0].name, "Tesla-A100");
+    }
+
+    #[test]
+    fn noise_free_campaign_differs_but_stays_close() {
+        let pool = ThreadPool::new(2);
+        let campaign = Campaign::new(512.0).with_devices(&["INTEL-XEON"]);
+        let quiet =
+            campaign.clone().with_model_config(ModelConfig { noise: false, ..Default::default() });
+        let specs = tiny_specs();
+        let noisy_recs = campaign.run_specs(&pool, &specs);
+        let quiet_recs = quiet.run_specs(&pool, &specs);
+        assert_eq!(noisy_recs.len(), quiet_recs.len());
+        let mut any_diff = false;
+        for (a, b) in noisy_recs.iter().zip(&quiet_recs) {
+            assert_eq!(a.matrix_id, b.matrix_id);
+            assert_eq!(a.format, b.format);
+            if a.failed.is_none() {
+                // The noise channel is multiplicative and bounded.
+                let ratio = a.gflops / b.gflops;
+                assert!((0.4..2.5).contains(&ratio), "ratio {ratio}");
+                any_diff |= (ratio - 1.0).abs() > 1e-12;
+            }
+        }
+        assert!(any_diff, "noise channel must actually perturb estimates");
     }
 }

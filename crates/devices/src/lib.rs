@@ -41,5 +41,5 @@ pub mod summary;
 
 pub use campaign::{Campaign, Record};
 pub use model::{estimate, estimate_with, Estimate, ModelConfig};
-pub use specs::{all_devices, DeviceClass, DeviceSpec};
+pub use specs::{all_devices, device_by_name, DeviceClass, DeviceSpec};
 pub use summary::MatrixSummary;

@@ -1,0 +1,568 @@
+//! # spmv-engine
+//!
+//! The adaptive serving layer of the suite: one API that accepts any
+//! CSR matrix and any device profile, predicts the best storage format
+//! from the paper's five structural features (§III-A), converts lazily,
+//! and serves `spmv` / `spmv_parallel` / `spmm` through the shared
+//! execution layer. This is the piece the format-selection literature
+//! the paper surveys (\[3\]–\[11\]) builds toward: features in, a
+//! served matrix–vector product out.
+//!
+//! Pipeline per admitted matrix:
+//!
+//! 1. **extract** — [`FeatureSet`] in one `O(nnz)` pass (cached per
+//!    matrix id);
+//! 2. **select** — k-NN vote over a training campaign's best-format
+//!    labels ([`FormatSelector`]), restricted to the formats the
+//!    configured device profile actually has (Table II);
+//! 3. **convert** — lazily build the chosen format, with a fallback
+//!    chain for formats that refuse a matrix (DIA/ELL padding budgets,
+//!    VSL channel capacity), and keep it in a byte-bounded LRU
+//!    [`ConversionCache`];
+//! 4. **serve** — run the kernel; every call is counted in the
+//!    [`EngineCounters`] so operators can see selections per format,
+//!    cache hit rates, fallbacks and resident bytes.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod training;
+
+pub use cache::ConversionCache;
+pub use training::{labeled_runs, selector_from_records, TrainingPlan};
+
+use parking_lot::Mutex;
+use spmv_analysis::{FormatSelector, SelectorFeatures};
+use spmv_core::{CsrMatrix, FeatureSet};
+use spmv_devices::{device_by_name, DeviceSpec};
+use spmv_formats::{build_with_fallback, FormatKind, SparseFormat};
+use spmv_parallel::ThreadPool;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of an [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Device profile the selector optimizes for (a Table II testbed
+    /// name; the kernels still execute on the host).
+    pub device: String,
+    /// Footprint divisor shared with the dataset/device scaling
+    /// machinery (see `spmv_gen::dataset::Dataset::scale`).
+    pub scale: f64,
+    /// Neighbor count of the k-NN vote. With lattice-dense training
+    /// data the nearest neighbor alone is the best predictor, so the
+    /// default is 1.
+    pub k: usize,
+    /// Byte budget of the conversion cache (default 256 MB).
+    pub cache_capacity_bytes: usize,
+    /// Maximum matrix ids remembered in the selection-plan table
+    /// (default 65 536). Plans are tiny, but a serve stream of
+    /// unboundedly many distinct ids must not grow memory without
+    /// bound; evicted ids simply re-extract features on their next
+    /// request.
+    pub plan_capacity: usize,
+    /// Worker threads for `spmv_parallel`/training (0 = all cores).
+    pub threads: usize,
+    /// How the built-in training campaign samples the dataset.
+    pub training: TrainingPlan,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            device: "AMD-EPYC-24".into(),
+            scale: 16.0,
+            k: 1,
+            cache_capacity_bytes: 256 << 20,
+            plan_capacity: 1 << 16,
+            threads: 0,
+            training: TrainingPlan::default(),
+        }
+    }
+}
+
+/// Errors raised while constructing an [`Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The configured device name is not a Table II testbed.
+    UnknownDevice(String),
+    /// The training campaign produced no usable (non-failed) records.
+    EmptyTrainingSet,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownDevice(name) => {
+                write!(f, "unknown device profile {name:?} (expected a Table II testbed name)")
+            }
+            EngineError::EmptyTrainingSet => {
+                write!(f, "training campaign produced no usable records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Snapshot of an engine's instrumentation counters.
+///
+/// Invariants (asserted by the integration tests): the per-format
+/// selection counts sum to `requests`, and `cache_hits + cache_misses
+/// == cache_lookups`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Serve calls (`spmv` + `spmv_parallel` + `spmm`).
+    pub requests: u64,
+    /// Conversion-cache lookups (one per serve call).
+    pub cache_lookups: u64,
+    /// Lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Lookups that had to convert.
+    pub cache_misses: u64,
+    /// Conversion candidates that refused a matrix (padding budgets,
+    /// channel capacities) before a fallback format accepted it.
+    pub fallbacks: u64,
+    /// Bytes of converted formats currently resident in the cache.
+    pub bytes_resident: usize,
+    /// Resident cache entries.
+    pub cached_entries: usize,
+    /// Matrix ids currently remembered in the selection-plan table.
+    pub planned_entries: usize,
+    /// Serve calls per format actually used, in [`FormatKind::ALL`]
+    /// order (zero-count formats included).
+    pub selections: Vec<(FormatKind, u64)>,
+}
+
+impl EngineCounters {
+    /// Sum of the per-format selection counts (== `requests`).
+    pub fn total_selections(&self) -> u64 {
+        self.selections.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+#[derive(Default)]
+struct CounterBank {
+    requests: AtomicU64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fallbacks: AtomicU64,
+    selections: [AtomicU64; FormatKind::ALL.len()],
+}
+
+fn kind_index(kind: FormatKind) -> usize {
+    FormatKind::ALL.iter().position(|&k| k == kind).expect("kind is in ALL")
+}
+
+/// The adaptive SpMV serving engine. See the [crate docs](self) for the
+/// pipeline; all methods take `&self` and are safe to call from many
+/// threads (the conversion cache and plan table are mutex-protected,
+/// counters are atomic).
+pub struct Engine {
+    device: DeviceSpec,
+    selector: FormatSelector,
+    pool: ThreadPool,
+    plan_capacity: usize,
+    plans: Mutex<BTreeMap<String, FormatKind>>,
+    cache: Mutex<ConversionCache>,
+    counters: CounterBank,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("device", &self.device.name)
+            .field("selector_len", &self.selector.len())
+            .field("threads", &self.pool.threads())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds an engine with a selector trained from the built-in
+    /// campaign over `config.training` (noise-free model labels on the
+    /// configured device).
+    pub fn new(config: EngineConfig) -> Result<Engine, EngineError> {
+        let pool = Self::make_pool(config.threads);
+        let records = config.training.records(&config.device, config.scale, &pool);
+        let selector = selector_from_records(&records, config.k);
+        if selector.is_empty() {
+            // Distinguish "no such device" from "campaign found nothing".
+            if device_by_name(&config.device).is_none() {
+                return Err(EngineError::UnknownDevice(config.device));
+            }
+            return Err(EngineError::EmptyTrainingSet);
+        }
+        Self::with_selector_and_pool(config, selector, pool)
+    }
+
+    /// Builds an engine around an already-fitted (possibly
+    /// deserialized) selector. An empty selector is allowed: every
+    /// request then serves the device's default format.
+    pub fn with_selector(
+        config: EngineConfig,
+        selector: FormatSelector,
+    ) -> Result<Engine, EngineError> {
+        let pool = Self::make_pool(config.threads);
+        Self::with_selector_and_pool(config, selector, pool)
+    }
+
+    fn make_pool(threads: usize) -> ThreadPool {
+        if threads == 0 {
+            ThreadPool::with_all_cores()
+        } else {
+            ThreadPool::new(threads)
+        }
+    }
+
+    fn with_selector_and_pool(
+        config: EngineConfig,
+        selector: FormatSelector,
+        pool: ThreadPool,
+    ) -> Result<Engine, EngineError> {
+        let device = device_by_name(&config.device)
+            .ok_or_else(|| EngineError::UnknownDevice(config.device.clone()))?
+            .scaled(config.scale);
+        Ok(Engine {
+            device,
+            selector,
+            pool,
+            plan_capacity: config.plan_capacity.max(1),
+            plans: Mutex::new(BTreeMap::new()),
+            cache: Mutex::new(ConversionCache::new(config.cache_capacity_bytes)),
+            counters: CounterBank::default(),
+        })
+    }
+
+    /// The (scaled) device profile selections are optimized for.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The fitted selector (serialize it with
+    /// [`FormatSelector::to_portable`] to skip training next time).
+    pub fn selector(&self) -> &FormatSelector {
+        &self.selector
+    }
+
+    /// The engine's worker pool (shared with `spmv_parallel` serving).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// The format every fallback chain ends in: a format of the device
+    /// profile that accepts any matrix if one exists, else Naive-CSR
+    /// (which always does — the host executes regardless).
+    pub fn default_format(&self) -> FormatKind {
+        const TOTAL: [FormatKind; 4] = [
+            FormatKind::NaiveCsr,
+            FormatKind::VectorizedCsr,
+            FormatKind::BalancedCsr,
+            FormatKind::Coo,
+        ];
+        TOTAL.into_iter().find(|k| self.device.formats.contains(k)).unwrap_or(FormatKind::NaiveCsr)
+    }
+
+    /// Pure selection: the format the engine would pick for a matrix
+    /// with these features — the k-NN recommendation when it names a
+    /// format available on the device profile, the device default
+    /// otherwise. No counters move; serving paths layer caching and
+    /// fallback on top of this.
+    pub fn select(&self, features: &FeatureSet) -> FormatKind {
+        let probe = SelectorFeatures {
+            footprint_mb: features.mem_footprint_mb,
+            avg_nnz_per_row: features.avg_nnz_per_row,
+            skew: features.skew_coeff,
+            cross_row_sim: features.cross_row_sim,
+            avg_num_neigh: features.avg_num_neigh,
+        };
+        self.selector
+            .recommend(&probe)
+            .and_then(FormatKind::from_name)
+            .filter(|k| self.device.formats.contains(k))
+            .unwrap_or_else(|| self.default_format())
+    }
+
+    /// The per-matrix plan: select once per id, remember the outcome.
+    fn plan(&self, id: &str, csr: &CsrMatrix) -> FormatKind {
+        if let Some(&kind) = self.plans.lock().get(id) {
+            return kind;
+        }
+        // Extract outside the lock (O(nnz)); a racing duplicate costs
+        // one redundant extraction and agrees on the result.
+        let kind = self.select(&FeatureSet::extract(csr));
+        let mut plans = self.plans.lock();
+        let kind = *plans.entry(id.to_string()).or_insert(kind);
+        Self::bound_plans(&mut plans, self.plan_capacity, id);
+        kind
+    }
+
+    /// Keeps the plan table at or under `capacity` ids so a stream of
+    /// unboundedly many distinct matrices cannot grow memory without
+    /// bound; eviction order is arbitrary (re-planning an evicted id
+    /// only costs one feature extraction), sparing the id just used.
+    fn bound_plans(plans: &mut BTreeMap<String, FormatKind>, capacity: usize, keep: &str) {
+        while plans.len() > capacity {
+            let victim = match plans.keys().find(|k| k.as_str() != keep) {
+                Some(k) => k.clone(),
+                None => break,
+            };
+            plans.remove(&victim);
+        }
+    }
+
+    /// Cache lookup → convert on miss (with fallback) → pin the plan to
+    /// the format that actually built.
+    fn resolve(
+        &self,
+        id: &str,
+        csr: &CsrMatrix,
+        planned: FormatKind,
+    ) -> (Arc<Box<dyn SparseFormat>>, FormatKind) {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(fmt) = self.cache.lock().get(id, planned) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return (fmt, planned);
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        // Conversion runs outside the cache lock: it can take many
+        // SpMV-equivalents, and a racing duplicate conversion is
+        // cheaper than serializing every miss behind one matrix.
+        let (built, actual, refused) =
+            build_with_fallback(planned, csr, &[self.default_format(), FormatKind::NaiveCsr])
+                .expect("fallback chain ends in CSR, which accepts any matrix");
+        self.counters.fallbacks.fetch_add(refused as u64, Ordering::Relaxed);
+        let fmt = Arc::new(built);
+        self.cache.lock().insert(id, actual, Arc::clone(&fmt));
+        if actual != planned {
+            // Don't re-attempt the refusing format on every request.
+            let mut plans = self.plans.lock();
+            plans.insert(id.to_string(), actual);
+            Self::bound_plans(&mut plans, self.plan_capacity, id);
+        }
+        (fmt, actual)
+    }
+
+    fn serve(&self, id: &str, csr: &CsrMatrix) -> (Arc<Box<dyn SparseFormat>>, FormatKind) {
+        let planned = self.plan(id, csr);
+        let (fmt, actual) = self.resolve(id, csr, planned);
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.selections[kind_index(actual)].fetch_add(1, Ordering::Relaxed);
+        (fmt, actual)
+    }
+
+    /// Serves `y = A·x` sequentially in the engine-selected format;
+    /// returns the format that ran. `y` is fully overwritten.
+    ///
+    /// `id` names the matrix for the plan/conversion caches; serving
+    /// the same id with a *different* matrix is a caller bug (use
+    /// [`Engine::forget`] first if a matrix changes in place).
+    pub fn spmv(&self, id: &str, csr: &CsrMatrix, x: &[f64], y: &mut [f64]) -> FormatKind {
+        let (fmt, kind) = self.serve(id, csr);
+        fmt.spmv(x, y);
+        kind
+    }
+
+    /// Serves `y = A·x` on the engine's thread pool; returns the format
+    /// that ran. `y` is fully overwritten.
+    pub fn spmv_parallel(&self, id: &str, csr: &CsrMatrix, x: &[f64], y: &mut [f64]) -> FormatKind {
+        let (fmt, kind) = self.serve(id, csr);
+        fmt.spmv_parallel(&self.pool, x, y);
+        kind
+    }
+
+    /// Serves the batched multi-vector product `Y = A·X` (`k` column-
+    /// major right-hand sides, see [`SparseFormat::spmm`]); returns the
+    /// format that ran. `y` is fully overwritten.
+    pub fn spmm(
+        &self,
+        id: &str,
+        csr: &CsrMatrix,
+        x: &[f64],
+        k: usize,
+        y: &mut [f64],
+    ) -> FormatKind {
+        let (fmt, kind) = self.serve(id, csr);
+        fmt.spmm(x, k, y);
+        kind
+    }
+
+    /// Drops the plan and every cached conversion of one matrix id.
+    pub fn forget(&self, id: &str) {
+        self.plans.lock().remove(id);
+        self.cache.lock().forget(id);
+    }
+
+    /// Snapshots the instrumentation counters.
+    pub fn counters(&self) -> EngineCounters {
+        let cache = self.cache.lock();
+        EngineCounters {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            cache_lookups: self.counters.lookups.load(Ordering::Relaxed),
+            cache_hits: self.counters.hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.misses.load(Ordering::Relaxed),
+            fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
+            bytes_resident: cache.bytes_resident(),
+            cached_entries: cache.len(),
+            planned_entries: self.plans.lock().len(),
+            selections: FormatKind::ALL
+                .iter()
+                .map(|&k| (k, self.counters.selections[kind_index(k)].load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_gen::dataset::DatasetSize;
+
+    fn quick_config() -> EngineConfig {
+        EngineConfig {
+            device: "AMD-EPYC-24".into(),
+            scale: 512.0,
+            k: 1,
+            cache_capacity_bytes: 64 << 20,
+            threads: 2,
+            training: TrainingPlan { size: DatasetSize::Small, stride: 60, base_seed: 11 },
+            ..EngineConfig::default()
+        }
+    }
+
+    fn skewed_matrix() -> CsrMatrix {
+        let mut t = Vec::new();
+        for r in 0..2000usize {
+            t.push((r, (r * 7) % 2000, 1.0));
+            t.push((r, (r * 131 + 5) % 2000, 0.5));
+        }
+        for c in 0..1500usize {
+            t.push((0, c, 0.25)); // one hot row
+        }
+        CsrMatrix::from_triplets(2000, 2000, &t).unwrap()
+    }
+
+    #[test]
+    fn unknown_device_is_rejected() {
+        let cfg = EngineConfig { device: "Cray-1".into(), ..quick_config() };
+        match Engine::new(cfg.clone()) {
+            Err(EngineError::UnknownDevice(name)) => assert_eq!(name, "Cray-1"),
+            other => panic!("expected UnknownDevice, got {other:?}"),
+        }
+        assert!(Engine::with_selector(cfg, FormatSelector::fit(&[], 1)).is_err());
+    }
+
+    #[test]
+    fn empty_selector_serves_the_default_format() {
+        let engine = Engine::with_selector(quick_config(), FormatSelector::fit(&[], 1)).unwrap();
+        let m = CsrMatrix::identity(64);
+        let x = vec![1.0; 64];
+        let mut y = vec![f64::NAN; 64];
+        let kind = engine.spmv("id", &m, &x, &mut y);
+        assert_eq!(kind, engine.default_format());
+        assert_eq!(y, x, "identity SpMV overwrites the NaN prefill");
+    }
+
+    #[test]
+    fn serving_is_correct_cached_and_counted() {
+        let engine = Engine::new(quick_config()).unwrap();
+        let m = skewed_matrix();
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let reference = m.spmv(&x);
+
+        let mut y = vec![f64::NAN; m.rows()];
+        let k1 = engine.spmv("m", &m, &x, &mut y);
+        assert_eq!(spmv_core::vec_mismatch(&y, &reference, 1e-9, 1e-9), None);
+
+        let mut y2 = vec![7.5; m.rows()];
+        let k2 = engine.spmv_parallel("m", &m, &x, &mut y2);
+        assert_eq!(k1, k2, "plan is stable per id");
+        assert_eq!(spmv_core::vec_mismatch(&y2, &reference, 1e-9, 1e-9), None);
+
+        let c = engine.counters();
+        assert_eq!(c.requests, 2);
+        assert_eq!(c.total_selections(), 2);
+        assert_eq!(c.cache_lookups, 2);
+        assert_eq!(c.cache_hits, 1, "second request reuses the conversion");
+        assert_eq!(c.cache_misses, 1);
+        assert!(c.bytes_resident > 0);
+        assert_eq!(c.cached_entries, 1);
+
+        engine.forget("m");
+        let c = engine.counters();
+        assert_eq!(c.cached_entries, 0);
+        assert_eq!(c.bytes_resident, 0);
+    }
+
+    #[test]
+    fn spmm_matches_k_spmvs() {
+        let engine = Engine::new(quick_config()).unwrap();
+        let m = skewed_matrix();
+        let k = 3usize;
+        let x: Vec<f64> = (0..m.cols() * k).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut y = vec![f64::NAN; m.rows() * k];
+        engine.spmm("m", &m, &x, k, &mut y);
+        for j in 0..k {
+            let want = m.spmv(&x[j * m.cols()..(j + 1) * m.cols()]);
+            assert_eq!(
+                spmv_core::vec_mismatch(&y[j * m.rows()..(j + 1) * m.rows()], &want, 1e-9, 1e-9),
+                None,
+                "column {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_prefers_balanced_formats_on_skewed_matrices() {
+        // A skewed matrix on a CPU profile should not be served with
+        // static-row CSR: the campaign labels say merge/balanced wins.
+        let engine = Engine::new(quick_config()).unwrap();
+        let f = FeatureSet::extract(&skewed_matrix());
+        let kind = engine.select(&f);
+        assert_ne!(kind, FormatKind::NaiveCsr, "static CSR loses on skew");
+    }
+
+    #[test]
+    fn plan_table_is_bounded_by_config() {
+        let cfg = EngineConfig { plan_capacity: 4, ..quick_config() };
+        let engine = Engine::with_selector(cfg, FormatSelector::fit(&[], 1)).unwrap();
+        let m = CsrMatrix::identity(16);
+        let x = vec![1.0; 16];
+        let mut y = vec![0.0; 16];
+        for i in 0..20 {
+            engine.spmv(&format!("id-{i}"), &m, &x, &mut y);
+        }
+        let c = engine.counters();
+        assert_eq!(c.requests, 20);
+        assert!(c.planned_entries <= 4, "plan table leaked: {} entries", c.planned_entries);
+        // Evicted ids still serve correctly (they just re-plan).
+        engine.spmv("id-0", &m, &x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn unavailable_recommendation_falls_back_to_device_default() {
+        // A selector that only ever recommends SparseX, serving a GPU
+        // profile that does not have SparseX (Tesla-A100, Table II).
+        let obs = vec![spmv_analysis::Observation {
+            features: SelectorFeatures {
+                footprint_mb: 1.0,
+                avg_nnz_per_row: 10.0,
+                skew: 0.0,
+                cross_row_sim: 0.5,
+                avg_num_neigh: 0.5,
+            },
+            best_format: "SparseX".into(),
+        }];
+        let cfg = EngineConfig { device: "Tesla-A100".into(), ..quick_config() };
+        let engine = Engine::with_selector(cfg, FormatSelector::fit(&obs, 1)).unwrap();
+        let m = CsrMatrix::identity(32);
+        let f = FeatureSet::extract(&m);
+        let kind = engine.select(&f);
+        assert!(engine.device().formats.contains(&kind));
+        assert_eq!(kind, engine.default_format());
+    }
+}

@@ -1,0 +1,103 @@
+//! Built-in selector training from campaign records.
+//!
+//! The engine's selector is a k-NN in the paper's five-feature space
+//! (`spmv-analysis`); its training data is a (device-filtered) campaign
+//! over the artificial dataset — by default the Medium lattice the
+//! paper's main analysis uses, subsampled so training stays in the
+//! hundreds of matrices. The campaign runs with the model's
+//! measurement-noise channel **off**: labels should encode the
+//! deterministic performance landscape, not one noise draw.
+
+use spmv_analysis::{fit_from_runs, FormatSelector, LabeledRun, SelectorFeatures};
+use spmv_devices::{Campaign, ModelConfig, Record};
+use spmv_gen::dataset::{Dataset, DatasetSize};
+use spmv_parallel::ThreadPool;
+
+/// How the built-in training campaign samples the artificial dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingPlan {
+    /// Which lattice density to sweep (default: Medium, as in §V-E).
+    pub size: DatasetSize,
+    /// Keep every `stride`-th matrix (default 45 → 360 of the 16200).
+    pub stride: usize,
+    /// Base RNG seed of the training dataset.
+    pub base_seed: u64,
+}
+
+impl Default for TrainingPlan {
+    fn default() -> Self {
+        Self { size: DatasetSize::Medium, stride: 45, base_seed: 0x5EED_CAFE }
+    }
+}
+
+impl TrainingPlan {
+    /// Runs the noise-free training campaign for one device and returns
+    /// its records (one per (matrix, format) pair that ran).
+    pub fn records(&self, device: &str, scale: f64, pool: &ThreadPool) -> Vec<Record> {
+        let specs = Dataset { size: self.size, scale, base_seed: self.base_seed }
+            .specs_subsampled(self.stride);
+        Campaign::new(scale)
+            .with_devices(&[device])
+            .with_model_config(ModelConfig { noise: false, ..ModelConfig::default() })
+            .run_specs(pool, &specs)
+    }
+}
+
+/// Converts campaign records into the selector trainer's input,
+/// dropping failed runs.
+pub fn labeled_runs(records: &[Record]) -> Vec<LabeledRun> {
+    records
+        .iter()
+        .filter(|r| r.failed.is_none())
+        .map(|r| LabeledRun {
+            matrix_id: r.matrix_id.clone(),
+            features: SelectorFeatures {
+                footprint_mb: r.footprint_mb,
+                avg_nnz_per_row: r.avg_nnz,
+                skew: r.skew,
+                cross_row_sim: r.crs,
+                avg_num_neigh: r.neigh,
+            },
+            format: r.format.clone(),
+            gflops: r.gflops,
+        })
+        .collect()
+}
+
+/// Trains a selector directly from campaign records: reduce to the
+/// best format per matrix, then fit a k-NN on those labels.
+pub fn selector_from_records(records: &[Record], k: usize) -> FormatSelector {
+    fit_from_runs(&labeled_runs(records), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_plan() -> TrainingPlan {
+        TrainingPlan { size: DatasetSize::Small, stride: 120, base_seed: 7 }
+    }
+
+    #[test]
+    fn training_records_are_noise_free_and_device_filtered() {
+        let pool = ThreadPool::new(2);
+        let recs = quick_plan().records("INTEL-XEON", 512.0, &pool);
+        assert!(!recs.is_empty());
+        assert!(recs.iter().all(|r| r.device == "INTEL-XEON"));
+        // Noise-free: re-running reproduces bit-identical records.
+        let again = quick_plan().records("INTEL-XEON", 512.0, &pool);
+        assert_eq!(recs, again);
+    }
+
+    #[test]
+    fn selector_from_records_learns_one_label_per_matrix() {
+        let pool = ThreadPool::new(2);
+        let recs = quick_plan().records("AMD-EPYC-24", 512.0, &pool);
+        let matrices: std::collections::BTreeSet<_> =
+            recs.iter().map(|r| r.matrix_id.as_str()).collect();
+        let sel = selector_from_records(&recs, 1);
+        assert_eq!(sel.len(), matrices.len());
+        let runs = labeled_runs(&recs);
+        assert!(runs.len() > sel.len(), "several formats per matrix feed one label");
+    }
+}

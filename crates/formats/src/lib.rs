@@ -43,5 +43,5 @@ pub mod sparsex;
 pub mod traits;
 pub mod vsl;
 
-pub use registry::{build_format, FormatKind};
+pub use registry::{build_format, build_with_fallback, FormatKind};
 pub use traits::{FormatBuildError, SparseFormat};

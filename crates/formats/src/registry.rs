@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use spmv_core::CsrMatrix;
 
 /// Every storage format of the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FormatKind {
     /// Straightforward CSR, static row partition.
     NaiveCsr,
@@ -96,6 +96,13 @@ impl FormatKind {
             FormatKind::SellCSigma | FormatKind::Csr5 | FormatKind::MergeCsr | FormatKind::SparseX
         )
     }
+
+    /// Inverse of [`FormatKind::name`]: resolves a stable display name
+    /// (as stored in campaign records and selector labels) back to the
+    /// kind. Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<FormatKind> {
+        FormatKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 /// Builds the chosen format from CSR.
@@ -118,6 +125,36 @@ pub fn build_format(
         FormatKind::SparseX => Box::new(SparseXFormat::from_csr(csr)?),
         FormatKind::Vsl => Box::new(VslFormat::from_csr(csr)?),
     })
+}
+
+/// Builds `kind` from CSR, falling back down the `fallbacks` chain when
+/// a format refuses the matrix (e.g. the DIA/ELL padding budget or the
+/// VSL channel capacity). Returns the built format, the kind actually
+/// built, and how many candidates refused before one accepted.
+///
+/// Errors only when every candidate refuses; chains that end in a CSR
+/// variant or COO (which accept any matrix) are total. This is the
+/// conversion hook the adaptive engine serves through.
+pub fn build_with_fallback(
+    kind: FormatKind,
+    csr: &CsrMatrix,
+    fallbacks: &[FormatKind],
+) -> Result<(Box<dyn SparseFormat>, FormatKind, usize), FormatBuildError> {
+    let mut refusals = 0usize;
+    let mut last_err = None;
+    for &candidate in std::iter::once(&kind).chain(fallbacks) {
+        if refusals > 0 && candidate == kind {
+            continue; // don't retry the kind that already refused
+        }
+        match build_format(candidate, csr) {
+            Ok(built) => return Ok((built, candidate, refusals)),
+            Err(e) => {
+                refusals += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.expect("at least one candidate is always tried"))
 }
 
 #[cfg(test)]
@@ -173,6 +210,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn from_name_round_trips_every_kind() {
+        for kind in FormatKind::ALL {
+            assert_eq!(FormatKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FormatKind::from_name("CSR-6"), None);
+        assert_eq!(FormatKind::from_name(""), None);
+    }
+
+    /// A matrix whose nonzeros land on O(nnz) distinct diagonals, so the
+    /// DIA padding budget refuses it.
+    fn dia_hostile() -> CsrMatrix {
+        let t: Vec<_> = (0..60usize).map(|r| (r, (r * r + 3) % 997, 1.0)).collect();
+        CsrMatrix::from_triplets(60, 997, &t).unwrap()
+    }
+
+    #[test]
+    fn fallback_chain_recovers_from_a_refusal() {
+        let m = dia_hostile();
+        assert!(build_format(FormatKind::Dia, &m).is_err(), "premise: DIA must refuse");
+        let (built, kind, refusals) =
+            build_with_fallback(FormatKind::Dia, &m, &[FormatKind::NaiveCsr]).unwrap();
+        assert_eq!(kind, FormatKind::NaiveCsr);
+        assert_eq!(refusals, 1);
+        assert_eq!(built.nnz(), m.nnz());
+        // A format that accepts the matrix never falls back.
+        let (_, kind, refusals) =
+            build_with_fallback(FormatKind::Coo, &m, &[FormatKind::NaiveCsr]).unwrap();
+        assert_eq!(kind, FormatKind::Coo);
+        assert_eq!(refusals, 0);
+    }
+
+    #[test]
+    fn fallback_chain_exhausted_reports_the_last_error() {
+        let m = dia_hostile();
+        let err = build_with_fallback(FormatKind::Dia, &m, &[]).err().unwrap();
+        assert!(matches!(err, FormatBuildError::PaddingOverflow { format: "DIA", .. }));
+        // Duplicate candidates are not retried.
+        let err = build_with_fallback(FormatKind::Dia, &m, &[FormatKind::Dia]).err().unwrap();
+        assert!(matches!(err, FormatBuildError::PaddingOverflow { format: "DIA", .. }));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`spmv_formats`] (as `formats`) — the thirteen storage formats and kernels;
 //! * [`spmv_memsim`] (as `memsim`) — cache simulation for x-vector locality;
 //! * [`spmv_devices`] (as `devices`) — the nine calibrated device models;
-//! * [`spmv_analysis`] (as `analysis`) — statistics and reporting.
+//! * [`spmv_analysis`] (as `analysis`) — statistics and reporting;
+//! * [`spmv_engine`] (as `engine`) — the adaptive serve-time engine
+//!   (feature-driven format selection, conversion cache, counters).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! the `spmv-bench` crate for the binaries that regenerate every table
@@ -23,6 +25,7 @@
 pub use spmv_analysis as analysis;
 pub use spmv_core as core;
 pub use spmv_devices as devices;
+pub use spmv_engine as engine;
 pub use spmv_formats as formats;
 pub use spmv_gen as gen;
 pub use spmv_memsim as memsim;

@@ -1,0 +1,120 @@
+//! End-to-end adaptive-engine test: for a subsample of the Small
+//! dataset, the engine-selected format must produce exactly the dense
+//! reference result on garbage-prefilled outputs across all three
+//! serving entry points, and the instrumentation counters must
+//! reconcile (selections == requests, hits + misses == lookups).
+
+use spmv_suite::core::{vec_mismatch, DenseMatrix};
+use spmv_suite::engine::{Engine, EngineConfig, TrainingPlan};
+use spmv_suite::formats::FormatKind;
+use spmv_suite::gen::dataset::{Dataset, DatasetSize};
+
+/// Tiny-matrix scale: the largest Small-lattice footprint (2 GB at
+/// scale 1) shrinks to ~128 KB, so dense references stay affordable.
+const SCALE: f64 = 16384.0;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig {
+        device: "AMD-EPYC-24".into(),
+        scale: SCALE,
+        k: 1,
+        cache_capacity_bytes: 64 << 20,
+        threads: 3,
+        training: TrainingPlan { size: DatasetSize::Small, stride: 40, base_seed: 0xA11CE },
+        ..EngineConfig::default()
+    })
+    .expect("builtin training")
+}
+
+#[test]
+fn engine_selected_formats_match_dense_reference_and_counters_reconcile() {
+    let engine = engine();
+    let specs =
+        Dataset { size: DatasetSize::Small, scale: SCALE, base_seed: 0xB0B }.specs_subsampled(379);
+    assert!(specs.len() >= 8, "need a meaningful subsample, got {}", specs.len());
+
+    let mut served = 0u64;
+    let mut kinds_used: std::collections::BTreeSet<FormatKind> = Default::default();
+    for spec in &specs {
+        let m = spec.materialize().expect("dataset matrices materialize");
+        let dense = DenseMatrix::from_csr(&m);
+        let x: Vec<f64> = (0..m.cols()).map(|i| ((i * 37 + 11) % 23) as f64 - 11.0).collect();
+        let reference = dense.spmv(&x);
+
+        // Sequential serve on a NaN-prefilled output: any row the
+        // kernel fails to overwrite survives as NaN and mismatches.
+        let mut y = vec![f64::NAN; m.rows()];
+        let k_seq = engine.spmv(&spec.id, &m, &x, &mut y);
+        assert_eq!(
+            vec_mismatch(&y, &reference, 1e-9, 1e-9),
+            None,
+            "{} seq via {:?}",
+            spec.id,
+            k_seq
+        );
+
+        // Parallel serve on a differently-poisoned output.
+        let mut y = vec![-7.25; m.rows()];
+        let k_par = engine.spmv_parallel(&spec.id, &m, &x, &mut y);
+        assert_eq!(k_par, k_seq, "{}: plan must be stable per id", spec.id);
+        assert_eq!(vec_mismatch(&y, &reference, 1e-9, 1e-9), None, "{} par", spec.id);
+
+        // Batched serve: two right-hand sides, the second negated.
+        let k = 2usize;
+        let mut xs = x.clone();
+        xs.extend(x.iter().map(|v| -v));
+        let mut ys = vec![f64::NAN; m.rows() * k];
+        engine.spmm(&spec.id, &m, &xs, k, &mut ys);
+        assert_eq!(
+            vec_mismatch(&ys[..m.rows()], &reference, 1e-9, 1e-9),
+            None,
+            "{} spmm0",
+            spec.id
+        );
+        let neg: Vec<f64> = reference.iter().map(|v| -v).collect();
+        assert_eq!(vec_mismatch(&ys[m.rows()..], &neg, 1e-9, 1e-9), None, "{} spmm1", spec.id);
+
+        served += 3;
+        kinds_used.insert(k_seq);
+    }
+
+    // --- Counter reconciliation ---------------------------------------
+    let c = engine.counters();
+    assert_eq!(c.requests, served, "every serve call is a request");
+    assert_eq!(c.total_selections(), c.requests, "selections account for every request");
+    assert_eq!(c.cache_hits + c.cache_misses, c.cache_lookups, "every lookup hits or misses");
+    assert_eq!(c.cache_lookups, c.requests, "one cache lookup per request");
+    // Conversions happen once per matrix; the two follow-up requests
+    // per matrix are hits (the budget comfortably fits the subsample).
+    assert_eq!(c.cache_misses, specs.len() as u64);
+    assert_eq!(c.cache_hits, 2 * specs.len() as u64);
+    assert_eq!(c.cached_entries, specs.len());
+    assert!(c.bytes_resident > 0);
+
+    // Every format served is one the engine could legitimately pick:
+    // available on the device profile or the universal CSR fallback.
+    for kind in kinds_used {
+        assert!(
+            engine.device().formats.contains(&kind) || kind == FormatKind::NaiveCsr,
+            "served {kind:?} is neither on-device nor the fallback"
+        );
+    }
+}
+
+#[test]
+fn engine_counters_start_at_zero_and_forget_releases_bytes() {
+    let engine = engine();
+    let c = engine.counters();
+    assert_eq!((c.requests, c.cache_lookups, c.fallbacks), (0, 0, 0));
+    assert_eq!(c.bytes_resident, 0);
+
+    let m = spmv_suite::core::CsrMatrix::identity(128);
+    let x = vec![2.0; 128];
+    let mut y = vec![f64::NAN; 128];
+    engine.spmv("one", &m, &x, &mut y);
+    assert!(engine.counters().bytes_resident > 0);
+    engine.forget("one");
+    assert_eq!(engine.counters().bytes_resident, 0);
+    // Counters are cumulative, not tied to residency.
+    assert_eq!(engine.counters().requests, 1);
+}
