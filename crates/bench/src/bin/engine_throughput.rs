@@ -145,6 +145,14 @@ fn main() {
     if skipped > 0 {
         println!("skipped {skipped} matrices the device refused entirely");
     }
+    if ratios.is_empty() {
+        eprintln!(
+            "no scorable matrices: the device refused all {} test matrices \
+             (check --device/--scale/--stride)",
+            specs.len()
+        );
+        std::process::exit(2);
+    }
 
     let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
     let stats = BoxStats::from_values(&ratios).expect("nonempty test sweep");

@@ -1,0 +1,42 @@
+//! Small deterministic string hashing shared across the workspace.
+//!
+//! Several layers need a stable, seed-free hash of a short name — the
+//! engine shards matrix ids across locks, the device models derive
+//! reproducible noise streams from device/format names. `std`'s
+//! `DefaultHasher` is explicitly not stable across releases, so the
+//! workspace pins one implementation here.
+
+/// FNV-1a over the bytes of `s` (64-bit offset basis/prime).
+///
+/// Not cryptographic — use only for bucketing and seed derivation.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // Reference values of the standard 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_inputs_disperse() {
+        let ids: Vec<String> = (0..64).map(|i| format!("matrix-{i}")).collect();
+        let mut buckets = [0usize; 8];
+        for id in &ids {
+            buckets[(fnv1a(id) % 8) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&n| n > 0), "64 ids must touch all 8 buckets: {buckets:?}");
+    }
+}

@@ -42,12 +42,14 @@
 
 pub mod error;
 pub mod features;
+pub mod hash;
 pub mod matrix;
 pub mod roofline;
 pub mod rowstats;
 
 pub use error::SparseError;
 pub use features::FeatureSet;
+pub use hash::fnv1a;
 pub use matrix::coo::CooMatrix;
 pub use matrix::csc::CscMatrix;
 pub use matrix::csr::CsrMatrix;

@@ -173,7 +173,14 @@ pub fn read_mtx(reader: impl Read) -> Result<CsrMatrix, MtxError> {
     let declared_nnz = parse_usize(dims[2], "nonzero count", line_no)?;
 
     // --- Entries ----------------------------------------------------------
-    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(declared_nnz);
+    // Trust the header's nnz only up to a point: a corrupt or hostile
+    // file can declare 10^18 entries, and handing that straight to
+    // `Vec::with_capacity` aborts the process on allocation failure
+    // before the mismatch check can reject the file. Clamp the
+    // pre-allocation; a genuinely huge file just grows naturally.
+    const MAX_NNZ_PREALLOC: usize = 1 << 20;
+    let mut triplets: Vec<(usize, usize, f64)> =
+        Vec::with_capacity(declared_nnz.min(MAX_NNZ_PREALLOC));
     let mut seen = 0usize;
     for l in lines {
         line_no += 1;
@@ -332,6 +339,20 @@ mod tests {
             parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"),
             Err(MtxError::Matrix(_))
         ));
+    }
+
+    #[test]
+    fn absurd_declared_nnz_is_rejected_not_preallocated() {
+        // Header claims 10^18 entries. The old reader passed that to
+        // `Vec::with_capacity` (a ~2.4 * 10^19-byte allocation request,
+        // i.e. an abort); it must instead read on and fail the
+        // declared-vs-actual entry count check.
+        let r = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             2 2 1000000000000000000\n\
+             1 1 1.0\n",
+        );
+        assert!(matches!(r, Err(MtxError::Parse { .. })));
     }
 
     #[test]

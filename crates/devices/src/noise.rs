@@ -8,6 +8,8 @@
 //! rather than a tautology, while the whole campaign stays exactly
 //! reproducible.
 
+use spmv_core::fnv1a;
+
 /// Relative standard deviation of the jitter (≈12 %).
 ///
 /// Calibrated so the Table IV validation statistics land near the
@@ -20,22 +22,13 @@ pub const NOISE_SIGMA: f64 = 0.12;
 /// Deterministic multiplicative jitter around 1.0 for a given
 /// (matrix seed, device, format) triple.
 pub fn noise_factor(matrix_seed: u64, device: &str, format: &str) -> f64 {
-    let h = mix(matrix_seed ^ fnv(device) ^ fnv(format).rotate_left(17));
+    let h = mix(matrix_seed ^ fnv1a(device) ^ fnv1a(format).rotate_left(17));
     // Two uniform samples -> one standard normal via Box–Muller.
     let u1 = ((h >> 11) as f64 + 1.0) / (((1u64 << 53) as f64) + 2.0);
     let h2 = mix(h ^ 0x9E37_79B9_7F4A_7C15);
     let u2 = ((h2 >> 11) as f64) / ((1u64 << 53) as f64);
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     (NOISE_SIGMA * z).exp()
-}
-
-fn fnv(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
 }
 
 fn mix(mut z: u64) -> u64 {

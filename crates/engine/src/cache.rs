@@ -86,11 +86,15 @@ impl ConversionCache {
         self.tick += 1;
         let bytes = fmt.bytes();
         let entry = CacheEntry { fmt, bytes, last_used: self.tick };
+        // Re-insert over a resident key: the displaced entry's bytes
+        // must come off the account before the new entry's go on,
+        // otherwise `bytes_resident` drifts upward on every replace.
         if let Some(old) = self.entries.entry(id.to_string()).or_default().insert(kind, entry) {
             self.bytes -= old.bytes;
         }
         self.bytes += bytes;
         self.evict_to_fit(id, kind);
+        self.debug_check();
     }
 
     /// Drops every entry of one matrix (e.g. when the caller knows the
@@ -102,6 +106,7 @@ impl ConversionCache {
             .map(|m| m.values().map(|e| e.bytes).sum::<usize>())
             .unwrap_or(0);
         self.bytes -= released;
+        self.debug_check();
         released
     }
 
@@ -131,6 +136,18 @@ impl ConversionCache {
                 self.entries.remove(&id);
             }
             self.bytes -= bytes;
+        }
+        self.debug_check();
+    }
+
+    /// Debug-build audit: the byte account must equal the sum over the
+    /// resident entries after every mutation (a re-insert that failed
+    /// to release the displaced entry's bytes would drift it upward).
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let sum: usize = self.entries.values().flat_map(|m| m.values()).map(|e| e.bytes).sum();
+            debug_assert_eq!(sum, self.bytes, "bytes_resident drifted from the entry sum");
         }
     }
 }
@@ -183,6 +200,26 @@ mod tests {
         assert_eq!(c.len(), 1, "everything else evicted");
         assert!(c.get("big", FormatKind::NaiveCsr).is_some());
         assert!(c.bytes_resident() > c.capacity_bytes(), "documented transient overshoot");
+    }
+
+    #[test]
+    fn reinsert_over_resident_entry_releases_old_bytes_exactly() {
+        // Regression for byte-account drift: inserting over an
+        // already-resident (id, kind) must release the displaced
+        // entry's bytes before accounting the new one, so repeated
+        // replacement converges instead of creeping upward.
+        let mut c = ConversionCache::new(1 << 20);
+        c.insert("a", FormatKind::NaiveCsr, entry(10));
+        assert_eq!(c.bytes_resident(), entry(10).bytes());
+        c.insert("a", FormatKind::NaiveCsr, entry(30));
+        assert_eq!(c.bytes_resident(), entry(30).bytes(), "old bytes released on replace");
+        for _ in 0..5 {
+            c.insert("a", FormatKind::NaiveCsr, entry(30));
+            assert_eq!(c.bytes_resident(), entry(30).bytes(), "no drift on re-insert");
+        }
+        assert_eq!(c.len(), 1);
+        c.forget("a");
+        assert_eq!(c.bytes_resident(), 0);
     }
 
     #[test]

@@ -22,23 +22,30 @@
 //! 4. **serve** — run the kernel; every call is counted in the
 //!    [`EngineCounters`] so operators can see selections per format,
 //!    cache hit rates, fallbacks and resident bytes.
+//!
+//! The serve path is built for concurrent clients: the plan table and
+//! conversion cache are split over hash shards with independent locks,
+//! and concurrent misses on the same `(id, format)` coalesce onto a
+//! single conversion (see the [`shard`] module). Conversions never run
+//! under a lock.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod shard;
 pub mod training;
 
 pub use cache::ConversionCache;
+pub use shard::{PlanTable, ShardedConversions};
 pub use training::{labeled_runs, selector_from_records, TrainingPlan};
 
-use parking_lot::Mutex;
+use shard::Lookup;
 use spmv_analysis::{FormatSelector, SelectorFeatures};
 use spmv_core::{CsrMatrix, FeatureSet};
 use spmv_devices::{device_by_name, DeviceSpec};
 use spmv_formats::{build_with_fallback, FormatKind, SparseFormat};
 use spmv_parallel::ThreadPool;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -55,7 +62,12 @@ pub struct EngineConfig {
     /// data the nearest neighbor alone is the best predictor, so the
     /// default is 1.
     pub k: usize,
-    /// Byte budget of the conversion cache (default 256 MB).
+    /// Byte budget of the conversion cache (default 256 MB). The
+    /// budget is split evenly over [`EngineConfig::shards`], so
+    /// eviction pressure is per shard: size it so one shard
+    /// (`cache_capacity_bytes / shards`) holds a plausible slice of
+    /// the hot working set, or lower `shards` for few-but-huge
+    /// matrix mixes (see [`ShardedConversions::new`]).
     pub cache_capacity_bytes: usize,
     /// Maximum matrix ids remembered in the selection-plan table
     /// (default 65 536). Plans are tiny, but a serve stream of
@@ -65,6 +77,13 @@ pub struct EngineConfig {
     pub plan_capacity: usize,
     /// Worker threads for `spmv_parallel`/training (0 = all cores).
     pub threads: usize,
+    /// Lock shards of the plan table and conversion cache (default
+    /// 16). More shards let unrelated matrices serve without touching
+    /// the same lock, but also slice the cache byte budget and plan
+    /// capacity more finely (both are split evenly per shard); the
+    /// plan table never uses more shards than `plan_capacity`, so its
+    /// total bound always holds.
+    pub shards: usize,
     /// How the built-in training campaign samples the dataset.
     pub training: TrainingPlan,
 }
@@ -78,6 +97,7 @@ impl Default for EngineConfig {
             cache_capacity_bytes: 256 << 20,
             plan_capacity: 1 << 16,
             threads: 0,
+            shards: 16,
             training: TrainingPlan::default(),
         }
     }
@@ -110,8 +130,16 @@ impl std::error::Error for EngineError {}
 /// Snapshot of an engine's instrumentation counters.
 ///
 /// Invariants (asserted by the integration tests): the per-format
-/// selection counts sum to `requests`, and `cache_hits + cache_misses
-/// == cache_lookups`.
+/// selection counts sum to `requests`, and every lookup is classified
+/// exactly once — `cache_hits + cache_misses + coalesced ==
+/// cache_lookups`. Duplicate racing conversions would show up as
+/// `conversions` exceeding the number of distinct `(id, format)` pairs
+/// resident; single-flight keeps that difference at zero **on a
+/// fallback-free, eviction-free mix**. When a planned format refuses a
+/// matrix, a client that read the plan just before it was re-pinned
+/// can legitimately lead one extra (refused) conversion, and an LRU
+/// eviction legitimately rebuilds on the next request — alert on
+/// sustained growth of the difference, not on any nonzero value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineCounters {
     /// Serve calls (`spmv` + `spmv_parallel` + `spmm`).
@@ -120,8 +148,17 @@ pub struct EngineCounters {
     pub cache_lookups: u64,
     /// Lookups answered from the cache.
     pub cache_hits: u64,
-    /// Lookups that had to convert.
+    /// Lookups that missed and led a conversion themselves.
     pub cache_misses: u64,
+    /// Lookups that missed while another thread was already converting
+    /// the same `(id, format)` and waited for its result instead of
+    /// duplicating the work. Without this class, coalesced work would
+    /// silently under-report as neither hit nor miss.
+    pub coalesced: u64,
+    /// Format conversions actually executed (each a cache miss that
+    /// completed its build; abandoned builds are misses that never
+    /// become conversions).
+    pub conversions: u64,
     /// Conversion candidates that refused a matrix (padding budgets,
     /// channel capacities) before a fallback format accepted it.
     pub fallbacks: u64,
@@ -149,6 +186,8 @@ struct CounterBank {
     lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+    conversions: AtomicU64,
     fallbacks: AtomicU64,
     selections: [AtomicU64; FormatKind::ALL.len()],
 }
@@ -158,16 +197,16 @@ fn kind_index(kind: FormatKind) -> usize {
 }
 
 /// The adaptive SpMV serving engine. See the [crate docs](self) for the
-/// pipeline; all methods take `&self` and are safe to call from many
-/// threads (the conversion cache and plan table are mutex-protected,
-/// counters are atomic).
+/// pipeline; all methods take `&self` and are built for concurrent
+/// callers: the plan table and conversion cache are sharded by
+/// matrix-id hash, racing misses on one `(id, format)` coalesce onto a
+/// single conversion, and counters are atomic.
 pub struct Engine {
     device: DeviceSpec,
     selector: FormatSelector,
     pool: ThreadPool,
-    plan_capacity: usize,
-    plans: Mutex<BTreeMap<String, FormatKind>>,
-    cache: Mutex<ConversionCache>,
+    plans: PlanTable,
+    conversions: ShardedConversions,
     counters: CounterBank,
 }
 
@@ -186,17 +225,17 @@ impl Engine {
     /// campaign over `config.training` (noise-free model labels on the
     /// configured device).
     pub fn new(config: EngineConfig) -> Result<Engine, EngineError> {
+        // Resolve the device before spawning the pool or paying for
+        // the training campaign: a typo must fail in microseconds, not
+        // after a full dataset sweep doomed to produce zero records.
+        let device = Self::resolve_device(&config)?;
         let pool = Self::make_pool(config.threads);
         let records = config.training.records(&config.device, config.scale, &pool);
         let selector = selector_from_records(&records, config.k);
         if selector.is_empty() {
-            // Distinguish "no such device" from "campaign found nothing".
-            if device_by_name(&config.device).is_none() {
-                return Err(EngineError::UnknownDevice(config.device));
-            }
             return Err(EngineError::EmptyTrainingSet);
         }
-        Self::with_selector_and_pool(config, selector, pool)
+        Ok(Self::assemble(config, device, selector, pool))
     }
 
     /// Builds an engine around an already-fitted (possibly
@@ -206,8 +245,15 @@ impl Engine {
         config: EngineConfig,
         selector: FormatSelector,
     ) -> Result<Engine, EngineError> {
+        let device = Self::resolve_device(&config)?;
         let pool = Self::make_pool(config.threads);
-        Self::with_selector_and_pool(config, selector, pool)
+        Ok(Self::assemble(config, device, selector, pool))
+    }
+
+    fn resolve_device(config: &EngineConfig) -> Result<DeviceSpec, EngineError> {
+        device_by_name(&config.device)
+            .map(|d| d.scaled(config.scale))
+            .ok_or_else(|| EngineError::UnknownDevice(config.device.clone()))
     }
 
     fn make_pool(threads: usize) -> ThreadPool {
@@ -218,23 +264,20 @@ impl Engine {
         }
     }
 
-    fn with_selector_and_pool(
+    fn assemble(
         config: EngineConfig,
+        device: DeviceSpec,
         selector: FormatSelector,
         pool: ThreadPool,
-    ) -> Result<Engine, EngineError> {
-        let device = device_by_name(&config.device)
-            .ok_or_else(|| EngineError::UnknownDevice(config.device.clone()))?
-            .scaled(config.scale);
-        Ok(Engine {
+    ) -> Engine {
+        Engine {
             device,
             selector,
             pool,
-            plan_capacity: config.plan_capacity.max(1),
-            plans: Mutex::new(BTreeMap::new()),
-            cache: Mutex::new(ConversionCache::new(config.cache_capacity_bytes)),
+            plans: PlanTable::new(config.plan_capacity, config.shards),
+            conversions: ShardedConversions::new(config.cache_capacity_bytes, config.shards),
             counters: CounterBank::default(),
-        })
+        }
     }
 
     /// The (scaled) device profile selections are optimized for.
@@ -288,34 +331,20 @@ impl Engine {
 
     /// The per-matrix plan: select once per id, remember the outcome.
     fn plan(&self, id: &str, csr: &CsrMatrix) -> FormatKind {
-        if let Some(&kind) = self.plans.lock().get(id) {
+        if let Some(kind) = self.plans.get(id) {
             return kind;
         }
-        // Extract outside the lock (O(nnz)); a racing duplicate costs
-        // one redundant extraction and agrees on the result.
+        // Extract outside any lock (O(nnz)); racing duplicates cost one
+        // redundant extraction each and agree on the result, so the
+        // first-writer-wins insert below is deterministic.
         let kind = self.select(&FeatureSet::extract(csr));
-        let mut plans = self.plans.lock();
-        let kind = *plans.entry(id.to_string()).or_insert(kind);
-        Self::bound_plans(&mut plans, self.plan_capacity, id);
-        kind
+        self.plans.insert(id, kind)
     }
 
-    /// Keeps the plan table at or under `capacity` ids so a stream of
-    /// unboundedly many distinct matrices cannot grow memory without
-    /// bound; eviction order is arbitrary (re-planning an evicted id
-    /// only costs one feature extraction), sparing the id just used.
-    fn bound_plans(plans: &mut BTreeMap<String, FormatKind>, capacity: usize, keep: &str) {
-        while plans.len() > capacity {
-            let victim = match plans.keys().find(|k| k.as_str() != keep) {
-                Some(k) => k.clone(),
-                None => break,
-            };
-            plans.remove(&victim);
-        }
-    }
-
-    /// Cache lookup → convert on miss (with fallback) → pin the plan to
-    /// the format that actually built.
+    /// Cache lookup → single-flight conversion on miss (with fallback)
+    /// → pin the plan to the format that actually built. Exactly one of
+    /// a set of racing misses converts; the others block on its flight
+    /// and share the result (counted as `coalesced`).
     fn resolve(
         &self,
         id: &str,
@@ -323,27 +352,44 @@ impl Engine {
         planned: FormatKind,
     ) -> (Arc<Box<dyn SparseFormat>>, FormatKind) {
         self.counters.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(fmt) = self.cache.lock().get(id, planned) {
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
-            return (fmt, planned);
+        loop {
+            match self.conversions.begin(id, planned) {
+                Lookup::Hit(fmt) => {
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return (fmt, planned);
+                }
+                Lookup::Wait(flight) => {
+                    if let Some((fmt, actual)) = flight.wait() {
+                        self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return (fmt, actual);
+                    }
+                    // The leader abandoned (panicked) without
+                    // publishing; retry — this lookup will now lead.
+                }
+                Lookup::Lead(guard) => {
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    // Conversion runs with no shard lock held: it can
+                    // take many SpMV-equivalents, and other matrices on
+                    // the same shard must keep serving meanwhile.
+                    let (built, actual, refused) = build_with_fallback(
+                        planned,
+                        csr,
+                        &[self.default_format(), FormatKind::NaiveCsr],
+                    )
+                    .expect("fallback chain ends in CSR, which accepts any matrix");
+                    self.counters.fallbacks.fetch_add(refused as u64, Ordering::Relaxed);
+                    self.counters.conversions.fetch_add(1, Ordering::Relaxed);
+                    let fmt = Arc::new(built);
+                    guard.finish(Arc::clone(&fmt), actual);
+                    if actual != planned {
+                        // Don't re-attempt the refusing format on every
+                        // request.
+                        self.plans.pin(id, actual);
+                    }
+                    return (fmt, actual);
+                }
+            }
         }
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
-        // Conversion runs outside the cache lock: it can take many
-        // SpMV-equivalents, and a racing duplicate conversion is
-        // cheaper than serializing every miss behind one matrix.
-        let (built, actual, refused) =
-            build_with_fallback(planned, csr, &[self.default_format(), FormatKind::NaiveCsr])
-                .expect("fallback chain ends in CSR, which accepts any matrix");
-        self.counters.fallbacks.fetch_add(refused as u64, Ordering::Relaxed);
-        let fmt = Arc::new(built);
-        self.cache.lock().insert(id, actual, Arc::clone(&fmt));
-        if actual != planned {
-            // Don't re-attempt the refusing format on every request.
-            let mut plans = self.plans.lock();
-            plans.insert(id.to_string(), actual);
-            Self::bound_plans(&mut plans, self.plan_capacity, id);
-        }
-        (fmt, actual)
     }
 
     fn serve(&self, id: &str, csr: &CsrMatrix) -> (Arc<Box<dyn SparseFormat>>, FormatKind) {
@@ -392,22 +438,28 @@ impl Engine {
 
     /// Drops the plan and every cached conversion of one matrix id.
     pub fn forget(&self, id: &str) {
-        self.plans.lock().remove(id);
-        self.cache.lock().forget(id);
+        self.plans.remove(id);
+        self.conversions.forget(id);
     }
 
-    /// Snapshots the instrumentation counters.
+    /// Snapshots the instrumentation counters. The snapshot is not one
+    /// atomic cut across concurrent serves — each field is exact, but a
+    /// request in flight while snapshotting may have moved some of its
+    /// counters and not yet others; with the serve paths quiesced the
+    /// documented invariants hold exactly.
     pub fn counters(&self) -> EngineCounters {
-        let cache = self.cache.lock();
+        let (bytes_resident, cached_entries) = self.conversions.totals();
         EngineCounters {
             requests: self.counters.requests.load(Ordering::Relaxed),
             cache_lookups: self.counters.lookups.load(Ordering::Relaxed),
             cache_hits: self.counters.hits.load(Ordering::Relaxed),
             cache_misses: self.counters.misses.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            conversions: self.counters.conversions.load(Ordering::Relaxed),
             fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
-            bytes_resident: cache.bytes_resident(),
-            cached_entries: cache.len(),
-            planned_entries: self.plans.lock().len(),
+            bytes_resident,
+            cached_entries,
+            planned_entries: self.plans.len(),
             selections: FormatKind::ALL
                 .iter()
                 .map(|&k| (k, self.counters.selections[kind_index(k)].load(Ordering::Relaxed)))
@@ -488,6 +540,8 @@ mod tests {
         assert_eq!(c.cache_lookups, 2);
         assert_eq!(c.cache_hits, 1, "second request reuses the conversion");
         assert_eq!(c.cache_misses, 1);
+        assert_eq!(c.coalesced, 0, "no racing clients, nothing coalesces");
+        assert_eq!(c.conversions, 1, "one miss, one build");
         assert!(c.bytes_resident > 0);
         assert_eq!(c.cached_entries, 1);
 

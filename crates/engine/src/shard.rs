@@ -1,0 +1,546 @@
+//! Sharded, single-flight serving state: the concurrency layer under
+//! [`Engine`](crate::Engine).
+//!
+//! Two structures make the serve path scale past one global lock:
+//!
+//! * [`PlanTable`] — the per-matrix format plans, split over N
+//!   independently locked shards (matrix-id hash), each evicting by
+//!   **least-recent use** when it fills. Recency matters: the previous
+//!   implementation evicted in `BTreeMap` key order, so a hot matrix
+//!   with a lexicographically small id was thrown out (and re-planned)
+//!   on every admission once the table filled.
+//! * [`ShardedConversions`] — the converted-format cache, one
+//!   [`ConversionCache`] per shard plus a **single-flight** register:
+//!   concurrent misses on the same `(id, format)` coalesce onto one
+//!   builder (the *leader*) while every other thread (*waiters*) blocks
+//!   on the flight's slot instead of converting its own duplicate copy.
+//!   Conversion can cost many SpMV-equivalents (SELL-C-σ, BCSR), so a
+//!   thundering herd of M clients must pay it once, not M times.
+//!
+//! Both structures hash ids with FNV-1a; shard locks are never held
+//! while another shard's lock is taken, so lock ordering is trivially
+//! acyclic. Conversion itself always runs *outside* the shard lock —
+//! only the registration and publication of the result lock the shard.
+
+use crate::cache::ConversionCache;
+use parking_lot::{Condvar, Mutex};
+use spmv_formats::{FormatKind, SparseFormat};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A converted format as handed out by the serving layer. `Arc`-shared:
+/// eviction never invalidates a format a request is still running on.
+pub type CachedFormat = Arc<Box<dyn SparseFormat>>;
+
+/// FNV-1a over the matrix id, reduced to a shard index.
+fn shard_of(id: &str, shards: usize) -> usize {
+    (spmv_core::fnv1a(id) % shards as u64) as usize
+}
+
+// ---------------------------------------------------------------------
+// Plan table
+// ---------------------------------------------------------------------
+
+struct PlanEntry {
+    kind: FormatKind,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct PlanShard {
+    tick: u64,
+    map: BTreeMap<String, PlanEntry>,
+}
+
+impl PlanShard {
+    fn touch(&mut self, id: &str) -> Option<FormatKind> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.map.get_mut(id)?;
+        e.last_used = tick;
+        Some(e.kind)
+    }
+
+    /// Evicts least-recently-used entries (sparing `keep`, which was
+    /// just touched) until at most `capacity` remain.
+    fn evict_to_fit(&mut self, capacity: usize, keep: &str) {
+        while self.map.len() > capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(id, _)| id.as_str() != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| id.clone());
+            match victim {
+                Some(id) => {
+                    self.map.remove(&id);
+                }
+                None => break, // only the spared entry left
+            }
+        }
+    }
+}
+
+/// Sharded map of matrix id → planned format with per-shard LRU
+/// eviction. All methods take `&self`; each shard has its own lock.
+pub struct PlanTable {
+    shards: Vec<Mutex<PlanShard>>,
+    per_shard_capacity: usize,
+}
+
+impl std::fmt::Debug for PlanTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanTable")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl PlanTable {
+    /// A table remembering at most `capacity` ids in total, split over
+    /// at most `shards` locks. The shard count is clamped to the
+    /// capacity so per-shard budgets stay ≥ 1 while the total bound
+    /// holds (`shards * per_shard_capacity <= capacity`).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        PlanTable {
+            shards: (0..shards).map(|_| Mutex::new(PlanShard::default())).collect(),
+            per_shard_capacity: capacity / shards,
+        }
+    }
+
+    fn shard(&self, id: &str) -> &Mutex<PlanShard> {
+        &self.shards[shard_of(id, self.shards.len())]
+    }
+
+    /// Looks up the plan for `id`, refreshing its recency on a hit.
+    pub fn get(&self, id: &str) -> Option<FormatKind> {
+        self.shard(id).lock().touch(id)
+    }
+
+    /// Inserts a plan unless one is already present (first writer wins,
+    /// like `entry().or_insert`); returns the winning plan. The entry
+    /// is touched either way, and the shard evicted down to capacity.
+    pub fn insert(&self, id: &str, kind: FormatKind) -> FormatKind {
+        let mut s = self.shard(id).lock();
+        s.tick += 1;
+        let tick = s.tick;
+        let e = s.map.entry(id.to_string()).or_insert(PlanEntry { kind, last_used: tick });
+        e.last_used = tick;
+        let kind = e.kind;
+        s.evict_to_fit(self.per_shard_capacity, id);
+        kind
+    }
+
+    /// Overwrites the plan for `id` (used when a fallback format built
+    /// instead of the planned one, so the refusal is not re-attempted).
+    pub fn pin(&self, id: &str, kind: FormatKind) {
+        let mut s = self.shard(id).lock();
+        s.tick += 1;
+        let tick = s.tick;
+        s.map.insert(id.to_string(), PlanEntry { kind, last_used: tick });
+        s.evict_to_fit(self.per_shard_capacity, id);
+    }
+
+    /// Drops the plan for `id`, if any.
+    pub fn remove(&self, id: &str) {
+        self.shard(id).lock().map.remove(id);
+    }
+
+    /// Total ids remembered across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// `true` when no plan is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Single-flight conversion register
+// ---------------------------------------------------------------------
+
+enum FlightState {
+    /// The leader is still converting.
+    Pending,
+    /// The conversion finished; waiters take the shared result. The
+    /// format kind is the one that actually built (fallbacks may differ
+    /// from the planned kind the flight is keyed under).
+    Done(CachedFormat, FormatKind),
+    /// The leader died (panicked) without publishing; waiters must
+    /// retry the whole lookup.
+    Abandoned,
+}
+
+/// One in-progress conversion that racing misses coalesce onto.
+pub struct Flight {
+    state: Mutex<FlightState>,
+    ready: Condvar,
+}
+
+impl Flight {
+    /// Blocks until the leader publishes, returning the shared result —
+    /// or `None` if the leader abandoned the flight (retry the lookup).
+    pub fn wait(&self) -> Option<(CachedFormat, FormatKind)> {
+        let mut state = self.state.lock();
+        loop {
+            match &*state {
+                FlightState::Pending => self.ready.wait(&mut state),
+                FlightState::Done(fmt, kind) => return Some((Arc::clone(fmt), *kind)),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+struct ConversionShard {
+    cache: ConversionCache,
+    inflight: BTreeMap<(String, FormatKind), Arc<Flight>>,
+}
+
+/// The outcome of [`ShardedConversions::begin`]: exactly one of the
+/// racing callers leads the conversion, everyone else hits or waits.
+pub enum Lookup<'a> {
+    /// The converted format was resident; recency refreshed.
+    Hit(CachedFormat),
+    /// Another thread is already converting this `(id, format)`; call
+    /// [`Flight::wait`] for the shared result.
+    Wait(Arc<Flight>),
+    /// This caller owns the conversion: build the format, then publish
+    /// it with [`FlightGuard::finish`]. Dropping the guard without
+    /// finishing abandons the flight and wakes the waiters.
+    Lead(FlightGuard<'a>),
+}
+
+/// Leadership of one in-flight conversion (see [`Lookup::Lead`]).
+pub struct FlightGuard<'a> {
+    owner: &'a ShardedConversions,
+    shard: usize,
+    id: String,
+    kind: FormatKind,
+    flight: Arc<Flight>,
+    finished: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes the built format: inserts it into the shard's cache
+    /// under the kind that actually built, then wakes every waiter.
+    ///
+    /// If the flight was deregistered while the leader built (the
+    /// caller [`forgot`](ShardedConversions::forget) the id, i.e. the
+    /// matrix changed), the stale result is **not** cached — waiters
+    /// still receive it, since their requests raced the forget.
+    pub fn finish(mut self, fmt: CachedFormat, actual: FormatKind) {
+        {
+            let mut shard = self.owner.shards[self.shard].lock();
+            if self.deregister(&mut shard) {
+                shard.cache.insert(&self.id, actual, Arc::clone(&fmt));
+            }
+        }
+        *self.flight.state.lock() = FlightState::Done(fmt, actual);
+        self.flight.ready.notify_all();
+        self.finished = true;
+    }
+
+    /// Removes this guard's own flight from the register; returns
+    /// `false` when the entry is gone or belongs to a successor leader
+    /// (a `forget` intervened), in which case this build is stale.
+    fn deregister(&self, shard: &mut ConversionShard) -> bool {
+        let key = (self.id.clone(), self.kind);
+        match shard.inflight.get(&key) {
+            Some(f) if Arc::ptr_eq(f, &self.flight) => {
+                shard.inflight.remove(&key);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        // Leader died before publishing (a panic in the builder): take
+        // the flight out of the register and tell waiters to retry, so
+        // nobody blocks forever on a result that will never come.
+        {
+            let mut shard = self.owner.shards[self.shard].lock();
+            self.deregister(&mut shard);
+        }
+        *self.flight.state.lock() = FlightState::Abandoned;
+        self.flight.ready.notify_all();
+    }
+}
+
+/// Sharded conversion cache with single-flight miss coalescing.
+pub struct ShardedConversions {
+    shards: Vec<Mutex<ConversionShard>>,
+}
+
+impl std::fmt::Debug for ShardedConversions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedConversions")
+            .field("shards", &self.shards.len())
+            .field("entries", &self.len())
+            .field("bytes_resident", &self.bytes_resident())
+            .finish()
+    }
+}
+
+impl ShardedConversions {
+    /// A cache with `capacity_bytes` total budget split evenly over
+    /// `shards` locks (`ceil(capacity / shards)` bytes each).
+    ///
+    /// The split changes the budget's semantics versus one global
+    /// cache: eviction pressure is per shard, so a conversion larger
+    /// than `capacity / shards` is only admitted via the oversized-
+    /// entry policy (evicting its shard's co-residents), and two hot
+    /// conversions that hash to one full shard evict each other even
+    /// while other shards sit idle. Size the budget so one shard holds
+    /// a plausible per-shard working set, or lower `shards` for
+    /// few-but-huge matrix mixes. (A globally shared byte budget needs
+    /// cross-shard eviction coordination — see ROADMAP.)
+    pub fn new(capacity_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity_bytes.div_ceil(shards);
+        ShardedConversions {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(ConversionShard {
+                        cache: ConversionCache::new(per_shard),
+                        inflight: BTreeMap::new(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Atomically classifies a lookup of `(id, kind)`: resident →
+    /// [`Lookup::Hit`], already converting → [`Lookup::Wait`], neither
+    /// → this caller becomes the leader ([`Lookup::Lead`]). Cache check
+    /// and flight registration happen under one shard lock, so between
+    /// a leader's registration and its publication every other caller
+    /// is funneled onto the flight — no window in which a second
+    /// conversion of the same key can start.
+    pub fn begin(&self, id: &str, kind: FormatKind) -> Lookup<'_> {
+        let si = shard_of(id, self.shards.len());
+        let mut shard = self.shards[si].lock();
+        if let Some(fmt) = shard.cache.get(id, kind) {
+            return Lookup::Hit(fmt);
+        }
+        if let Some(flight) = shard.inflight.get(&(id.to_string(), kind)) {
+            return Lookup::Wait(Arc::clone(flight));
+        }
+        let flight =
+            Arc::new(Flight { state: Mutex::new(FlightState::Pending), ready: Condvar::new() });
+        shard.inflight.insert((id.to_string(), kind), Arc::clone(&flight));
+        Lookup::Lead(FlightGuard {
+            owner: self,
+            shard: si,
+            id: id.to_string(),
+            kind,
+            flight,
+            finished: false,
+        })
+    }
+
+    /// Drops every cached conversion of one matrix id; returns the
+    /// bytes released. In-flight conversions of the id are deregistered
+    /// (not interrupted): their leaders finish and serve their waiters,
+    /// but the stale result is discarded instead of cached, so a
+    /// conversion racing a forget can never re-populate the cache with
+    /// the pre-forget matrix.
+    pub fn forget(&self, id: &str) -> usize {
+        let mut shard = self.shards[shard_of(id, self.shards.len())].lock();
+        let stale: Vec<(String, FormatKind)> =
+            shard.inflight.keys().filter(|(fid, _)| fid == id).cloned().collect();
+        for key in stale {
+            shard.inflight.remove(&key);
+        }
+        shard.cache.forget(id)
+    }
+
+    /// Total `(bytes resident, resident entries)` across all shards in
+    /// one sweep — each shard is locked once, so the two figures are
+    /// mutually consistent per shard (an insert observed in a shard's
+    /// byte count is also in its entry count).
+    pub fn totals(&self) -> (usize, usize) {
+        self.shards.iter().fold((0, 0), |(bytes, entries), s| {
+            let shard = s.lock();
+            (bytes + shard.cache.bytes_resident(), entries + shard.cache.len())
+        })
+    }
+
+    /// Total bytes resident across all shards.
+    pub fn bytes_resident(&self) -> usize {
+        self.totals().0
+    }
+
+    /// Total resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.totals().1
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_core::CsrMatrix;
+    use spmv_formats::build_format;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn fmt_of(n: usize) -> CachedFormat {
+        Arc::new(build_format(FormatKind::NaiveCsr, &CsrMatrix::identity(n)).unwrap())
+    }
+
+    #[test]
+    fn plan_eviction_is_recency_aware_not_key_order() {
+        // One shard so the eviction order is fully observable. The hot
+        // id sorts first lexicographically — the old key-order eviction
+        // would throw it out on every admission.
+        let t = PlanTable::new(3, 1);
+        t.insert("aaa-hot", FormatKind::NaiveCsr);
+        for i in 0..10 {
+            assert_eq!(
+                t.get("aaa-hot"),
+                Some(FormatKind::NaiveCsr),
+                "hot id evicted after {i} admissions"
+            );
+            t.insert(&format!("zz-{i}"), FormatKind::Coo);
+            assert!(t.len() <= 3, "capacity violated");
+        }
+        // The cold streamers are gone, the hot id survived.
+        assert_eq!(t.get("aaa-hot"), Some(FormatKind::NaiveCsr));
+        assert_eq!(t.get("zz-0"), None, "cold LRU entries must be the victims");
+    }
+
+    #[test]
+    fn plan_table_bounds_total_capacity_across_shards() {
+        // 16 shards requested, capacity 4 → clamped to 4 shards × 1.
+        let t = PlanTable::new(4, 16);
+        for i in 0..100 {
+            t.insert(&format!("id-{i}"), FormatKind::NaiveCsr);
+        }
+        assert!(t.len() <= 4, "total bound violated: {}", t.len());
+        // pin() replaces and get() refreshes without growing.
+        t.pin("id-99", FormatKind::Coo);
+        assert_eq!(t.get("id-99"), Some(FormatKind::Coo));
+        t.remove("id-99");
+        assert_eq!(t.get("id-99"), None);
+    }
+
+    #[test]
+    fn single_flight_lookup_classifies_hit_lead_wait() {
+        let c = ShardedConversions::new(1 << 20, 4);
+        let Lookup::Lead(guard) = c.begin("m", FormatKind::NaiveCsr) else {
+            panic!("first lookup must lead");
+        };
+        // While the flight is open, other callers wait instead of
+        // leading a duplicate conversion.
+        let Lookup::Wait(flight) = c.begin("m", FormatKind::NaiveCsr) else {
+            panic!("racing lookup must wait, not convert");
+        };
+        guard.finish(fmt_of(8), FormatKind::NaiveCsr);
+        let (_, kind) = flight.wait().expect("leader published");
+        assert_eq!(kind, FormatKind::NaiveCsr);
+        assert!(matches!(c.begin("m", FormatKind::NaiveCsr), Lookup::Hit(_)));
+        assert_eq!(c.len(), 1);
+        assert!(c.bytes_resident() > 0);
+        c.forget("m");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn abandoned_flight_wakes_waiters_and_allows_retry() {
+        let c = ShardedConversions::new(1 << 20, 2);
+        let Lookup::Lead(guard) = c.begin("m", FormatKind::Coo) else { panic!("lead") };
+        let Lookup::Wait(flight) = c.begin("m", FormatKind::Coo) else { panic!("wait") };
+        drop(guard); // leader dies without publishing
+        assert!(flight.wait().is_none(), "waiters must not block forever");
+        // The key is free again: the retry leads a fresh conversion.
+        assert!(matches!(c.begin("m", FormatKind::Coo), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn forget_during_flight_discards_the_stale_publication() {
+        let c = ShardedConversions::new(1 << 20, 2);
+        let Lookup::Lead(guard) = c.begin("m", FormatKind::NaiveCsr) else { panic!("lead") };
+        let Lookup::Wait(flight) = c.begin("m", FormatKind::NaiveCsr) else { panic!("wait") };
+        // The matrix changes in place while the leader still converts.
+        c.forget("m");
+        guard.finish(fmt_of(8), FormatKind::NaiveCsr);
+        // The waiter's request raced the forget — it may see the old
+        // result — but the stale conversion must not become resident.
+        assert!(flight.wait().is_some());
+        assert!(c.is_empty(), "stale flight re-populated the cache after forget");
+        assert!(matches!(c.begin("m", FormatKind::NaiveCsr), Lookup::Lead(_)));
+    }
+
+    #[test]
+    fn stale_leader_does_not_disturb_its_successor() {
+        let c = ShardedConversions::new(1 << 20, 2);
+        let Lookup::Lead(old) = c.begin("m", FormatKind::Coo) else { panic!("old lead") };
+        c.forget("m");
+        // A post-forget request starts a fresh flight under the same key.
+        let Lookup::Lead(new) = c.begin("m", FormatKind::Coo) else { panic!("new lead") };
+        let Lookup::Wait(w) = c.begin("m", FormatKind::Coo) else { panic!("wait on new") };
+        // The stale leader finishes late: it must neither cache its
+        // result nor deregister the successor's flight.
+        old.finish(fmt_of(4), FormatKind::Coo);
+        assert!(c.is_empty(), "stale result cached");
+        new.finish(fmt_of(8), FormatKind::Coo);
+        assert!(w.wait().is_some(), "successor's waiter served");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn racing_threads_elect_exactly_one_leader() {
+        let c = ShardedConversions::new(1 << 20, 4);
+        let leads = AtomicUsize::new(0);
+        let served = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| match c.begin("same-id", FormatKind::NaiveCsr) {
+                    Lookup::Lead(guard) => {
+                        leads.fetch_add(1, Ordering::Relaxed);
+                        guard.finish(fmt_of(16), FormatKind::NaiveCsr);
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Lookup::Wait(flight) => {
+                        assert!(flight.wait().is_some());
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Lookup::Hit(_) => {
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(leads.load(Ordering::Relaxed), 1, "exactly one conversion");
+        assert_eq!(served.load(Ordering::Relaxed), 8, "every thread served");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn different_formats_of_one_id_fly_independently() {
+        let c = ShardedConversions::new(1 << 20, 4);
+        let Lookup::Lead(a) = c.begin("m", FormatKind::NaiveCsr) else { panic!("lead csr") };
+        // A different target format is a different flight key.
+        let Lookup::Lead(b) = c.begin("m", FormatKind::Coo) else { panic!("lead coo") };
+        a.finish(fmt_of(8), FormatKind::NaiveCsr);
+        b.finish(fmt_of(8), FormatKind::Coo);
+        assert_eq!(c.len(), 2);
+    }
+}

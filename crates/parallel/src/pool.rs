@@ -28,6 +28,14 @@ unsafe impl Send for JobPtr {}
 unsafe impl Sync for JobPtr {}
 
 struct Shared {
+    /// Serializes callers of `broadcast`: the epoch/slot protocol below
+    /// supports exactly one outstanding job, so concurrent client
+    /// threads (e.g. the adaptive engine serving `spmv_parallel` to
+    /// many requests at once) must take turns. Without this lock two
+    /// racing broadcasts overwrite each other's job slot and `remaining`
+    /// count — workers then skip or double-run jobs and a caller can
+    /// wait forever.
+    submit: Mutex<()>,
     /// Current job and its epoch; `None` means "shut down".
     slot: Mutex<(u64, Option<JobPtr>)>,
     /// Signals a new epoch to the workers.
@@ -55,6 +63,7 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
+            submit: Mutex::new(()),
             slot: Mutex::new((0, None)),
             job_ready: Condvar::new(),
             remaining: AtomicUsize::new(0),
@@ -90,10 +99,14 @@ impl ThreadPool {
     ///
     /// The closure may borrow local data: `broadcast` does not return
     /// until the last worker is done with it.
+    ///
+    /// Safe to call from many client threads at once: concurrent
+    /// broadcasts are serialized (the pool runs one job at a time).
     pub fn broadcast<F>(&self, f: F)
     where
         F: Fn(usize) + Sync,
     {
+        let _turn = self.shared.submit.lock();
         let erased: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: we erase the lifetime; the barrier below guarantees
         // the closure outlives all uses (see `JobPtr` docs).
@@ -278,6 +291,28 @@ mod tests {
     fn drop_joins_workers() {
         let pool = ThreadPool::new(4);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn concurrent_broadcasts_from_many_clients_are_serialized() {
+        // Regression: two racing broadcasts used to overwrite each
+        // other's job slot, so workers skipped or double-ran jobs and a
+        // caller could hang. Each client's jobs must run to completion
+        // on every worker.
+        let pool = ThreadPool::new(2);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        pool.broadcast(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 50 * 2);
     }
 
     #[test]

@@ -82,12 +82,18 @@ fn engine_selected_formats_match_dense_reference_and_counters_reconcile() {
     let c = engine.counters();
     assert_eq!(c.requests, served, "every serve call is a request");
     assert_eq!(c.total_selections(), c.requests, "selections account for every request");
-    assert_eq!(c.cache_hits + c.cache_misses, c.cache_lookups, "every lookup hits or misses");
+    assert_eq!(
+        c.cache_hits + c.cache_misses + c.coalesced,
+        c.cache_lookups,
+        "every lookup is classified exactly once: hit, miss, or coalesced"
+    );
     assert_eq!(c.cache_lookups, c.requests, "one cache lookup per request");
     // Conversions happen once per matrix; the two follow-up requests
     // per matrix are hits (the budget comfortably fits the subsample).
     assert_eq!(c.cache_misses, specs.len() as u64);
     assert_eq!(c.cache_hits, 2 * specs.len() as u64);
+    assert_eq!(c.coalesced, 0, "single-threaded serving never coalesces");
+    assert_eq!(c.conversions, c.cache_misses, "every miss led exactly one build");
     assert_eq!(c.cached_entries, specs.len());
     assert!(c.bytes_resident > 0);
 

@@ -1,0 +1,193 @@
+//! Multi-client stress test of the serving layer (tier-1): 8 client
+//! threads drive mixed `spmv`/`spmv_parallel`/`spmm` traffic over 16
+//! shared matrices through one `Engine`. Every result must match the
+//! dense reference, the counters must reconcile exactly once the
+//! clients quiesce, and — the single-flight guarantee — each
+//! `(id, format)` pair must have been converted exactly once no matter
+//! how many clients raced on its first request.
+//!
+//! CI additionally runs this test in `--release`, where the race
+//! windows (miss vs. in-flight registration, publication vs. waiter
+//! wakeup) are realistically narrow.
+
+use spmv_suite::core::{vec_mismatch, CsrMatrix, DenseMatrix};
+use spmv_suite::engine::{Engine, EngineConfig, TrainingPlan};
+use spmv_suite::formats::FormatKind;
+use spmv_suite::gen::dataset::DatasetSize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 6;
+const MATRICES: usize = 16;
+
+/// Deterministic structural variety: banded, scattered, skewed (one
+/// hot row) and block-ish patterns so the selector exercises several
+/// formats, not just CSR.
+fn matrix(i: usize) -> CsrMatrix {
+    let n = 96 + 13 * i;
+    let mut t = Vec::new();
+    for r in 0..n {
+        t.push((r, r, 2.0 + i as f64));
+        match i % 4 {
+            0 => {
+                // Banded: two fixed off-diagonals.
+                if r + 3 < n {
+                    t.push((r, r + 3, -1.0));
+                    t.push((r + 3, r, 0.5));
+                }
+            }
+            1 => {
+                // Scattered: a little LCG per row.
+                let mut s = (r as u64).wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                for _ in 0..3 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    t.push((r, (s >> 33) as usize % n, 0.25));
+                }
+            }
+            2 => {
+                // Skewed: one hot row on top of a sparse diagonal band.
+                if r % 7 == 0 && r + 1 < n {
+                    t.push((r, r + 1, 1.5));
+                }
+            }
+            _ => {
+                // Block-ish: short dense runs.
+                for c in (r / 4 * 4)..((r / 4 * 4 + 4).min(n)) {
+                    t.push((r, c, 1.0 + (c % 5) as f64));
+                }
+            }
+        }
+    }
+    if i % 4 == 2 {
+        for c in 0..(3 * n / 4) {
+            t.push((0, c, 0.125));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &t).expect("stress matrices are valid")
+}
+
+#[test]
+fn concurrent_mixed_serving_is_correct_and_converts_once_per_format() {
+    let engine = Engine::new(EngineConfig {
+        device: "AMD-EPYC-24".into(),
+        scale: 512.0,
+        cache_capacity_bytes: 64 << 20,
+        threads: 2,
+        training: TrainingPlan { size: DatasetSize::Small, stride: 60, base_seed: 11 },
+        ..EngineConfig::default()
+    })
+    .expect("builtin training");
+
+    let mats: Vec<CsrMatrix> = (0..MATRICES).map(matrix).collect();
+    let ids: Vec<String> = (0..MATRICES).map(|i| format!("stress-{i}")).collect();
+    let xs: Vec<Vec<f64>> = mats
+        .iter()
+        .map(|m| (0..m.cols()).map(|j| ((j * 31 + 7) % 17) as f64 - 8.0).collect())
+        .collect();
+    let refs: Vec<Vec<f64>> =
+        mats.iter().zip(&xs).map(|(m, x)| DenseMatrix::from_csr(m).spmv(x)).collect();
+
+    // Which format each client observed per matrix: single-flight plus
+    // a stable plan must make this a single kind per id.
+    let kinds_seen: Mutex<BTreeMap<usize, BTreeSet<FormatKind>>> = Mutex::new(BTreeMap::new());
+
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let engine = &engine;
+            let (mats, ids, xs, refs) = (&mats, &ids, &xs, &refs);
+            let kinds_seen = &kinds_seen;
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    for step in 0..MATRICES {
+                        // Rotate the visit order per client so first
+                        // requests race across all matrices at once.
+                        let i = (step + client * 2) % MATRICES;
+                        let (m, x, want) = (&mats[i], &xs[i], &refs[i]);
+                        let kind = match (client + round + step) % 3 {
+                            0 => {
+                                let mut y = vec![f64::NAN; m.rows()];
+                                let kind = engine.spmv(&ids[i], m, x, &mut y);
+                                assert_eq!(
+                                    vec_mismatch(&y, want, 1e-9, 1e-9),
+                                    None,
+                                    "{} spmv (client {client}, round {round})",
+                                    ids[i]
+                                );
+                                kind
+                            }
+                            1 => {
+                                let mut y = vec![-3.5; m.rows()];
+                                let kind = engine.spmv_parallel(&ids[i], m, x, &mut y);
+                                assert_eq!(
+                                    vec_mismatch(&y, want, 1e-9, 1e-9),
+                                    None,
+                                    "{} spmv_parallel (client {client}, round {round})",
+                                    ids[i]
+                                );
+                                kind
+                            }
+                            _ => {
+                                let k = 2usize;
+                                let mut xx = x.clone();
+                                xx.extend(x.iter().map(|v| -v));
+                                let mut y = vec![f64::NAN; m.rows() * k];
+                                let kind = engine.spmm(&ids[i], m, &xx, k, &mut y);
+                                assert_eq!(
+                                    vec_mismatch(&y[..m.rows()], want, 1e-9, 1e-9),
+                                    None,
+                                    "{} spmm col0 (client {client}, round {round})",
+                                    ids[i]
+                                );
+                                let neg: Vec<f64> = want.iter().map(|v| -v).collect();
+                                assert_eq!(
+                                    vec_mismatch(&y[m.rows()..], &neg, 1e-9, 1e-9),
+                                    None,
+                                    "{} spmm col1 (client {client}, round {round})",
+                                    ids[i]
+                                );
+                                kind
+                            }
+                        };
+                        kinds_seen.lock().unwrap().entry(i).or_default().insert(kind);
+                    }
+                }
+            });
+        }
+    });
+
+    // --- Counter reconciliation (clients quiesced) --------------------
+    let c = engine.counters();
+    let total = (CLIENTS * ROUNDS * MATRICES) as u64;
+    assert_eq!(c.requests, total, "every serve call is a request");
+    assert_eq!(c.total_selections(), c.requests);
+    assert_eq!(c.cache_lookups, c.requests, "one lookup per request");
+    assert_eq!(
+        c.cache_hits + c.cache_misses + c.coalesced,
+        c.cache_lookups,
+        "every lookup classified exactly once: hit, miss, or coalesced"
+    );
+
+    // --- Single-flight: exactly one conversion per (id, format) ------
+    // Selection and format refusal are deterministic for this fixed
+    // config, and the matrix set is chosen so every planned format
+    // accepts its matrix. That matters for exactness: after a refusal
+    // the engine re-pins the plan, and a client that read the stale
+    // plan in that window may legitimately lead one extra (refused)
+    // conversion. With zero fallbacks the flight key equals the cache
+    // key and the exactly-once bound is exact.
+    assert_eq!(c.fallbacks, 0, "matrix set must be fallback-free for the exact bound");
+    let kinds_seen = kinds_seen.into_inner().unwrap();
+    let distinct_pairs: u64 = kinds_seen.values().map(|s| s.len() as u64).sum();
+    for (i, kinds) in &kinds_seen {
+        assert_eq!(kinds.len(), 1, "stress-{i} served under several formats: {kinds:?}");
+    }
+    assert_eq!(
+        c.conversions, distinct_pairs,
+        "duplicate conversions slipped past single-flight (built {} for {} pairs)",
+        c.conversions, distinct_pairs
+    );
+    assert_eq!(c.cache_misses, c.conversions, "every miss led exactly one build");
+    assert_eq!(c.cached_entries, MATRICES, "one resident conversion per matrix");
+    assert!(c.bytes_resident > 0);
+}
