@@ -15,13 +15,35 @@
 //! 2. **select** — k-NN vote over a training campaign's best-format
 //!    labels ([`FormatSelector`]), restricted to the formats the
 //!    configured device profile actually has (Table II);
-//! 3. **convert** — lazily build the chosen format, with a fallback
-//!    chain for formats that refuse a matrix (DIA/ELL padding budgets,
-//!    VSL channel capacity), and keep it in a byte-bounded LRU
-//!    [`ConversionCache`];
+//! 3. **convert** — build the chosen format, with a fallback chain for
+//!    formats that refuse a matrix (DIA/ELL padding budgets, VSL
+//!    channel capacity), and keep it in a byte-bounded LRU
+//!    [`ConversionCache`]. *When* the build runs is the admission
+//!    policy ([`Admission`]): synchronously on the first request, or in
+//!    a background flight while requests are served via the universal
+//!    CSR path;
 //! 4. **serve** — run the kernel; every call is counted in the
 //!    [`EngineCounters`] so operators can see selections per format,
 //!    cache hit rates, fallbacks and resident bytes.
+//!
+//! ## Asynchronous admission
+//!
+//! Conversion is the expensive step — SELL-C-σ or BCSR cost many
+//! SpMV-equivalents to build — and under [`Admission::Sync`] the first
+//! client of a cold matrix pays that latency before seeing any result:
+//! exactly backwards for a serving system. Under [`Admission::Async`]
+//! the plan moves through a staged lifecycle
+//! ([`PlanState`]: `Pending → Building → Pinned`): a cold request
+//! selects the format, claims a background conversion flight on the
+//! thread pool's low-priority lane, and is answered immediately from
+//! the raw CSR operand — zero conversion work on the calling thread.
+//! When the flight lands, the converted format is published and the
+//! plan re-pinned *inside one critical section* (see
+//! [`shard::FlightGuard::finish_with`]), and subsequent requests serve
+//! the selected format. [`EngineCounters::served_fallback`] /
+//! [`EngineCounters::served_selected`] / [`EngineCounters::swaps`]
+//! make the transition observable, and
+//! `served_fallback + served_selected == requests` reconciles exactly.
 //!
 //! The serve path is built for concurrent clients: the plan table and
 //! conversion cache are split over hash shards with independent locks,
@@ -37,17 +59,47 @@ pub mod shard;
 pub mod training;
 
 pub use cache::ConversionCache;
-pub use shard::{PlanTable, ShardedConversions};
+pub use shard::{PlanState, PlanTable, ShardedConversions};
 pub use training::{labeled_runs, selector_from_records, TrainingPlan};
 
-use shard::Lookup;
+use shard::{CachedFormat, Lookup};
 use spmv_analysis::{FormatSelector, SelectorFeatures};
 use spmv_core::{CsrMatrix, FeatureSet};
 use spmv_devices::{device_by_name, DeviceSpec};
-use spmv_formats::{build_with_fallback, FormatKind, SparseFormat};
-use spmv_parallel::ThreadPool;
-use std::sync::atomic::{AtomicU64, Ordering};
+use spmv_formats::{build_with_fallback, FormatKind};
+use spmv_parallel::{Executor, Schedule, ThreadPool};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// When the engine pays for format conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Convert on the request path: the first request of a cold matrix
+    /// blocks until the selected format is built, every later request
+    /// hits the cache. Deterministic (a request's counters move before
+    /// it returns), so tests and benches default to it.
+    Sync,
+    /// Never convert on the request path: a cold request is answered
+    /// immediately via the universal CSR path while the selected format
+    /// builds in a background flight; when it lands, the plan is
+    /// swapped atomically and later requests serve the converted
+    /// format.
+    ///
+    /// The one request that claims an admission pays an `O(nnz)`
+    /// snapshot of the operand (a memcpy — the flight must own its
+    /// input past the caller's borrow); that is the whole request-path
+    /// cost, in place of the full conversion `Sync` charges there.
+    Async {
+        /// Maximum background conversion flights outstanding (queued or
+        /// building) at once. A cold request arriving at the cap serves
+        /// the CSR path without scheduling; the next request of that id
+        /// retries. `0` disables conversion entirely (every request
+        /// serves the CSR path) — a legitimate degenerate config that
+        /// tests use to pin down the request path's zero-conversion
+        /// guarantee.
+        max_in_flight: usize,
+    },
+}
 
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -73,7 +125,10 @@ pub struct EngineConfig {
     /// (default 65 536). Plans are tiny, but a serve stream of
     /// unboundedly many distinct ids must not grow memory without
     /// bound; evicted ids simply re-extract features on their next
-    /// request.
+    /// request. Under [`Admission::Async`] the bound can transiently
+    /// overshoot by up to `max_in_flight` entries: `Building` plans
+    /// are spared from eviction until their flight lands (evicting one
+    /// would discard the finished conversion and convert twice).
     pub plan_capacity: usize,
     /// Worker threads for `spmv_parallel`/training (0 = all cores).
     pub threads: usize,
@@ -82,8 +137,12 @@ pub struct EngineConfig {
     /// the same lock, but also slice the cache byte budget and plan
     /// capacity more finely (both are split evenly per shard); the
     /// plan table never uses more shards than `plan_capacity`, so its
-    /// total bound always holds.
+    /// total bound holds (modulo the transient `Building` overshoot
+    /// described on [`EngineConfig::plan_capacity`]).
     pub shards: usize,
+    /// When conversions run: on the request path ([`Admission::Sync`],
+    /// the default) or in background flights ([`Admission::Async`]).
+    pub admission: Admission,
     /// How the built-in training campaign samples the dataset.
     pub training: TrainingPlan,
 }
@@ -98,6 +157,7 @@ impl Default for EngineConfig {
             plan_capacity: 1 << 16,
             threads: 0,
             shards: 16,
+            admission: Admission::Sync,
             training: TrainingPlan::default(),
         }
     }
@@ -129,22 +189,47 @@ impl std::error::Error for EngineError {}
 
 /// Snapshot of an engine's instrumentation counters.
 ///
-/// Invariants (asserted by the integration tests): the per-format
-/// selection counts sum to `requests`, and every lookup is classified
-/// exactly once — `cache_hits + cache_misses + coalesced ==
-/// cache_lookups`. Duplicate racing conversions would show up as
-/// `conversions` exceeding the number of distinct `(id, format)` pairs
-/// resident; single-flight keeps that difference at zero **on a
-/// fallback-free, eviction-free mix**. When a planned format refuses a
-/// matrix, a client that read the plan just before it was re-pinned
-/// can legitimately lead one extra (refused) conversion, and an LRU
-/// eviction legitimately rebuilds on the next request — alert on
+/// Invariants (asserted by the integration tests):
+///
+/// * the per-format selection counts sum to `requests`;
+/// * every request is served exactly one way —
+///   `served_selected + served_fallback == requests` (under
+///   [`Admission::Sync`], `served_fallback` is always zero);
+/// * every lookup that touched the conversion machinery is classified
+///   exactly once — `cache_hits + cache_misses + coalesced ==
+///   cache_lookups`. Under `Sync` admission additionally
+///   `cache_lookups == requests`; under `Async`, a request whose format
+///   is not yet resident serves the CSR path *without* a lookup, and
+///   each background flight performs one lookup of its own when it
+///   runs.
+///
+/// Duplicate racing conversions would show up as `conversions`
+/// exceeding the number of distinct `(id, format)` pairs resident;
+/// single-flight — plus the redirect recorded at fallback publication,
+/// which stops a stale plan read from leading a second refused
+/// conversion — keeps that difference at zero on an eviction-free mix.
+/// An LRU eviction legitimately rebuilds on the next request — alert on
 /// sustained growth of the difference, not on any nonzero value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineCounters {
     /// Serve calls (`spmv` + `spmv_parallel` + `spmm`).
     pub requests: u64,
-    /// Conversion-cache lookups (one per serve call).
+    /// Requests served with the engine-selected converted format.
+    pub served_selected: u64,
+    /// Requests served via the universal CSR path while the selected
+    /// format was not (yet) resident — asynchronous admission's
+    /// immediate answers. Sustained growth with no matching `swaps`
+    /// growth means flights are not landing (lane starved or
+    /// `max_in_flight` too low).
+    pub served_fallback: u64,
+    /// Background admission flights whose own conversion landed: the
+    /// flight built the format, published it, and re-pinned its plan
+    /// (`Building → Pinned`) in one critical section. Exactly one per
+    /// converted `(id, format)` — a flight that finds the format
+    /// already resident re-pins without counting a swap.
+    pub swaps: u64,
+    /// Conversion-cache lookups (see the invariants above for how they
+    /// relate to `requests` per admission mode).
     pub cache_lookups: u64,
     /// Lookups answered from the cache.
     pub cache_hits: u64,
@@ -168,8 +253,12 @@ pub struct EngineCounters {
     pub cached_entries: usize,
     /// Matrix ids currently remembered in the selection-plan table.
     pub planned_entries: usize,
+    /// Background admission flights currently outstanding (scheduled
+    /// but not yet landed or aborted).
+    pub admissions_in_flight: usize,
     /// Serve calls per format actually used, in [`FormatKind::ALL`]
-    /// order (zero-count formats included).
+    /// order (zero-count formats included). CSR-path fallback serves
+    /// count under [`FormatKind::NaiveCsr`], the format they execute.
     pub selections: Vec<(FormatKind, u64)>,
 }
 
@@ -183,6 +272,9 @@ impl EngineCounters {
 #[derive(Default)]
 struct CounterBank {
     requests: AtomicU64,
+    served_selected: AtomicU64,
+    served_fallback: AtomicU64,
+    swaps: AtomicU64,
     lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -196,6 +288,30 @@ fn kind_index(kind: FormatKind) -> usize {
     FormatKind::ALL.iter().position(|&k| k == kind).expect("kind is in ALL")
 }
 
+/// The shared serving state background admission flights hold onto:
+/// everything a flight needs to land after the request that scheduled
+/// it has long returned. `Arc`-shared between the [`Engine`] and every
+/// queued flight, so an engine drop never dangles a flight.
+struct ServeState {
+    plans: PlanTable,
+    conversions: ShardedConversions,
+    counters: CounterBank,
+    /// Outstanding background admissions (queued or building).
+    in_flight: AtomicUsize,
+    /// Fallback chain appended after the planned kind (device default,
+    /// then universal CSR).
+    fallback_chain: [FormatKind; 2],
+}
+
+/// How one request was answered.
+enum Served {
+    /// The engine-selected converted format (resident in the cache).
+    Selected(CachedFormat, FormatKind),
+    /// The universal CSR path, straight off the caller's operand —
+    /// no conversion, no converted format involved.
+    CsrPath,
+}
+
 /// The adaptive SpMV serving engine. See the [crate docs](self) for the
 /// pipeline; all methods take `&self` and are built for concurrent
 /// callers: the plan table and conversion cache are sharded by
@@ -205,9 +321,8 @@ pub struct Engine {
     device: DeviceSpec,
     selector: FormatSelector,
     pool: ThreadPool,
-    plans: PlanTable,
-    conversions: ShardedConversions,
-    counters: CounterBank,
+    admission: Admission,
+    state: Arc<ServeState>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -216,6 +331,7 @@ impl std::fmt::Debug for Engine {
             .field("device", &self.device.name)
             .field("selector_len", &self.selector.len())
             .field("threads", &self.pool.threads())
+            .field("admission", &self.admission)
             .finish()
     }
 }
@@ -270,14 +386,30 @@ impl Engine {
         selector: FormatSelector,
         pool: ThreadPool,
     ) -> Engine {
+        let default_format = Self::universal_format(&device);
         Engine {
             device,
             selector,
             pool,
-            plans: PlanTable::new(config.plan_capacity, config.shards),
-            conversions: ShardedConversions::new(config.cache_capacity_bytes, config.shards),
-            counters: CounterBank::default(),
+            admission: config.admission,
+            state: Arc::new(ServeState {
+                plans: PlanTable::new(config.plan_capacity, config.shards),
+                conversions: ShardedConversions::new(config.cache_capacity_bytes, config.shards),
+                counters: CounterBank::default(),
+                in_flight: AtomicUsize::new(0),
+                fallback_chain: [default_format, FormatKind::NaiveCsr],
+            }),
         }
+    }
+
+    fn universal_format(device: &DeviceSpec) -> FormatKind {
+        const TOTAL: [FormatKind; 4] = [
+            FormatKind::NaiveCsr,
+            FormatKind::VectorizedCsr,
+            FormatKind::BalancedCsr,
+            FormatKind::Coo,
+        ];
+        TOTAL.into_iter().find(|k| device.formats.contains(k)).unwrap_or(FormatKind::NaiveCsr)
     }
 
     /// The (scaled) device profile selections are optimized for.
@@ -291,22 +423,22 @@ impl Engine {
         &self.selector
     }
 
-    /// The engine's worker pool (shared with `spmv_parallel` serving).
+    /// The engine's worker pool (shared with `spmv_parallel` serving
+    /// and the background admission lane).
     pub fn pool(&self) -> &ThreadPool {
         &self.pool
+    }
+
+    /// The configured admission policy.
+    pub fn admission(&self) -> Admission {
+        self.admission
     }
 
     /// The format every fallback chain ends in: a format of the device
     /// profile that accepts any matrix if one exists, else Naive-CSR
     /// (which always does — the host executes regardless).
     pub fn default_format(&self) -> FormatKind {
-        const TOTAL: [FormatKind; 4] = [
-            FormatKind::NaiveCsr,
-            FormatKind::VectorizedCsr,
-            FormatKind::BalancedCsr,
-            FormatKind::Coo,
-        ];
-        TOTAL.into_iter().find(|k| self.device.formats.contains(k)).unwrap_or(FormatKind::NaiveCsr)
+        self.state.fallback_chain[0]
     }
 
     /// Pure selection: the format the engine would pick for a matrix
@@ -330,99 +462,186 @@ impl Engine {
     }
 
     /// The per-matrix plan: select once per id, remember the outcome.
-    fn plan(&self, id: &str, csr: &CsrMatrix) -> FormatKind {
-        if let Some(kind) = self.plans.get(id) {
-            return kind;
+    fn plan(&self, id: &str, csr: &CsrMatrix) -> PlanState {
+        if let Some(state) = self.state.plans.get(id) {
+            return state;
         }
         // Extract outside any lock (O(nnz)); racing duplicates cost one
         // redundant extraction each and agree on the result, so the
         // first-writer-wins insert below is deterministic.
         let kind = self.select(&FeatureSet::extract(csr));
-        self.plans.insert(id, kind)
+        self.state.plans.insert_pending(id, kind)
     }
 
-    /// Cache lookup → single-flight conversion on miss (with fallback)
-    /// → pin the plan to the format that actually built. Exactly one of
-    /// a set of racing misses converts; the others block on its flight
-    /// and share the result (counted as `coalesced`).
-    fn resolve(
-        &self,
-        id: &str,
-        csr: &CsrMatrix,
-        planned: FormatKind,
-    ) -> (Arc<Box<dyn SparseFormat>>, FormatKind) {
-        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+    /// Synchronous resolution: cache lookup → single-flight conversion
+    /// on miss (with fallback) → publish and re-pin the plan inside the
+    /// flight's critical section. Exactly one of a set of racing misses
+    /// converts; the others block on its flight and share the result
+    /// (counted as `coalesced`).
+    fn resolve(&self, id: &str, csr: &CsrMatrix, planned: FormatKind) -> Served {
+        let c = &self.state.counters;
+        c.lookups.fetch_add(1, Ordering::Relaxed);
         loop {
-            match self.conversions.begin(id, planned) {
-                Lookup::Hit(fmt) => {
-                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                    return (fmt, planned);
+            match self.state.conversions.begin(id, planned) {
+                Lookup::Hit(fmt, actual) => {
+                    c.hits.fetch_add(1, Ordering::Relaxed);
+                    return Served::Selected(fmt, actual);
                 }
                 Lookup::Wait(flight) => {
                     if let Some((fmt, actual)) = flight.wait() {
-                        self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-                        return (fmt, actual);
+                        c.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Served::Selected(fmt, actual);
                     }
                     // The leader abandoned (panicked) without
                     // publishing; retry — this lookup will now lead.
                 }
                 Lookup::Lead(guard) => {
-                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    c.misses.fetch_add(1, Ordering::Relaxed);
                     // Conversion runs with no shard lock held: it can
                     // take many SpMV-equivalents, and other matrices on
                     // the same shard must keep serving meanwhile.
-                    let (built, actual, refused) = build_with_fallback(
-                        planned,
-                        csr,
-                        &[self.default_format(), FormatKind::NaiveCsr],
-                    )
-                    .expect("fallback chain ends in CSR, which accepts any matrix");
-                    self.counters.fallbacks.fetch_add(refused as u64, Ordering::Relaxed);
-                    self.counters.conversions.fetch_add(1, Ordering::Relaxed);
-                    let fmt = Arc::new(built);
-                    guard.finish(Arc::clone(&fmt), actual);
-                    if actual != planned {
-                        // Don't re-attempt the refusing format on every
-                        // request.
-                        self.plans.pin(id, actual);
-                    }
-                    return (fmt, actual);
+                    let (built, actual, refused) =
+                        build_with_fallback(guard.kind(), csr, &self.state.fallback_chain)
+                            .expect("fallback chain ends in CSR, which accepts any matrix");
+                    c.fallbacks.fetch_add(refused as u64, Ordering::Relaxed);
+                    c.conversions.fetch_add(1, Ordering::Relaxed);
+                    let fmt: CachedFormat = Arc::new(built);
+                    // Publication and plan re-pin share one critical
+                    // section: no reader can observe the resident
+                    // fallback entry while still being handed the
+                    // refusing plan (the old re-plan window).
+                    guard.finish_with(Arc::clone(&fmt), actual, |actual| {
+                        self.state.plans.pin(id, actual);
+                        true
+                    });
+                    return Served::Selected(fmt, actual);
                 }
             }
         }
     }
 
-    fn serve(&self, id: &str, csr: &CsrMatrix) -> (Arc<Box<dyn SparseFormat>>, FormatKind) {
-        let planned = self.plan(id, csr);
-        let (fmt, actual) = self.resolve(id, csr, planned);
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        self.counters.selections[kind_index(actual)].fetch_add(1, Ordering::Relaxed);
-        (fmt, actual)
+    /// Asynchronous serve: answer from the cache when the selected
+    /// format is resident, otherwise ensure a background flight is on
+    /// its way and answer via the CSR path — never converting (or
+    /// waiting on a conversion) on this thread.
+    fn serve_async(&self, id: &str, csr: &CsrMatrix, max_in_flight: usize) -> Served {
+        let state = self.plan(id, csr);
+        let c = &self.state.counters;
+        if let Some((fmt, actual)) = self.state.conversions.peek(id, state.kind()) {
+            c.lookups.fetch_add(1, Ordering::Relaxed);
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            return Served::Selected(fmt, actual);
+        }
+        if !matches!(state, PlanState::Building(_)) {
+            self.try_schedule_admission(id, csr, max_in_flight);
+        }
+        Served::CsrPath
     }
 
-    /// Serves `y = A·x` sequentially in the engine-selected format;
-    /// returns the format that ran. `y` is fully overwritten.
+    /// Claims and schedules one background admission flight for `id`,
+    /// respecting `max_in_flight`. The slot is reserved before the
+    /// claim so an over-cap caller backs off without touching the plan.
+    fn try_schedule_admission(&self, id: &str, csr: &CsrMatrix, max_in_flight: usize) {
+        let st = &self.state;
+        if st
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < max_in_flight).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return; // at capacity: serve the CSR path, retry next request
+        }
+        let Some((kind, epoch)) = st.plans.try_begin_build(id) else {
+            // Another request claimed the build between our plan read
+            // and now; give the slot back.
+            st.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return;
+        };
+        // Our peek raced a landing flight: the plan we just re-claimed
+        // may have been `Pinned` by a flight that published between the
+        // peek and the claim. Re-check residency now that the claim is
+        // exclusive (the only publisher for this id would be our own
+        // flight, so a hit here is stable): re-pin and back out instead
+        // of paying for the operand snapshot and a no-op flight.
+        if let Some((_, actual)) = st.conversions.peek(id, kind) {
+            st.plans.finish_build(id, epoch, actual);
+            st.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        // The flight owns its operand (an O(nnz) snapshot — a memcpy,
+        // paid once per admission by the claiming request; the caller's
+        // borrow ends when this request returns, long before the
+        // flight lands).
+        let state = Arc::clone(&self.state);
+        let id = id.to_string();
+        let csr = csr.clone();
+        self.pool.submit_background(move || run_admission(&state, &id, &csr, kind, epoch));
+    }
+
+    fn serve(&self, id: &str, csr: &CsrMatrix) -> Served {
+        let served = match self.admission {
+            Admission::Sync => {
+                let planned = self.plan(id, csr).kind();
+                self.resolve(id, csr, planned)
+            }
+            Admission::Async { max_in_flight } => self.serve_async(id, csr, max_in_flight),
+        };
+        let c = &self.state.counters;
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        let executed = match &served {
+            Served::Selected(_, actual) => {
+                c.served_selected.fetch_add(1, Ordering::Relaxed);
+                *actual
+            }
+            Served::CsrPath => {
+                c.served_fallback.fetch_add(1, Ordering::Relaxed);
+                FormatKind::NaiveCsr
+            }
+        };
+        c.selections[kind_index(executed)].fetch_add(1, Ordering::Relaxed);
+        served
+    }
+
+    /// Serves `y = A·x` sequentially; returns the format that ran
+    /// (under asynchronous admission, [`FormatKind::NaiveCsr`] until
+    /// the conversion flight lands). `y` is fully overwritten.
     ///
     /// `id` names the matrix for the plan/conversion caches; serving
     /// the same id with a *different* matrix is a caller bug (use
     /// [`Engine::forget`] first if a matrix changes in place).
     pub fn spmv(&self, id: &str, csr: &CsrMatrix, x: &[f64], y: &mut [f64]) -> FormatKind {
-        let (fmt, kind) = self.serve(id, csr);
-        fmt.spmv(x, y);
-        kind
+        match self.serve(id, csr) {
+            Served::Selected(fmt, kind) => {
+                fmt.spmv(x, y);
+                kind
+            }
+            Served::CsrPath => {
+                csr.spmv_into(x, y);
+                FormatKind::NaiveCsr
+            }
+        }
     }
 
     /// Serves `y = A·x` on the engine's thread pool; returns the format
     /// that ran. `y` is fully overwritten.
     pub fn spmv_parallel(&self, id: &str, csr: &CsrMatrix, x: &[f64], y: &mut [f64]) -> FormatKind {
-        let (fmt, kind) = self.serve(id, csr);
-        fmt.spmv_parallel(&self.pool, x, y);
-        kind
+        match self.serve(id, csr) {
+            Served::Selected(fmt, kind) => {
+                fmt.spmv_parallel(&self.pool, x, y);
+                kind
+            }
+            Served::CsrPath => {
+                csr_path_spmv_parallel(&self.pool, csr, x, y);
+                FormatKind::NaiveCsr
+            }
+        }
     }
 
     /// Serves the batched multi-vector product `Y = A·X` (`k` column-
-    /// major right-hand sides, see [`SparseFormat::spmm`]); returns the
-    /// format that ran. `y` is fully overwritten.
+    /// major right-hand sides, see
+    /// [`spmv_formats::SparseFormat::spmm`]); returns the format that
+    /// ran. `y` is fully overwritten.
     pub fn spmm(
         &self,
         id: &str,
@@ -431,39 +650,180 @@ impl Engine {
         k: usize,
         y: &mut [f64],
     ) -> FormatKind {
-        let (fmt, kind) = self.serve(id, csr);
-        fmt.spmm(x, k, y);
-        kind
+        match self.serve(id, csr) {
+            Served::Selected(fmt, kind) => {
+                fmt.spmm(x, k, y);
+                kind
+            }
+            Served::CsrPath => {
+                for j in 0..k {
+                    csr.spmv_into(
+                        &x[j * csr.cols()..(j + 1) * csr.cols()],
+                        &mut y[j * csr.rows()..(j + 1) * csr.rows()],
+                    );
+                }
+                FormatKind::NaiveCsr
+            }
+        }
     }
 
     /// Drops the plan and every cached conversion of one matrix id.
+    ///
+    /// An in-flight background admission of the id is cancelled by
+    /// tombstone. The plan is removed **first**: a flight publishes
+    /// only if its epoch-checked `finish_build` succeeds, so once the
+    /// plan is gone any flight that starts (or lands) mid-`forget` has
+    /// its publication vetoed — were conversions cleared first, a
+    /// flight running entirely inside the gap between the two steps
+    /// would still find its Building plan and re-cache the forgotten
+    /// matrix. A flight already registered before this call is
+    /// deregistered by the conversions sweep and publishes nothing
+    /// either. Either way the late conversion can resurrect neither
+    /// the plan nor a cache entry of the forgotten matrix.
     pub fn forget(&self, id: &str) {
-        self.plans.remove(id);
-        self.conversions.forget(id);
+        self.state.plans.remove(id);
+        self.state.conversions.forget(id);
+    }
+
+    /// Blocks until every background admission scheduled so far has
+    /// landed or aborted. The deterministic barrier for tests and
+    /// benches: quiesce request threads, `drain_admissions()`, then
+    /// read [`Engine::counters`] — the documented invariants hold
+    /// exactly. A no-op under [`Admission::Sync`].
+    pub fn drain_admissions(&self) {
+        loop {
+            self.pool.drain_background();
+            if self.state.in_flight.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // A flight was scheduled while we drained (or its slot
+            // release is a hair behind the lane going idle): go again.
+            std::thread::yield_now();
+        }
     }
 
     /// Snapshots the instrumentation counters. The snapshot is not one
     /// atomic cut across concurrent serves — each field is exact, but a
     /// request in flight while snapshotting may have moved some of its
-    /// counters and not yet others; with the serve paths quiesced the
-    /// documented invariants hold exactly.
+    /// counters and not yet others; with the serve paths quiesced (and,
+    /// under asynchronous admission, [`Engine::drain_admissions`]
+    /// called) the documented invariants hold exactly.
     pub fn counters(&self) -> EngineCounters {
-        let (bytes_resident, cached_entries) = self.conversions.totals();
+        let (bytes_resident, cached_entries) = self.state.conversions.totals();
+        let c = &self.state.counters;
         EngineCounters {
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            cache_lookups: self.counters.lookups.load(Ordering::Relaxed),
-            cache_hits: self.counters.hits.load(Ordering::Relaxed),
-            cache_misses: self.counters.misses.load(Ordering::Relaxed),
-            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
-            conversions: self.counters.conversions.load(Ordering::Relaxed),
-            fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            served_selected: c.served_selected.load(Ordering::Relaxed),
+            served_fallback: c.served_fallback.load(Ordering::Relaxed),
+            swaps: c.swaps.load(Ordering::Relaxed),
+            cache_lookups: c.lookups.load(Ordering::Relaxed),
+            cache_hits: c.hits.load(Ordering::Relaxed),
+            cache_misses: c.misses.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            conversions: c.conversions.load(Ordering::Relaxed),
+            fallbacks: c.fallbacks.load(Ordering::Relaxed),
             bytes_resident,
             cached_entries,
-            planned_entries: self.plans.len(),
+            planned_entries: self.state.plans.len(),
+            admissions_in_flight: self.state.in_flight.load(Ordering::Relaxed),
             selections: FormatKind::ALL
                 .iter()
-                .map(|&k| (k, self.counters.selections[kind_index(k)].load(Ordering::Relaxed)))
+                .map(|&k| (k, c.selections[kind_index(k)].load(Ordering::Relaxed)))
                 .collect(),
+        }
+    }
+}
+
+/// The universal CSR serve path for `spmv_parallel`: nnz-balanced row
+/// chunks over the raw operand (what the Balanced-CSR format does after
+/// conversion), each worker writing its own rows. Zero conversion.
+fn csr_path_spmv_parallel(pool: &ThreadPool, csr: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    let (row_ptr, col_idx, values) = (csr.row_ptr(), csr.col_idx(), csr.values());
+    Executor::new(pool).run_disjoint(Schedule::Balanced { prefix: row_ptr }, y, |range, out| {
+        for r in range {
+            let mut acc = 0.0;
+            for i in row_ptr[r]..row_ptr[r + 1] {
+                acc += values[i] * x[col_idx[i] as usize];
+            }
+            out.write(r, acc);
+        }
+    });
+}
+
+/// One background admission flight: resolve `(id, kind)` through the
+/// single-flight register, then land the plan (`Building → Pinned`)
+/// with the `epoch` ticket. Runs on the thread pool's background lane;
+/// `state` is the engine's shared serving state, `csr` the flight's own
+/// clone of the operand.
+fn run_admission(state: &Arc<ServeState>, id: &str, csr: &CsrMatrix, kind: FormatKind, epoch: u64) {
+    /// Releases the admission slot on every exit; reverts the plan to
+    /// `Pending` unless the flight landed (so a panicking build does
+    /// not wedge the id in `Building` forever — the next request
+    /// re-schedules).
+    struct Slot<'a> {
+        state: &'a ServeState,
+        id: &'a str,
+        epoch: u64,
+        landed: bool,
+    }
+    impl Drop for Slot<'_> {
+        fn drop(&mut self) {
+            if !self.landed {
+                self.state.plans.abort_build(self.id, self.epoch);
+            }
+            self.state.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    let mut slot = Slot { state, id, epoch, landed: false };
+
+    let c = &state.counters;
+    c.lookups.fetch_add(1, Ordering::Relaxed);
+    loop {
+        match state.conversions.begin(id, kind) {
+            Lookup::Hit(_, actual) => {
+                // Already resident (an earlier flight of this id under
+                // another plan generation): just land the plan. Not a
+                // `swap` — that counter tracks conversions this flight
+                // itself built and published, so it stays exactly one
+                // per `(id, format)` no matter how claims interleave.
+                c.hits.fetch_add(1, Ordering::Relaxed);
+                if state.plans.finish_build(id, epoch, actual) {
+                    slot.landed = true;
+                }
+                return;
+            }
+            Lookup::Wait(flight) => {
+                if let Some((_, actual)) = flight.wait() {
+                    c.coalesced.fetch_add(1, Ordering::Relaxed);
+                    if state.plans.finish_build(id, epoch, actual) {
+                        slot.landed = true;
+                    }
+                    return;
+                }
+                // Leader abandoned; retry — this flight will now lead.
+            }
+            Lookup::Lead(guard) => {
+                c.misses.fetch_add(1, Ordering::Relaxed);
+                let (built, actual, refused) =
+                    build_with_fallback(guard.kind(), csr, &state.fallback_chain)
+                        .expect("fallback chain ends in CSR, which accepts any matrix");
+                c.fallbacks.fetch_add(refused as u64, Ordering::Relaxed);
+                c.conversions.fetch_add(1, Ordering::Relaxed);
+                let mut landed = false;
+                // Atomic landing: cache insert + plan re-pin in one
+                // critical section, both vetoed if the id was forgotten
+                // (flight deregistered) or forgotten-and-re-admitted
+                // (epoch mismatch) while we built.
+                guard.finish_with(Arc::new(built), actual, |actual| {
+                    landed = state.plans.finish_build(id, epoch, actual);
+                    landed
+                });
+                if landed {
+                    c.swaps.fetch_add(1, Ordering::Relaxed);
+                    slot.landed = true;
+                }
+                return;
+            }
         }
     }
 }
@@ -537,6 +897,8 @@ mod tests {
         let c = engine.counters();
         assert_eq!(c.requests, 2);
         assert_eq!(c.total_selections(), 2);
+        assert_eq!(c.served_selected, 2, "sync admission always serves the selection");
+        assert_eq!(c.served_fallback, 0);
         assert_eq!(c.cache_lookups, 2);
         assert_eq!(c.cache_hits, 1, "second request reuses the conversion");
         assert_eq!(c.cache_misses, 1);
@@ -618,5 +980,104 @@ mod tests {
         let kind = engine.select(&f);
         assert!(engine.device().formats.contains(&kind));
         assert_eq!(kind, engine.default_format());
+    }
+
+    /// `Async { max_in_flight: 0 }` never converts anywhere: the
+    /// degenerate config that isolates the request path's
+    /// zero-conversion guarantee from background timing.
+    #[test]
+    fn async_request_path_performs_zero_conversions() {
+        let cfg =
+            EngineConfig { admission: Admission::Async { max_in_flight: 0 }, ..quick_config() };
+        let engine = Engine::new(cfg).unwrap();
+        let m = skewed_matrix();
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.13).sin()).collect();
+        let reference = m.spmv(&x);
+        for _ in 0..3 {
+            let mut y = vec![f64::NAN; m.rows()];
+            let kind = engine.spmv("m", &m, &x, &mut y);
+            assert_eq!(kind, FormatKind::NaiveCsr, "CSR path serves while nothing is resident");
+            assert_eq!(spmv_core::vec_mismatch(&y, &reference, 1e-9, 1e-9), None);
+            let mut y = vec![-2.5; m.rows()];
+            engine.spmv_parallel("m", &m, &x, &mut y);
+            assert_eq!(spmv_core::vec_mismatch(&y, &reference, 1e-9, 1e-9), None);
+        }
+        engine.drain_admissions();
+        let c = engine.counters();
+        assert_eq!(c.requests, 6);
+        assert_eq!(c.served_fallback, 6, "every request served via the CSR path");
+        assert_eq!(c.served_selected, 0);
+        assert_eq!(c.conversions, 0, "no conversion anywhere, calling thread or background");
+        assert_eq!(c.cache_misses, 0);
+        assert_eq!(c.swaps, 0);
+        assert_eq!(c.admissions_in_flight, 0);
+    }
+
+    #[test]
+    fn async_flight_lands_and_swaps_the_plan() {
+        let cfg =
+            EngineConfig { admission: Admission::Async { max_in_flight: 4 }, ..quick_config() };
+        let engine = Engine::new(cfg).unwrap();
+        let m = skewed_matrix();
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.29).cos()).collect();
+        let reference = m.spmv(&x);
+
+        let mut y = vec![f64::NAN; m.rows()];
+        engine.spmv("m", &m, &x, &mut y);
+        assert_eq!(spmv_core::vec_mismatch(&y, &reference, 1e-9, 1e-9), None, "pre-swap");
+
+        engine.drain_admissions();
+        let c = engine.counters();
+        assert_eq!(c.swaps, 1, "the flight landed");
+        assert_eq!(c.conversions, 1, "exactly one conversion for the id");
+        assert_eq!(c.admissions_in_flight, 0);
+
+        let mut y = vec![f64::NAN; m.rows()];
+        let kind = engine.spmv("m", &m, &x, &mut y);
+        assert_eq!(spmv_core::vec_mismatch(&y, &reference, 1e-9, 1e-9), None, "post-swap");
+        assert_eq!(kind, engine.select(&FeatureSet::extract(&m)), "selected format now serves");
+        let c = engine.counters();
+        assert_eq!(c.served_selected, 1);
+        assert_eq!(c.served_fallback, 1);
+        assert_eq!(c.served_selected + c.served_fallback, c.requests);
+        assert_eq!(c.cache_hits + c.cache_misses + c.coalesced, c.cache_lookups);
+    }
+
+    /// `forget` while the admission flight is still queued: the flight
+    /// must land into nothing — no plan entry, no cache entry.
+    #[test]
+    fn forget_cancels_a_queued_admission_flight() {
+        let cfg =
+            EngineConfig { admission: Admission::Async { max_in_flight: 4 }, ..quick_config() };
+        let engine = Engine::new(cfg).unwrap();
+        let m = skewed_matrix();
+        let x = vec![1.0; m.cols()];
+        let mut y = vec![0.0; m.rows()];
+
+        // Park the background lane so the admission stays queued.
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let held = gate.lock();
+        {
+            let gate = Arc::clone(&gate);
+            engine.pool().submit_background(move || {
+                drop(gate.lock());
+            });
+        }
+        engine.spmv("m", &m, &x, &mut y); // schedules the flight behind the blocker
+        engine.forget("m");
+        drop(held); // release the lane; the flight now runs post-forget
+        engine.drain_admissions();
+
+        let c = engine.counters();
+        assert_eq!(c.swaps, 0, "a forgotten id's flight must not land");
+        assert_eq!(c.planned_entries, 0, "plan resurrected after forget");
+        assert_eq!(c.cached_entries, 0, "cache entry resurrected after forget");
+        assert_eq!(c.bytes_resident, 0);
+        assert_eq!(c.admissions_in_flight, 0);
+        // The id is fresh again: a new request re-plans and re-admits.
+        let mut y = vec![f64::NAN; m.rows()];
+        engine.spmv("m", &m, &x, &mut y);
+        engine.drain_admissions();
+        assert_eq!(engine.counters().swaps, 1, "re-admission after forget lands normally");
     }
 }

@@ -3,9 +3,12 @@
 //!
 //! Two structures make the serve path scale past one global lock:
 //!
-//! * [`PlanTable`] — the per-matrix format plans, split over N
-//!   independently locked shards (matrix-id hash), each evicting by
-//!   **least-recent use** when it fills. Recency matters: the previous
+//! * [`PlanTable`] — the per-matrix plan lifecycle
+//!   ([`PlanState::Pending`] → [`PlanState::Building`] →
+//!   [`PlanState::Pinned`]), split over N independently locked shards
+//!   (matrix-id hash). Each shard keeps a secondary recency index
+//!   (`last_used` tick → id) so LRU eviction is `O(log n)` per victim
+//!   instead of a linear scan over the shard. Recency matters: an early
 //!   implementation evicted in `BTreeMap` key order, so a hot matrix
 //!   with a lexicographically small id was thrown out (and re-planned)
 //!   on every admission once the table filled.
@@ -17,10 +20,29 @@
 //!   Conversion can cost many SpMV-equivalents (SELL-C-σ, BCSR), so a
 //!   thundering herd of M clients must pay it once, not M times.
 //!
-//! Both structures hash ids with FNV-1a; shard locks are never held
-//! while another shard's lock is taken, so lock ordering is trivially
-//! acyclic. Conversion itself always runs *outside* the shard lock —
-//! only the registration and publication of the result lock the shard.
+//! # Flight publication is atomic with the plan update
+//!
+//! When a planned format refuses a matrix and a fallback builds
+//! instead, the publication ([`FlightGuard::finish_with`]) does three
+//! things inside **one** conversion-shard critical section: insert the
+//! built format into the cache, record a *redirect*
+//! (`(id, refused kind) → actual kind`) so a reader still holding the
+//! stale plan resolves to the resident entry instead of leading a
+//! second (refused) conversion, and run the caller's publish hook —
+//! which the engine uses to re-pin the plan. Before this, a client
+//! that read the stale plan between flight deregistration and the
+//! plan re-pin could lead one redundant refused conversion (the old
+//! ROADMAP "fallback re-plan window").
+//!
+//! # Lock ordering
+//!
+//! Both structures hash ids with FNV-1a. A conversion-shard lock may be
+//! held while taking a plan-shard lock (that is exactly what
+//! `finish_with`'s publish hook does); the reverse never happens — no
+//! `PlanTable` method calls into `ShardedConversions` — so lock
+//! ordering is acyclic. Conversion itself always runs *outside* the
+//! shard lock — only the registration and publication of the result
+//! lock the shard.
 
 use crate::cache::ConversionCache;
 use parking_lot::{Condvar, Mutex};
@@ -41,48 +63,117 @@ fn shard_of(id: &str, shards: usize) -> usize {
 // Plan table
 // ---------------------------------------------------------------------
 
+/// Lifecycle of one matrix's serving plan.
+///
+/// ```text
+/// (admit) → Pending ──claim──→ Building ──flight lands──→ Pinned
+///              ▲                  │                          │
+///              └──────abort───────┘        (cache eviction) ─┴→ Building
+/// ```
+///
+/// * `Pending` — the format is selected but no conversion has been
+///   scheduled; requests serve the universal CSR path.
+/// * `Building` — a background admission flight owns the conversion
+///   (at most one per plan entry, enforced by
+///   [`PlanTable::try_begin_build`]); requests keep serving the CSR
+///   path until it lands.
+/// * `Pinned` — the conversion landed (or a synchronous resolve
+///   published); requests serve the converted format.
+///
+/// Synchronous admission uses only `Pending` → `Pinned`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanState {
+    /// Format selected, conversion not yet scheduled.
+    Pending(FormatKind),
+    /// A background flight is building the selected format.
+    Building(FormatKind),
+    /// The conversion landed; serve this format.
+    Pinned(FormatKind),
+}
+
+impl PlanState {
+    /// The format this plan currently names, whatever the stage.
+    pub fn kind(&self) -> FormatKind {
+        match *self {
+            PlanState::Pending(k) | PlanState::Building(k) | PlanState::Pinned(k) => k,
+        }
+    }
+}
+
 struct PlanEntry {
-    kind: FormatKind,
+    state: PlanState,
     last_used: u64,
+    /// Build-claim generation: stamped by `try_begin_build`, checked by
+    /// `finish_build`/`abort_build` so a flight that outlives a
+    /// `forget` + re-admission of its id (new epoch) cannot touch the
+    /// successor's plan.
+    epoch: u64,
 }
 
 #[derive(Default)]
 struct PlanShard {
     tick: u64,
-    map: BTreeMap<String, PlanEntry>,
+    epoch: u64,
+    /// Keys are `Arc<str>` shared with the recency index: refreshing
+    /// an entry's recency moves the shared key between index slots
+    /// instead of re-allocating the id on every `get`.
+    map: BTreeMap<Arc<str>, PlanEntry>,
+    /// Secondary recency index: `last_used` tick → id. Ticks are
+    /// unique per shard (every op bumps `tick`), so this is a total
+    /// order; the first entry is always the LRU candidate, making
+    /// eviction `O(log n)` instead of a scan over the whole shard.
+    recency: BTreeMap<u64, Arc<str>>,
 }
 
 impl PlanShard {
-    fn touch(&mut self, id: &str) -> Option<FormatKind> {
+    fn next_tick(&mut self) -> u64 {
         self.tick += 1;
-        let tick = self.tick;
-        let e = self.map.get_mut(id)?;
-        e.last_used = tick;
-        Some(e.kind)
+        self.tick
     }
 
-    /// Evicts least-recently-used entries (sparing `keep`, which was
-    /// just touched) until at most `capacity` remain.
+    /// Refreshes `id`'s recency (entry must exist). Allocation-free:
+    /// the shared key moves from the old recency slot to the new one.
+    fn touch(&mut self, id: &str) {
+        let tick = self.next_tick();
+        let e = self.map.get_mut(id).expect("touch requires a resident entry");
+        let key = self.recency.remove(&e.last_used).expect("recency index tracks every entry");
+        e.last_used = tick;
+        self.recency.insert(tick, key);
+    }
+
+    /// Evicts least-recently-used entries until at most `capacity`
+    /// remain, sparing `keep` (just touched) and `Building` entries
+    /// (their flight will pin them momentarily; evicting one would
+    /// orphan the landing — the flight's epoch check would discard the
+    /// finished conversion and the id would convert twice).
     fn evict_to_fit(&mut self, capacity: usize, keep: &str) {
         while self.map.len() > capacity {
             let victim = self
-                .map
+                .recency
                 .iter()
-                .filter(|(id, _)| id.as_str() != keep)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(id, _)| id.clone());
+                .find(|(_, id)| {
+                    &***id != keep && !matches!(self.map[&***id].state, PlanState::Building(_))
+                })
+                .map(|(&tick, id)| (tick, Arc::clone(id)));
             match victim {
-                Some(id) => {
-                    self.map.remove(&id);
+                Some((tick, id)) => {
+                    self.recency.remove(&tick);
+                    self.map.remove(&*id);
                 }
-                None => break, // only the spared entry left
+                None => break, // only spared entries left
             }
+        }
+    }
+
+    fn remove(&mut self, id: &str) {
+        if let Some(e) = self.map.remove(id) {
+            self.recency.remove(&e.last_used);
         }
     }
 }
 
-/// Sharded map of matrix id → planned format with per-shard LRU
-/// eviction. All methods take `&self`; each shard has its own lock.
+/// Sharded map of matrix id → [`PlanState`] with per-shard `O(log n)`
+/// LRU eviction. All methods take `&self`; each shard has its own lock.
 pub struct PlanTable {
     shards: Vec<Mutex<PlanShard>>,
     per_shard_capacity: usize,
@@ -117,37 +208,107 @@ impl PlanTable {
     }
 
     /// Looks up the plan for `id`, refreshing its recency on a hit.
-    pub fn get(&self, id: &str) -> Option<FormatKind> {
-        self.shard(id).lock().touch(id)
-    }
-
-    /// Inserts a plan unless one is already present (first writer wins,
-    /// like `entry().or_insert`); returns the winning plan. The entry
-    /// is touched either way, and the shard evicted down to capacity.
-    pub fn insert(&self, id: &str, kind: FormatKind) -> FormatKind {
+    pub fn get(&self, id: &str) -> Option<PlanState> {
         let mut s = self.shard(id).lock();
-        s.tick += 1;
-        let tick = s.tick;
-        let e = s.map.entry(id.to_string()).or_insert(PlanEntry { kind, last_used: tick });
-        e.last_used = tick;
-        let kind = e.kind;
-        s.evict_to_fit(self.per_shard_capacity, id);
-        kind
+        if s.map.contains_key(id) {
+            s.touch(id);
+            Some(s.map[id].state)
+        } else {
+            None
+        }
     }
 
-    /// Overwrites the plan for `id` (used when a fallback format built
-    /// instead of the planned one, so the refusal is not re-attempted).
+    /// Inserts a `Pending` plan unless an entry is already present
+    /// (first writer wins, like `entry().or_insert`); returns the
+    /// winning state. The entry is touched either way, and the shard
+    /// evicted down to capacity.
+    pub fn insert_pending(&self, id: &str, kind: FormatKind) -> PlanState {
+        let mut s = self.shard(id).lock();
+        if !s.map.contains_key(id) {
+            let tick = s.next_tick();
+            let key: Arc<str> = Arc::from(id);
+            s.map.insert(
+                Arc::clone(&key),
+                PlanEntry { state: PlanState::Pending(kind), last_used: tick, epoch: 0 },
+            );
+            s.recency.insert(tick, key);
+        } else {
+            s.touch(id);
+        }
+        let state = s.map[id].state;
+        s.evict_to_fit(self.per_shard_capacity, id);
+        state
+    }
+
+    /// Claims the build of `id`'s plan: `Pending` or `Pinned` (cache
+    /// evicted, needs re-admission) becomes `Building` and the caller
+    /// receives `(kind, epoch)` — its ticket for
+    /// [`PlanTable::finish_build`]. Returns `None` when the entry is
+    /// absent or already `Building` (someone else owns the flight), so
+    /// at most one background admission exists per plan entry.
+    pub fn try_begin_build(&self, id: &str) -> Option<(FormatKind, u64)> {
+        let mut s = self.shard(id).lock();
+        match s.map.get(id).map(|e| e.state) {
+            Some(PlanState::Pending(kind)) | Some(PlanState::Pinned(kind)) => {
+                s.epoch += 1;
+                let epoch = s.epoch;
+                s.touch(id);
+                let e = s.map.get_mut(id).expect("just touched");
+                e.state = PlanState::Building(kind);
+                e.epoch = epoch;
+                Some((kind, epoch))
+            }
+            _ => None,
+        }
+    }
+
+    /// Lands a build claimed with `epoch`: `Building` → `Pinned(actual)`.
+    /// Returns `false` — and changes nothing — when the entry is gone
+    /// (forgotten or evicted) or carries a different epoch (forgotten
+    /// and re-admitted): a stale flight must not resurrect or overwrite
+    /// its successor's plan.
+    pub fn finish_build(&self, id: &str, epoch: u64, actual: FormatKind) -> bool {
+        let mut s = self.shard(id).lock();
+        match s.map.get(id) {
+            Some(e) if matches!(e.state, PlanState::Building(_)) && e.epoch == epoch => {
+                s.touch(id);
+                s.map.get_mut(id).expect("just touched").state = PlanState::Pinned(actual);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Reverts an aborted build (leader panicked or was cancelled):
+    /// `Building` → `Pending`, so a later request can re-schedule.
+    /// Epoch-checked like [`PlanTable::finish_build`].
+    pub fn abort_build(&self, id: &str, epoch: u64) {
+        let mut s = self.shard(id).lock();
+        if let Some(e) = s.map.get_mut(id) {
+            if let PlanState::Building(kind) = e.state {
+                if e.epoch == epoch {
+                    e.state = PlanState::Pending(kind);
+                }
+            }
+        }
+    }
+
+    /// Pins an **existing** entry to `kind` (used by synchronous
+    /// resolution when a fallback format built instead of the planned
+    /// one). Never inserts: if the plan was evicted or forgotten
+    /// meanwhile, the next request re-plans — a pin that inserted could
+    /// resurrect a forgotten id.
     pub fn pin(&self, id: &str, kind: FormatKind) {
         let mut s = self.shard(id).lock();
-        s.tick += 1;
-        let tick = s.tick;
-        s.map.insert(id.to_string(), PlanEntry { kind, last_used: tick });
-        s.evict_to_fit(self.per_shard_capacity, id);
+        if s.map.contains_key(id) {
+            s.touch(id);
+            s.map.get_mut(id).expect("just touched").state = PlanState::Pinned(kind);
+        }
     }
 
     /// Drops the plan for `id`, if any.
     pub fn remove(&self, id: &str) {
-        self.shard(id).lock().map.remove(id);
+        self.shard(id).lock().remove(id);
     }
 
     /// Total ids remembered across all shards.
@@ -198,21 +359,56 @@ impl Flight {
     }
 }
 
+/// Per-shard bound on remembered redirects. Redirects are a
+/// correctness-window optimization, not required state: dropping one
+/// costs at most one extra refused conversion the next time a stale
+/// plan of that id is read, so a hard cap (arbitrary-order overflow
+/// eviction) is enough to keep a long-running engine's memory bounded.
+const REDIRECTS_PER_SHARD: usize = 4096;
+
 struct ConversionShard {
     cache: ConversionCache,
     inflight: BTreeMap<(String, FormatKind), Arc<Flight>>,
+    /// `(id, refused kind) → kind that actually built`: written inside
+    /// the publication critical section, consulted by every lookup, so
+    /// a reader holding a stale plan resolves to the resident fallback
+    /// entry instead of leading a second (refused) conversion. Bounded
+    /// by [`REDIRECTS_PER_SHARD`]; cleared per id on `forget`.
+    redirects: BTreeMap<(String, FormatKind), FormatKind>,
+}
+
+impl ConversionShard {
+    /// The effective cache/flight key after following a redirect. The
+    /// empty-map check keeps the fallback-free hot path free of the
+    /// key allocation the `BTreeMap` probe needs.
+    fn resolve_kind(&self, id: &str, kind: FormatKind) -> FormatKind {
+        if self.redirects.is_empty() {
+            return kind;
+        }
+        self.redirects.get(&(id.to_string(), kind)).copied().unwrap_or(kind)
+    }
+
+    fn record_redirect(&mut self, id: &str, refused: FormatKind, actual: FormatKind) {
+        while self.redirects.len() >= REDIRECTS_PER_SHARD {
+            self.redirects.pop_first();
+        }
+        self.redirects.insert((id.to_string(), refused), actual);
+    }
 }
 
 /// The outcome of [`ShardedConversions::begin`]: exactly one of the
 /// racing callers leads the conversion, everyone else hits or waits.
 pub enum Lookup<'a> {
-    /// The converted format was resident; recency refreshed.
-    Hit(CachedFormat),
+    /// The converted format was resident; recency refreshed. The kind
+    /// is the resident one — it differs from the requested kind when a
+    /// redirect (recorded fallback) rewrote the lookup.
+    Hit(CachedFormat, FormatKind),
     /// Another thread is already converting this `(id, format)`; call
     /// [`Flight::wait`] for the shared result.
     Wait(Arc<Flight>),
-    /// This caller owns the conversion: build the format, then publish
-    /// it with [`FlightGuard::finish`]. Dropping the guard without
+    /// This caller owns the conversion: build the format named by
+    /// [`FlightGuard::kind`], then publish it with
+    /// [`FlightGuard::finish_with`]. Dropping the guard without
     /// finishing abandons the flight and wakes the waiters.
     Lead(FlightGuard<'a>),
 }
@@ -228,23 +424,52 @@ pub struct FlightGuard<'a> {
 }
 
 impl FlightGuard<'_> {
-    /// Publishes the built format: inserts it into the shard's cache
-    /// under the kind that actually built, then wakes every waiter.
+    /// The format this flight is converting (the effective kind after
+    /// any redirect) — what the leader should build.
+    pub fn kind(&self) -> FormatKind {
+        self.kind
+    }
+
+    /// Publishes the built format atomically with the caller's plan
+    /// update: inside one conversion-shard critical section, runs
+    /// `publish(actual)` and — when it returns `true` — inserts the
+    /// format into the shard's cache under the kind that actually built
+    /// and records a redirect if that differs from the flight's kind.
+    /// Then wakes every waiter (they receive the result either way:
+    /// their requests raced whatever invalidated the publication).
     ///
-    /// If the flight was deregistered while the leader built (the
-    /// caller [`forgot`](ShardedConversions::forget) the id, i.e. the
-    /// matrix changed), the stale result is **not** cached — waiters
-    /// still receive it, since their requests raced the forget.
-    pub fn finish(mut self, fmt: CachedFormat, actual: FormatKind) {
+    /// `publish` returning `false` means the caller found its admission
+    /// stale (the id was forgotten, or forgotten and re-admitted, while
+    /// the leader built) — nothing becomes resident, so a late-landing
+    /// conversion can never resurrect a forgotten matrix's cache entry.
+    /// `publish` also never runs if the flight itself was deregistered
+    /// by a [`forget`](ShardedConversions::forget).
+    ///
+    /// `publish` runs with the conversion-shard lock held and may take
+    /// a plan-shard lock (see the module docs on lock ordering); it
+    /// must not call back into [`ShardedConversions`].
+    pub fn finish_with<P>(mut self, fmt: CachedFormat, actual: FormatKind, publish: P)
+    where
+        P: FnOnce(FormatKind) -> bool,
+    {
         {
             let mut shard = self.owner.shards[self.shard].lock();
-            if self.deregister(&mut shard) {
+            if self.deregister(&mut shard) && publish(actual) {
                 shard.cache.insert(&self.id, actual, Arc::clone(&fmt));
+                if actual != self.kind {
+                    shard.record_redirect(&self.id, self.kind, actual);
+                }
             }
         }
         *self.flight.state.lock() = FlightState::Done(fmt, actual);
         self.flight.ready.notify_all();
         self.finished = true;
+    }
+
+    /// [`FlightGuard::finish_with`] with an unconditional publish — for
+    /// callers with no plan to re-pin.
+    pub fn finish(self, fmt: CachedFormat, actual: FormatKind) {
+        self.finish_with(fmt, actual, |_| true);
     }
 
     /// Removes this guard's own flight from the register; returns
@@ -316,24 +541,26 @@ impl ShardedConversions {
                     Mutex::new(ConversionShard {
                         cache: ConversionCache::new(per_shard),
                         inflight: BTreeMap::new(),
+                        redirects: BTreeMap::new(),
                     })
                 })
                 .collect(),
         }
     }
 
-    /// Atomically classifies a lookup of `(id, kind)`: resident →
-    /// [`Lookup::Hit`], already converting → [`Lookup::Wait`], neither
-    /// → this caller becomes the leader ([`Lookup::Lead`]). Cache check
-    /// and flight registration happen under one shard lock, so between
-    /// a leader's registration and its publication every other caller
-    /// is funneled onto the flight — no window in which a second
-    /// conversion of the same key can start.
+    /// Atomically classifies a lookup of `(id, kind)` — after following
+    /// any redirect — as resident → [`Lookup::Hit`], already converting
+    /// → [`Lookup::Wait`], neither → this caller becomes the leader
+    /// ([`Lookup::Lead`]). Cache check and flight registration happen
+    /// under one shard lock, so between a leader's registration and its
+    /// publication every other caller is funneled onto the flight — no
+    /// window in which a second conversion of the same key can start.
     pub fn begin(&self, id: &str, kind: FormatKind) -> Lookup<'_> {
         let si = shard_of(id, self.shards.len());
         let mut shard = self.shards[si].lock();
+        let kind = shard.resolve_kind(id, kind);
         if let Some(fmt) = shard.cache.get(id, kind) {
-            return Lookup::Hit(fmt);
+            return Lookup::Hit(fmt, kind);
         }
         if let Some(flight) = shard.inflight.get(&(id.to_string(), kind)) {
             return Lookup::Wait(Arc::clone(flight));
@@ -351,18 +578,33 @@ impl ShardedConversions {
         })
     }
 
-    /// Drops every cached conversion of one matrix id; returns the
-    /// bytes released. In-flight conversions of the id are deregistered
-    /// (not interrupted): their leaders finish and serve their waiters,
-    /// but the stale result is discarded instead of cached, so a
-    /// conversion racing a forget can never re-populate the cache with
-    /// the pre-forget matrix.
+    /// Non-registering lookup: the resident format for `(id, kind)` —
+    /// after following any redirect — with recency refreshed, or `None`.
+    /// Never waits and never leads; the asynchronous serve path uses
+    /// this so a request thread cannot be drafted into a conversion.
+    pub fn peek(&self, id: &str, kind: FormatKind) -> Option<(CachedFormat, FormatKind)> {
+        let mut shard = self.shards[shard_of(id, self.shards.len())].lock();
+        let kind = shard.resolve_kind(id, kind);
+        shard.cache.get(id, kind).map(|fmt| (fmt, kind))
+    }
+
+    /// Drops every cached conversion and redirect of one matrix id;
+    /// returns the bytes released. In-flight conversions of the id are
+    /// deregistered (not interrupted): their leaders finish and serve
+    /// their waiters, but the stale result is discarded instead of
+    /// cached, so a conversion racing a forget can never re-populate
+    /// the cache with the pre-forget matrix.
     pub fn forget(&self, id: &str) -> usize {
         let mut shard = self.shards[shard_of(id, self.shards.len())].lock();
         let stale: Vec<(String, FormatKind)> =
             shard.inflight.keys().filter(|(fid, _)| fid == id).cloned().collect();
         for key in stale {
             shard.inflight.remove(&key);
+        }
+        let old: Vec<(String, FormatKind)> =
+            shard.redirects.keys().filter(|(rid, _)| rid == id).cloned().collect();
+        for key in old {
+            shard.redirects.remove(&key);
         }
         shard.cache.forget(id)
     }
@@ -408,22 +650,80 @@ mod tests {
     #[test]
     fn plan_eviction_is_recency_aware_not_key_order() {
         // One shard so the eviction order is fully observable. The hot
-        // id sorts first lexicographically — the old key-order eviction
+        // id sorts first lexicographically — a key-order eviction
         // would throw it out on every admission.
         let t = PlanTable::new(3, 1);
-        t.insert("aaa-hot", FormatKind::NaiveCsr);
+        t.insert_pending("aaa-hot", FormatKind::NaiveCsr);
         for i in 0..10 {
             assert_eq!(
-                t.get("aaa-hot"),
+                t.get("aaa-hot").map(|s| s.kind()),
                 Some(FormatKind::NaiveCsr),
                 "hot id evicted after {i} admissions"
             );
-            t.insert(&format!("zz-{i}"), FormatKind::Coo);
+            t.insert_pending(&format!("zz-{i}"), FormatKind::Coo);
             assert!(t.len() <= 3, "capacity violated");
         }
         // The cold streamers are gone, the hot id survived.
-        assert_eq!(t.get("aaa-hot"), Some(FormatKind::NaiveCsr));
+        assert_eq!(t.get("aaa-hot").map(|s| s.kind()), Some(FormatKind::NaiveCsr));
         assert_eq!(t.get("zz-0"), None, "cold LRU entries must be the victims");
+    }
+
+    /// The `O(log n)` recency index must evict exactly the entries a
+    /// naive linear LRU scan would: replay a deterministic mixed
+    /// get/insert stream against a reference model and compare the
+    /// survivor sets after every operation.
+    #[test]
+    fn indexed_eviction_matches_linear_reference_model() {
+        const CAP: usize = 8;
+        let t = PlanTable::new(CAP, 1);
+        // Reference: (id, last_used) with a linear min-scan eviction.
+        let mut model: Vec<(String, u64)> = Vec::new();
+        let mut tick = 0u64;
+        let mut lcg = 0x2545F4914F6CDD1Du64;
+        for step in 0..600 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let id = format!("m{}", (lcg >> 33) % 24);
+            tick += 1;
+            if step % 3 == 0 {
+                // get(): touches if present in both worlds.
+                t.get(&id);
+                if let Some(e) = model.iter_mut().find(|(mid, _)| *mid == id) {
+                    e.1 = tick;
+                }
+            } else {
+                t.insert_pending(&id, FormatKind::NaiveCsr);
+                if let Some(e) = model.iter_mut().find(|(mid, _)| *mid == id) {
+                    e.1 = tick;
+                } else {
+                    model.push((id.clone(), tick));
+                    while model.len() > CAP {
+                        let victim = model
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, (mid, _))| *mid != id)
+                            .min_by_key(|(_, (_, t))| *t)
+                            .map(|(i, _)| i)
+                            .expect("over capacity implies a victim");
+                        model.remove(victim);
+                    }
+                }
+            }
+            let mut want: Vec<String> = model.iter().map(|(id, _)| id.clone()).collect();
+            want.sort_unstable();
+            let mut got: Vec<String> =
+                (0..24).map(|i| format!("m{i}")).filter(|id| t.get(id).is_some()).collect();
+            // get() above touched every resident id in ascending order
+            // in both worlds? No — only in the table. Re-sync the model
+            // ticks for the probe touches so recency stays comparable.
+            for id in &got {
+                tick += 1;
+                if let Some(e) = model.iter_mut().find(|(mid, _)| mid == id) {
+                    e.1 = tick;
+                }
+            }
+            got.sort_unstable();
+            assert_eq!(got, want, "survivor sets diverged at step {step}");
+        }
     }
 
     #[test]
@@ -431,14 +731,71 @@ mod tests {
         // 16 shards requested, capacity 4 → clamped to 4 shards × 1.
         let t = PlanTable::new(4, 16);
         for i in 0..100 {
-            t.insert(&format!("id-{i}"), FormatKind::NaiveCsr);
+            t.insert_pending(&format!("id-{i}"), FormatKind::NaiveCsr);
         }
         assert!(t.len() <= 4, "total bound violated: {}", t.len());
-        // pin() replaces and get() refreshes without growing.
+        // pin() repins an existing entry and get() refreshes without
+        // growing; pin() of an absent id never inserts.
+        t.insert_pending("id-99", FormatKind::NaiveCsr);
         t.pin("id-99", FormatKind::Coo);
-        assert_eq!(t.get("id-99"), Some(FormatKind::Coo));
+        assert_eq!(t.get("id-99"), Some(PlanState::Pinned(FormatKind::Coo)));
         t.remove("id-99");
         assert_eq!(t.get("id-99"), None);
+        t.pin("id-99", FormatKind::Coo);
+        assert_eq!(t.get("id-99"), None, "pin must never resurrect a removed plan");
+    }
+
+    #[test]
+    fn build_lifecycle_pending_building_pinned() {
+        let t = PlanTable::new(8, 1);
+        assert_eq!(t.try_begin_build("m"), None, "absent id cannot be claimed");
+        t.insert_pending("m", FormatKind::Ell);
+        let (kind, epoch) = t.try_begin_build("m").expect("pending is claimable");
+        assert_eq!(kind, FormatKind::Ell);
+        assert_eq!(t.get("m"), Some(PlanState::Building(FormatKind::Ell)));
+        assert_eq!(t.try_begin_build("m"), None, "a building plan has one owner");
+        assert!(t.finish_build("m", epoch, FormatKind::NaiveCsr));
+        assert_eq!(t.get("m"), Some(PlanState::Pinned(FormatKind::NaiveCsr)));
+        // A pinned plan is re-claimable (cache eviction → re-admission).
+        let (kind2, epoch2) = t.try_begin_build("m").expect("pinned is re-claimable");
+        assert_eq!(kind2, FormatKind::NaiveCsr);
+        assert!(epoch2 > epoch, "every claim gets a fresh epoch");
+        t.abort_build("m", epoch2);
+        assert_eq!(t.get("m"), Some(PlanState::Pending(FormatKind::NaiveCsr)));
+    }
+
+    #[test]
+    fn stale_epoch_cannot_finish_or_abort_a_successor_build() {
+        let t = PlanTable::new(8, 1);
+        t.insert_pending("m", FormatKind::Ell);
+        let (_, old_epoch) = t.try_begin_build("m").unwrap();
+        // Forget + re-admit while the old flight is still out.
+        t.remove("m");
+        t.insert_pending("m", FormatKind::Dia);
+        let (_, new_epoch) = t.try_begin_build("m").unwrap();
+        assert!(!t.finish_build("m", old_epoch, FormatKind::NaiveCsr), "stale finish refused");
+        t.abort_build("m", old_epoch); // must be a no-op
+        assert_eq!(t.get("m"), Some(PlanState::Building(FormatKind::Dia)));
+        assert!(t.finish_build("m", new_epoch, FormatKind::Dia));
+    }
+
+    #[test]
+    fn building_entries_are_spared_by_eviction() {
+        let t = PlanTable::new(2, 1);
+        t.insert_pending("building", FormatKind::Ell);
+        let (_, epoch) = t.try_begin_build("building").unwrap();
+        // Stream colder-and-newer ids through the 2-entry shard: the
+        // Building entry is older than every streamer, but must survive
+        // until its flight lands.
+        for i in 0..8 {
+            t.insert_pending(&format!("s{i}"), FormatKind::NaiveCsr);
+            assert_eq!(
+                t.get("building"),
+                Some(PlanState::Building(FormatKind::Ell)),
+                "building plan evicted under streaming pressure (step {i})"
+            );
+        }
+        assert!(t.finish_build("building", epoch, FormatKind::Ell));
     }
 
     #[test]
@@ -447,6 +804,7 @@ mod tests {
         let Lookup::Lead(guard) = c.begin("m", FormatKind::NaiveCsr) else {
             panic!("first lookup must lead");
         };
+        assert_eq!(guard.kind(), FormatKind::NaiveCsr);
         // While the flight is open, other callers wait instead of
         // leading a duplicate conversion.
         let Lookup::Wait(flight) = c.begin("m", FormatKind::NaiveCsr) else {
@@ -455,11 +813,116 @@ mod tests {
         guard.finish(fmt_of(8), FormatKind::NaiveCsr);
         let (_, kind) = flight.wait().expect("leader published");
         assert_eq!(kind, FormatKind::NaiveCsr);
-        assert!(matches!(c.begin("m", FormatKind::NaiveCsr), Lookup::Hit(_)));
+        assert!(matches!(c.begin("m", FormatKind::NaiveCsr), Lookup::Hit(_, _)));
         assert_eq!(c.len(), 1);
         assert!(c.bytes_resident() > 0);
         c.forget("m");
         assert!(c.is_empty());
+    }
+
+    /// Regression for the fallback re-plan window: after a fallback
+    /// publication, a reader still holding the *refused* kind (a stale
+    /// plan) must resolve to the resident fallback entry — not lead a
+    /// second doomed conversion.
+    #[test]
+    fn stale_plan_lookup_redirects_to_the_fallback_entry() {
+        let c = ShardedConversions::new(1 << 20, 2);
+        let Lookup::Lead(guard) = c.begin("m", FormatKind::Dia) else { panic!("lead") };
+        // DIA refused; CSR built instead. Publication records the
+        // redirect inside the same critical section.
+        let mut pinned = None;
+        guard.finish_with(fmt_of(8), FormatKind::NaiveCsr, |actual| {
+            pinned = Some(actual);
+            true
+        });
+        assert_eq!(pinned, Some(FormatKind::NaiveCsr), "publish hook saw the actual kind");
+        // The racing reader that read the plan before the re-pin:
+        match c.begin("m", FormatKind::Dia) {
+            Lookup::Hit(_, kind) => assert_eq!(kind, FormatKind::NaiveCsr),
+            _ => panic!("stale-plan lookup led a second refused conversion"),
+        }
+        // peek() follows the same redirect.
+        let (_, kind) = c.peek("m", FormatKind::Dia).expect("resident via redirect");
+        assert_eq!(kind, FormatKind::NaiveCsr);
+        assert_eq!(c.len(), 1, "exactly one resident entry");
+        // forget clears the redirect with the entries.
+        c.forget("m");
+        assert!(c.peek("m", FormatKind::Dia).is_none());
+        assert!(matches!(c.begin("m", FormatKind::Dia), Lookup::Lead(_)));
+    }
+
+    /// The re-plan window, end to end and under racing readers: from
+    /// the moment a flight for a refusing kind is registered, no reader
+    /// of that kind can ever lead a second conversion — it waits on the
+    /// flight before publication and hits via the redirect after, with
+    /// the plan re-pinned inside the same critical section.
+    #[test]
+    fn racing_readers_never_lead_a_second_refused_conversion() {
+        let c = ShardedConversions::new(1 << 20, 2);
+        let plans = PlanTable::new(16, 2);
+        plans.insert_pending("m", FormatKind::Dia);
+        let Lookup::Lead(guard) = c.begin("m", FormatKind::Dia) else { panic!("lead") };
+        let extra_leads = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    // Stale readers: they planned DIA before the
+                    // publication and look up with that kind in a loop
+                    // (as re-issued requests would).
+                    for _ in 0..50 {
+                        match c.begin("m", FormatKind::Dia) {
+                            Lookup::Lead(_) => {
+                                extra_leads.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Lookup::Wait(f) => {
+                                let _ = f.wait();
+                            }
+                            Lookup::Hit(_, kind) => {
+                                assert_eq!(kind, FormatKind::NaiveCsr, "hit via redirect");
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            // DIA refused; publish the CSR fallback and re-pin the
+            // plan inside the publication critical section.
+            guard.finish_with(fmt_of(8), FormatKind::NaiveCsr, |actual| {
+                plans.pin("m", actual);
+                true
+            });
+        });
+        assert_eq!(
+            extra_leads.load(Ordering::Relaxed),
+            0,
+            "a stale-plan reader led a redundant refused conversion"
+        );
+        assert_eq!(plans.get("m"), Some(PlanState::Pinned(FormatKind::NaiveCsr)));
+        assert_eq!(c.len(), 1, "exactly one resident entry");
+    }
+
+    #[test]
+    fn vetoed_publication_caches_nothing_but_serves_waiters() {
+        // The publish hook returning false (stale admission: the id was
+        // forgotten and re-admitted while the leader built) must keep
+        // the result out of the cache while still waking waiters.
+        let c = ShardedConversions::new(1 << 20, 2);
+        let Lookup::Lead(guard) = c.begin("m", FormatKind::NaiveCsr) else { panic!("lead") };
+        let Lookup::Wait(flight) = c.begin("m", FormatKind::NaiveCsr) else { panic!("wait") };
+        guard.finish_with(fmt_of(8), FormatKind::NaiveCsr, |_| false);
+        assert!(flight.wait().is_some(), "waiters still served");
+        assert!(c.is_empty(), "vetoed publication must not become resident");
+    }
+
+    #[test]
+    fn peek_never_leads_or_waits() {
+        let c = ShardedConversions::new(1 << 20, 2);
+        assert!(c.peek("m", FormatKind::NaiveCsr).is_none());
+        // An open flight: peek still returns None instead of blocking.
+        let Lookup::Lead(guard) = c.begin("m", FormatKind::NaiveCsr) else { panic!("lead") };
+        assert!(c.peek("m", FormatKind::NaiveCsr).is_none(), "peek must not wait on the flight");
+        guard.finish(fmt_of(8), FormatKind::NaiveCsr);
+        assert!(c.peek("m", FormatKind::NaiveCsr).is_some());
     }
 
     #[test]
@@ -480,7 +943,12 @@ mod tests {
         let Lookup::Wait(flight) = c.begin("m", FormatKind::NaiveCsr) else { panic!("wait") };
         // The matrix changes in place while the leader still converts.
         c.forget("m");
-        guard.finish(fmt_of(8), FormatKind::NaiveCsr);
+        let mut published = false;
+        guard.finish_with(fmt_of(8), FormatKind::NaiveCsr, |_| {
+            published = true;
+            true
+        });
+        assert!(!published, "publish hook must not run for a deregistered flight");
         // The waiter's request raced the forget — it may see the old
         // result — but the stale conversion must not become resident.
         assert!(flight.wait().is_some());
@@ -522,7 +990,7 @@ mod tests {
                         assert!(flight.wait().is_some());
                         served.fetch_add(1, Ordering::Relaxed);
                     }
-                    Lookup::Hit(_) => {
+                    Lookup::Hit(_, _) => {
                         served.fetch_add(1, Ordering::Relaxed);
                     }
                 });

@@ -10,6 +10,7 @@
 //! borrowed (non-`'static`) closures sound.
 
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,10 +52,42 @@ struct Shared {
     panicked: AtomicBool,
 }
 
+/// A queued background job (see [`ThreadPool::submit_background`]).
+type BackgroundJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// The low-priority background lane: one dedicated worker thread with
+/// its own FIFO queue, entirely disjoint from the broadcast machinery.
+///
+/// The lane exists for work that must never block a serving request —
+/// format conversions admitted asynchronously by the adaptive engine.
+/// It shares **no** state with [`ThreadPool::broadcast`] (separate
+/// queue, separate condvars, separate worker thread), so a background
+/// job can neither starve a broadcast nor deadlock against one: the
+/// broadcast workers never look at this queue, and the background
+/// worker never touches the job slot. A background job *may* itself
+/// call `broadcast`; it then queues behind other broadcast callers like
+/// any client thread.
+struct BackgroundLane {
+    state: Mutex<BackgroundState>,
+    /// Wakes the background worker on submit or shutdown.
+    work: Condvar,
+    /// Wakes [`ThreadPool::drain_background`] callers when the lane
+    /// goes idle (empty queue, no job running).
+    idle: Condvar,
+}
+
+struct BackgroundState {
+    queue: VecDeque<BackgroundJob>,
+    running: bool,
+    shutdown: bool,
+}
+
 /// A fixed-size pool of persistent worker threads.
 pub struct ThreadPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    background: Arc<BackgroundLane>,
+    background_handle: Option<JoinHandle<()>>,
     threads: usize,
 }
 
@@ -80,7 +113,25 @@ impl ThreadPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Self { shared, handles, threads }
+        let background = Arc::new(BackgroundLane {
+            state: Mutex::new(BackgroundState {
+                queue: VecDeque::new(),
+                running: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let background_handle = {
+            let lane = Arc::clone(&background);
+            Some(
+                std::thread::Builder::new()
+                    .name("spmv-background".into())
+                    .spawn(move || background_loop(&lane))
+                    .expect("failed to spawn background worker"),
+            )
+        };
+        Self { shared, handles, background, background_handle, threads }
     }
 
     /// A pool sized to the number of available hardware threads.
@@ -130,6 +181,40 @@ impl ThreadPool {
         }
     }
 
+    /// Enqueues `job` on the background lane: one dedicated low-
+    /// priority worker runs queued jobs in FIFO order, one at a time,
+    /// off the broadcast hot path (see [`BackgroundLane`]). Built for
+    /// work a serving request wants started but must not wait for —
+    /// the adaptive engine's asynchronous format conversions.
+    ///
+    /// A panicking job is caught and dropped (the lane survives);
+    /// callers that need failure handling should catch inside the job.
+    pub fn submit_background<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.background.state.lock();
+        state.queue.push_back(Box::new(job));
+        self.background.work.notify_one();
+    }
+
+    /// Background jobs queued or currently running.
+    pub fn background_pending(&self) -> usize {
+        let state = self.background.state.lock();
+        state.queue.len() + state.running as usize
+    }
+
+    /// Blocks until the background lane is idle: every job submitted
+    /// before this call has finished and the queue is empty. Tests and
+    /// deterministic benches use this as the barrier between "requests
+    /// issued" and "all background admissions landed".
+    pub fn drain_background(&self) {
+        let mut state = self.background.state.lock();
+        while !state.queue.is_empty() || state.running {
+            self.background.idle.wait(&mut state);
+        }
+    }
+
     /// Splits `0..n_items` into `threads()` contiguous chunks and runs
     /// `f(chunk_range)` for each chunk on its own worker.
     pub fn parallel_chunks<F>(&self, n_items: usize, f: F)
@@ -157,6 +242,44 @@ impl Drop for ThreadPool {
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Background lane: discard queued jobs, let the running one
+        // finish (its captured state may hold resources that must drop
+        // on its own thread), then join the worker.
+        {
+            let mut state = self.background.state.lock();
+            state.shutdown = true;
+            state.queue.clear();
+            self.background.work.notify_all();
+        }
+        if let Some(h) = self.background_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn background_loop(lane: &BackgroundLane) {
+    loop {
+        let job = {
+            let mut state = lane.state.lock();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.running = true;
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                lane.work.wait(&mut state);
+            }
+        };
+        // A panicking job must not kill the lane: later admissions still
+        // need a worker. The job's own drop guards handle its cleanup.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let mut state = lane.state.lock();
+        state.running = false;
+        if state.queue.is_empty() {
+            lane.idle.notify_all();
         }
     }
 }
@@ -313,6 +436,74 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 4 * 50 * 2);
+    }
+
+    #[test]
+    fn background_jobs_run_in_order_and_drain_is_a_barrier() {
+        let pool = ThreadPool::new(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..10 {
+            let log = Arc::clone(&log);
+            pool.submit_background(move || log.lock().push(i));
+        }
+        pool.drain_background();
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>(), "FIFO order");
+        assert_eq!(pool.background_pending(), 0);
+    }
+
+    #[test]
+    fn background_lane_does_not_block_broadcast() {
+        // A background job that holds the lane busy must not delay the
+        // broadcast hot path: the two share no queue or lock.
+        let pool = ThreadPool::new(2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit_background(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+            });
+        }
+        // While the background worker is parked, broadcasts proceed.
+        let counter = AtomicU64::new(0);
+        for _ in 0..20 {
+            pool.broadcast(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+        assert_eq!(pool.background_pending(), 1, "blocker still running");
+        let (lock, cv) = &*gate;
+        *lock.lock() = true;
+        cv.notify_all();
+        pool.drain_background();
+    }
+
+    #[test]
+    fn panicking_background_job_does_not_kill_the_lane() {
+        let pool = ThreadPool::new(1);
+        let ran = Arc::new(AtomicU64::new(0));
+        pool.submit_background(|| panic!("boom"));
+        {
+            let ran = Arc::clone(&ran);
+            pool.submit_background(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.drain_background();
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "lane survived the panic");
+    }
+
+    #[test]
+    fn drop_with_queued_background_jobs_does_not_hang() {
+        let pool = ThreadPool::new(1);
+        for _ in 0..100 {
+            pool.submit_background(std::thread::yield_now);
+        }
+        drop(pool); // queued jobs discarded, running one joined
     }
 
     #[test]

@@ -82,6 +82,9 @@ fn engine_selected_formats_match_dense_reference_and_counters_reconcile() {
     let c = engine.counters();
     assert_eq!(c.requests, served, "every serve call is a request");
     assert_eq!(c.total_selections(), c.requests, "selections account for every request");
+    assert_eq!(c.served_selected, c.requests, "sync admission always serves the selection");
+    assert_eq!(c.served_fallback, 0, "the CSR fast path is an async-admission affair");
+    assert_eq!(c.served_selected + c.served_fallback, c.requests, "exact reconciliation");
     assert_eq!(
         c.cache_hits + c.cache_misses + c.coalesced,
         c.cache_lookups,

@@ -6,12 +6,17 @@
 //! `(id, format)` pair must have been converted exactly once no matter
 //! how many clients raced on its first request.
 //!
-//! CI additionally runs this test in `--release`, where the race
-//! windows (miss vs. in-flight registration, publication vs. waiter
-//! wakeup) are realistically narrow.
+//! The scenario runs under **both admission modes**: synchronous
+//! (conversion on the request path, the deterministic baseline) and
+//! asynchronous (requests never convert; background flights build the
+//! selected formats and swap the plans while clients keep hammering
+//! the CSR path). CI additionally runs this file in `--release`, where
+//! the race windows (miss vs. in-flight registration, publication vs.
+//! waiter wakeup, flight landing vs. fallback serve) are realistically
+//! narrow.
 
-use spmv_suite::core::{vec_mismatch, CsrMatrix, DenseMatrix};
-use spmv_suite::engine::{Engine, EngineConfig, TrainingPlan};
+use spmv_suite::core::{vec_mismatch, CsrMatrix, DenseMatrix, FeatureSet};
+use spmv_suite::engine::{Admission, Engine, EngineConfig, TrainingPlan};
 use spmv_suite::formats::FormatKind;
 use spmv_suite::gen::dataset::DatasetSize;
 use std::collections::{BTreeMap, BTreeSet};
@@ -67,35 +72,51 @@ fn matrix(i: usize) -> CsrMatrix {
     CsrMatrix::from_triplets(n, n, &t).expect("stress matrices are valid")
 }
 
-#[test]
-fn concurrent_mixed_serving_is_correct_and_converts_once_per_format() {
+struct Fixture {
+    mats: Vec<CsrMatrix>,
+    ids: Vec<String>,
+    xs: Vec<Vec<f64>>,
+    refs: Vec<Vec<f64>>,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let mats: Vec<CsrMatrix> = (0..MATRICES).map(matrix).collect();
+        let ids = (0..MATRICES).map(|i| format!("stress-{i}")).collect();
+        let xs: Vec<Vec<f64>> = mats
+            .iter()
+            .map(|m| (0..m.cols()).map(|j| ((j * 31 + 7) % 17) as f64 - 8.0).collect())
+            .collect();
+        let refs = mats.iter().zip(&xs).map(|(m, x)| DenseMatrix::from_csr(m).spmv(x)).collect();
+        Fixture { mats, ids, xs, refs }
+    }
+}
+
+/// Drives the 8-client mixed workload against a fresh engine in the
+/// given admission mode; returns the engine and, per matrix, every
+/// format kind a client observed serving it.
+fn run_clients(
+    admission: Admission,
+    fx: &Fixture,
+) -> (Engine, BTreeMap<usize, BTreeSet<FormatKind>>) {
     let engine = Engine::new(EngineConfig {
         device: "AMD-EPYC-24".into(),
         scale: 512.0,
         cache_capacity_bytes: 64 << 20,
         threads: 2,
+        admission,
         training: TrainingPlan { size: DatasetSize::Small, stride: 60, base_seed: 11 },
         ..EngineConfig::default()
     })
     .expect("builtin training");
 
-    let mats: Vec<CsrMatrix> = (0..MATRICES).map(matrix).collect();
-    let ids: Vec<String> = (0..MATRICES).map(|i| format!("stress-{i}")).collect();
-    let xs: Vec<Vec<f64>> = mats
-        .iter()
-        .map(|m| (0..m.cols()).map(|j| ((j * 31 + 7) % 17) as f64 - 8.0).collect())
-        .collect();
-    let refs: Vec<Vec<f64>> =
-        mats.iter().zip(&xs).map(|(m, x)| DenseMatrix::from_csr(m).spmv(x)).collect();
-
-    // Which format each client observed per matrix: single-flight plus
-    // a stable plan must make this a single kind per id.
+    // Which format each client observed per matrix.
     let kinds_seen: Mutex<BTreeMap<usize, BTreeSet<FormatKind>>> = Mutex::new(BTreeMap::new());
 
     std::thread::scope(|s| {
         for client in 0..CLIENTS {
             let engine = &engine;
-            let (mats, ids, xs, refs) = (&mats, &ids, &xs, &refs);
+            let (mats, ids, xs, refs) = (&fx.mats, &fx.ids, &fx.xs, &fx.refs);
             let kinds_seen = &kinds_seen;
             s.spawn(move || {
                 for round in 0..ROUNDS {
@@ -156,11 +177,22 @@ fn concurrent_mixed_serving_is_correct_and_converts_once_per_format() {
         }
     });
 
+    (engine, kinds_seen.into_inner().unwrap())
+}
+
+#[test]
+fn concurrent_mixed_serving_is_correct_and_converts_once_per_format() {
+    let fx = Fixture::new();
+    let (engine, kinds_seen) = run_clients(Admission::Sync, &fx);
+
     // --- Counter reconciliation (clients quiesced) --------------------
     let c = engine.counters();
     let total = (CLIENTS * ROUNDS * MATRICES) as u64;
     assert_eq!(c.requests, total, "every serve call is a request");
     assert_eq!(c.total_selections(), c.requests);
+    assert_eq!(c.served_selected, c.requests, "sync admission always serves the selection");
+    assert_eq!(c.served_fallback, 0);
+    assert_eq!(c.served_selected + c.served_fallback, c.requests);
     assert_eq!(c.cache_lookups, c.requests, "one lookup per request");
     assert_eq!(
         c.cache_hits + c.cache_misses + c.coalesced,
@@ -171,13 +203,11 @@ fn concurrent_mixed_serving_is_correct_and_converts_once_per_format() {
     // --- Single-flight: exactly one conversion per (id, format) ------
     // Selection and format refusal are deterministic for this fixed
     // config, and the matrix set is chosen so every planned format
-    // accepts its matrix. That matters for exactness: after a refusal
-    // the engine re-pins the plan, and a client that read the stale
-    // plan in that window may legitimately lead one extra (refused)
-    // conversion. With zero fallbacks the flight key equals the cache
-    // key and the exactly-once bound is exact.
+    // accepts its matrix (with zero fallbacks the flight key equals
+    // the cache key and the exactly-once bound is exact; a refusal
+    // would merely shift the resident kind, since the redirect recorded
+    // at publication keeps stale plans from converting twice).
     assert_eq!(c.fallbacks, 0, "matrix set must be fallback-free for the exact bound");
-    let kinds_seen = kinds_seen.into_inner().unwrap();
     let distinct_pairs: u64 = kinds_seen.values().map(|s| s.len() as u64).sum();
     for (i, kinds) in &kinds_seen {
         assert_eq!(kinds.len(), 1, "stress-{i} served under several formats: {kinds:?}");
@@ -190,4 +220,77 @@ fn concurrent_mixed_serving_is_correct_and_converts_once_per_format() {
     assert_eq!(c.cache_misses, c.conversions, "every miss led exactly one build");
     assert_eq!(c.cached_entries, MATRICES, "one resident conversion per matrix");
     assert!(c.bytes_resident > 0);
+}
+
+#[test]
+fn concurrent_async_admission_is_correct_and_converts_once_per_format() {
+    let fx = Fixture::new();
+    // max_in_flight below the matrix count on purpose: some cold
+    // requests hit the cap, skip scheduling, and a later request must
+    // pick the admission up — the exactly-once bound has to survive
+    // that retry path too.
+    let (engine, kinds_seen) = run_clients(Admission::Async { max_in_flight: 8 }, &fx);
+    engine.drain_admissions();
+    // An admission skipped at the in-flight cap needs one more request
+    // to re-claim it: nudge every id once, then land everything. After
+    // this barrier the outcome is exact — all 16 flights have landed.
+    for i in 0..MATRICES {
+        let (m, x, want) = (&fx.mats[i], &fx.xs[i], &fx.refs[i]);
+        let mut y = vec![f64::NAN; m.rows()];
+        engine.spmv(&fx.ids[i], m, x, &mut y);
+        assert_eq!(vec_mismatch(&y, want, 1e-9, 1e-9), None, "{} nudge", fx.ids[i]);
+    }
+    engine.drain_admissions();
+
+    // --- Counter reconciliation (clients quiesced, flights landed) ---
+    let c = engine.counters();
+    let total = (CLIENTS * ROUNDS * MATRICES + MATRICES) as u64;
+    assert_eq!(c.requests, total, "every serve call is a request");
+    assert_eq!(c.total_selections(), c.requests);
+    assert_eq!(
+        c.served_selected + c.served_fallback,
+        c.requests,
+        "every request served exactly one way: selected format or CSR path"
+    );
+    assert_eq!(
+        c.cache_hits + c.cache_misses + c.coalesced,
+        c.cache_lookups,
+        "every lookup classified exactly once: hit, miss, or coalesced"
+    );
+    assert_eq!(c.admissions_in_flight, 0, "drain_admissions is a barrier");
+
+    // --- Exactly one conversion and one swap per matrix ---------------
+    assert_eq!(c.fallbacks, 0, "matrix set must be fallback-free for the exact bound");
+    assert_eq!(c.conversions, MATRICES as u64, "one background build per matrix");
+    assert_eq!(c.swaps, MATRICES as u64, "every flight landed and re-pinned its plan");
+    assert_eq!(c.cache_misses, c.conversions, "every background miss led exactly one build");
+    assert_eq!(c.cached_entries, MATRICES, "one resident conversion per matrix");
+    assert!(c.bytes_resident > 0);
+
+    // --- Clients only ever saw the CSR path or the selected format ----
+    for (i, kinds) in &kinds_seen {
+        let selected = engine.select(&FeatureSet::extract(&fx.mats[*i]));
+        for kind in kinds {
+            assert!(
+                *kind == FormatKind::NaiveCsr || *kind == selected,
+                "stress-{i} served {kind:?}, expected the CSR path or {selected:?}"
+            );
+        }
+    }
+
+    // --- Post-swap serving uses the selected format exactly ------------
+    for i in 0..MATRICES {
+        let (m, x, want) = (&fx.mats[i], &fx.xs[i], &fx.refs[i]);
+        let mut y = vec![f64::NAN; m.rows()];
+        let kind = engine.spmv(&fx.ids[i], m, x, &mut y);
+        assert_eq!(vec_mismatch(&y, want, 1e-9, 1e-9), None, "{} post-swap", fx.ids[i]);
+        assert_eq!(kind, engine.select(&FeatureSet::extract(m)), "{} post-swap kind", fx.ids[i]);
+    }
+    let after = engine.counters();
+    assert_eq!(after.conversions, MATRICES as u64, "post-swap serving converts nothing new");
+    assert_eq!(
+        after.served_selected,
+        c.served_selected + MATRICES as u64,
+        "post-swap requests all served the selected format"
+    );
 }
