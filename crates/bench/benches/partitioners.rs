@@ -64,10 +64,10 @@ fn bench_pool_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("pool");
     for threads in [2usize, 8, 16] {
         let pool = ThreadPool::new(threads);
-        group.bench_with_input(BenchmarkId::new("broadcast_noop", threads), &pool, |b, pool| {
+        group.bench_with_input(BenchmarkId::new("run_tasks_noop", threads), &pool, |b, pool| {
             b.iter(|| {
-                pool.broadcast(|tid| {
-                    black_box(tid);
+                pool.run_tasks(threads, |ci| {
+                    black_box(ci);
                 })
             })
         });

@@ -34,9 +34,11 @@
 //! exactly backwards for a serving system. Under [`Admission::Async`]
 //! the plan moves through a staged lifecycle
 //! ([`PlanState`]: `Pending → Building → Pinned`): a cold request
-//! selects the format, claims a background conversion flight on the
-//! thread pool's low-priority lane, and is answered immediately from
-//! the raw CSR operand — zero conversion work on the calling thread.
+//! selects the format, claims a background conversion flight — a
+//! low-priority task on the work-stealing thread pool, which workers
+//! run only when no serve task wants the core — and is answered
+//! immediately from the raw CSR operand — zero conversion work on the
+//! calling thread.
 //! When the flight lands, the converted format is published and the
 //! plan re-pinned *inside one critical section* (see
 //! [`shard::FlightGuard::finish_with`]), and subsequent requests serve
@@ -67,7 +69,7 @@ use spmv_analysis::{FormatSelector, SelectorFeatures};
 use spmv_core::{CsrMatrix, FeatureSet};
 use spmv_devices::{device_by_name, DeviceSpec};
 use spmv_formats::{build_with_fallback, FormatKind};
-use spmv_parallel::{Executor, Schedule, ThreadPool};
+use spmv_parallel::{Executor, PoolStats, Schedule, ThreadPool};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -219,7 +221,7 @@ pub struct EngineCounters {
     /// Requests served via the universal CSR path while the selected
     /// format was not (yet) resident — asynchronous admission's
     /// immediate answers. Sustained growth with no matching `swaps`
-    /// growth means flights are not landing (lane starved or
+    /// growth means flights are not landing (low class starved or
     /// `max_in_flight` too low).
     pub served_fallback: u64,
     /// Background admission flights whose own conversion landed: the
@@ -256,6 +258,17 @@ pub struct EngineCounters {
     /// Background admission flights currently outstanding (scheduled
     /// but not yet landed or aborted).
     pub admissions_in_flight: usize,
+    /// Background admission flights ever submitted to the pool's
+    /// low-priority class. After [`Engine::drain_admissions`] every one
+    /// of them has run (landed or aborted), so `flights_scheduled`
+    /// reconciles against `pool.low_tasks` minus any non-engine low
+    /// jobs the caller submitted (e.g. test gates).
+    pub flights_scheduled: u64,
+    /// Scheduling activity of the engine's thread pool: tasks executed
+    /// per priority class, steals, and worker parks (see
+    /// [`spmv_parallel::PoolStats`]). Under [`Admission::Sync`] the low
+    /// class is never used, so `pool.low_tasks == 0` exactly.
+    pub pool: PoolStats,
     /// Serve calls per format actually used, in [`FormatKind::ALL`]
     /// order (zero-count formats included). CSR-path fallback serves
     /// count under [`FormatKind::NaiveCsr`], the format they execute.
@@ -281,6 +294,7 @@ struct CounterBank {
     coalesced: AtomicU64,
     conversions: AtomicU64,
     fallbacks: AtomicU64,
+    flights_scheduled: AtomicU64,
     selections: [AtomicU64; FormatKind::ALL.len()],
 }
 
@@ -576,7 +590,8 @@ impl Engine {
         let state = Arc::clone(&self.state);
         let id = id.to_string();
         let csr = csr.clone();
-        self.pool.submit_background(move || run_admission(&state, &id, &csr, kind, epoch));
+        st.counters.flights_scheduled.fetch_add(1, Ordering::Relaxed);
+        self.pool.submit_low(move || run_admission(&state, &id, &csr, kind, epoch));
     }
 
     fn serve(&self, id: &str, csr: &CsrMatrix) -> Served {
@@ -692,12 +707,13 @@ impl Engine {
     /// exactly. A no-op under [`Admission::Sync`].
     pub fn drain_admissions(&self) {
         loop {
-            self.pool.drain_background();
+            self.pool.quiesce();
             if self.state.in_flight.load(Ordering::Acquire) == 0 {
                 return;
             }
-            // A flight was scheduled while we drained (or its slot
-            // release is a hair behind the lane going idle): go again.
+            // A flight was scheduled while we quiesced (or its slot
+            // release is a hair behind the low class going idle): go
+            // again.
             std::thread::yield_now();
         }
     }
@@ -726,6 +742,8 @@ impl Engine {
             cached_entries,
             planned_entries: self.state.plans.len(),
             admissions_in_flight: self.state.in_flight.load(Ordering::Relaxed),
+            flights_scheduled: c.flights_scheduled.load(Ordering::Relaxed),
+            pool: self.pool.stats(),
             selections: FormatKind::ALL
                 .iter()
                 .map(|&k| (k, c.selections[kind_index(k)].load(Ordering::Relaxed)))
@@ -1054,18 +1072,21 @@ mod tests {
         let x = vec![1.0; m.cols()];
         let mut y = vec![0.0; m.rows()];
 
-        // Park the background lane so the admission stays queued.
+        // Park the low-priority class so the admission stays queued:
+        // one gate job per worker occupies every possible runner of low
+        // work (low jobs are dequeued FIFO, so all gates are taken
+        // before the flight can start).
         let gate = Arc::new(parking_lot::Mutex::new(()));
         let held = gate.lock();
-        {
+        for _ in 0..engine.pool().threads() {
             let gate = Arc::clone(&gate);
-            engine.pool().submit_background(move || {
+            engine.pool().submit_low(move || {
                 drop(gate.lock());
             });
         }
-        engine.spmv("m", &m, &x, &mut y); // schedules the flight behind the blocker
+        engine.spmv("m", &m, &x, &mut y); // schedules the flight behind the gates
         engine.forget("m");
-        drop(held); // release the lane; the flight now runs post-forget
+        drop(held); // release the gates; the flight now runs post-forget
         engine.drain_admissions();
 
         let c = engine.counters();

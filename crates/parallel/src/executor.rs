@@ -2,15 +2,16 @@
 //!
 //! Every SpMV kernel in `spmv-formats` decomposes the same way: split
 //! some index space (rows, ELL chunks, block rows, nonzeros, merge-path
-//! segments) into one contiguous piece per worker, let each worker
-//! produce the output rows it *owns*, and — for nonzero-chunked
-//! kernels — fix up the boundary rows that straddle two chunks with a
-//! sequential carry merge. Before this module existed each format
-//! hand-rolled that dance with its own `ThreadPool::broadcast` call and
-//! its own raw-pointer writes; the [`Executor`] centralizes it behind
-//! three entry points:
+//! segments) into contiguous chunk tasks, let each task produce the
+//! output rows it *owns*, and — for nonzero-chunked kernels — fix up
+//! the boundary rows that straddle two chunks with a sequential carry
+//! merge. Before this module existed each format hand-rolled that
+//! dance with its own pool call and its own raw-pointer writes; the
+//! [`Executor`] centralizes it behind three entry points, each of which
+//! spawns its chunks as independent tasks on the work-stealing
+//! scheduler ([`ThreadPool::run_tasks`]) and joins them:
 //!
-//! * [`Executor::run_disjoint`] — one [`Schedule`] chunk per worker,
+//! * [`Executor::run_disjoint`] — one task per [`Schedule`] chunk,
 //!   each writing a disjoint set of output rows ([`DisjointWriter`]);
 //! * [`Executor::run_chunks_carry`] — equal contiguous item chunks
 //!   (nonzeros, tiles, merge segments) whose boundary rows are returned
@@ -24,11 +25,13 @@
 //! The whole layer rests on one argument, stated here once instead of
 //! at thirteen call sites:
 //!
-//! 1. [`ThreadPool::broadcast`] does not return until every worker has
-//!    finished its closure, so borrowed kernel data (including the
-//!    output pointer inside a [`DisjointWriter`]) outlives every use.
-//! 2. The executor hands each worker a chunk of a [`Partition`], and
-//!    partitions are disjoint by construction — no two workers receive
+//! 1. [`ThreadPool::run_tasks`] does not return until every spawned
+//!    chunk task has finished, so borrowed kernel data (including the
+//!    output pointer inside a [`DisjointWriter`]) outlives every use —
+//!    regardless of which thread (a worker, or a concurrent caller
+//!    helping out) ends up executing a given task.
+//! 2. The executor hands each task a chunk of a [`Partition`], and
+//!    partitions are disjoint by construction — no two tasks receive
 //!    overlapping ranges.
 //! 3. The *kernel contract*: a kernel passed to [`Executor::run_disjoint`]
 //!    or [`Executor::run_chunks_carry`] may write only output rows owned
@@ -37,6 +40,11 @@
 //!    `perm`-translated for SELL-C-σ; "rows strictly inside my nonzero
 //!    range" for carry kernels, with the shared boundary rows routed
 //!    through [`Carries`] instead of written directly).
+//!
+//! Note what is *not* required: exclusive use of the pool. Several
+//! executors (and raw `run_tasks` callers) may run concurrently — their
+//! chunk tasks interleave on the workers, but each job's writer is
+//! only reachable from that job's own tasks.
 //!
 //! (1) + (2) are guaranteed by this crate; (3) is the single obligation
 //! left to format authors, and the one thing to check when reviewing a
@@ -229,8 +237,8 @@ impl<'p> Executor<'p> {
     }
 
     /// Runs `f(chunk_offset, chunk)` over disjoint contiguous sub-slices
-    /// of `data`, one per worker. Entirely safe for callers: each worker
-    /// receives an exclusive `&mut [T]`.
+    /// of `data`, one chunk task per worker. Entirely safe for callers:
+    /// each task receives an exclusive `&mut [T]`.
     pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], f: F)
     where
         T: Send,
@@ -242,14 +250,14 @@ impl<'p> Executor<'p> {
         }
         let base = data.as_mut_ptr() as usize;
         let t = self.threads();
-        self.pool.broadcast(|tid| {
-            let lo = tid * n / t;
-            let hi = (tid + 1) * n / t;
+        self.pool.run_tasks(t, |ci| {
+            let lo = ci * n / t;
+            let hi = (ci + 1) * n / t;
             if lo < hi {
-                // SAFETY: workers receive non-overlapping [lo, hi)
+                // SAFETY: tasks receive non-overlapping [lo, hi)
                 // ranges of `data` (soundness point 2 in the module
-                // docs), and `broadcast` keeps the backing slice alive
-                // until every worker returns (point 1).
+                // docs), and `run_tasks` keeps the backing slice alive
+                // until every task returns (point 1).
                 let chunk =
                     unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(lo), hi - lo) };
                 f(lo, chunk);
@@ -274,12 +282,10 @@ impl<'p> Executor<'p> {
     {
         let partition = schedule.partition(self.threads());
         let out = DisjointWriter::new(y);
-        self.pool.broadcast(|tid| {
-            if tid < partition.chunks() {
-                let range = partition.range(tid);
-                if !range.is_empty() {
-                    f(range, &out);
-                }
+        self.pool.run_tasks(partition.chunks(), |ci| {
+            let range = partition.range(ci);
+            if !range.is_empty() {
+                f(range, &out);
             }
         });
     }
@@ -307,14 +313,14 @@ impl<'p> Executor<'p> {
             // sequential carry merge below can touch `y` directly.
             let out = DisjointWriter::new(y);
             let slots = carries.as_mut_ptr() as usize;
-            self.pool.broadcast(|tid| {
-                let lo = tid * items / t;
-                let hi = (tid + 1) * items / t;
+            self.pool.run_tasks(t, |ci| {
+                let lo = ci * items / t;
+                let hi = (ci + 1) * items / t;
                 if lo < hi {
                     let c = f(lo..hi, &out);
-                    // SAFETY: one slot per worker; `broadcast` keeps
-                    // `carries` alive until all workers return.
-                    unsafe { *(slots as *mut Carries).add(tid) = c };
+                    // SAFETY: one slot per chunk task; `run_tasks` keeps
+                    // `carries` alive until all tasks return.
+                    unsafe { *(slots as *mut Carries).add(ci) = c };
                 }
             });
         }

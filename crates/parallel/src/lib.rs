@@ -14,13 +14,16 @@
 //!   `(rows + nnz)` decision path (Merrill & Garland's Merge-CSR;
 //!   perfectly balanced even within rows).
 //!
-//! The pool pins one worker per logical thread and hands out
-//! broadcast-style jobs with borrowed data, so SpMV kernels can run
-//! over `&[f64]` slices without allocation or `'static` bounds.
+//! The pool pins one worker per logical thread and schedules
+//! work-stealing chunk tasks ([`ThreadPool::run_tasks`]) with borrowed
+//! data, so SpMV kernels can run over `&[f64]` slices without
+//! allocation or `'static` bounds — and so concurrent kernel calls and
+//! low-priority background jobs ([`ThreadPool::submit_low`]) share the
+//! cores at task granularity instead of queueing whole-pool jobs.
 //!
 //! On top of the pool sits the shared [`executor`] layer: every storage
 //! format routes its `spmv_parallel` (and batched SpMM) through
-//! [`Executor`] + [`Schedule`] instead of hand-rolling broadcasts, so
+//! [`Executor`] + [`Schedule`] instead of hand-rolling pool calls, so
 //! the disjoint-write and boundary-carry soundness arguments live in
 //! one place.
 
@@ -35,4 +38,4 @@ pub mod pool;
 pub use executor::{accumulate_rows, Carries, DisjointWriter, Executor, Schedule};
 pub use merge::{merge_path_partition, MergeCoord};
 pub use partition::Partition;
-pub use pool::ThreadPool;
+pub use pool::{PoolStats, ThreadPool};

@@ -1,108 +1,260 @@
-//! A persistent broadcast-style thread pool.
+//! A work-stealing thread pool with two priority classes.
 //!
 //! SpMV is called thousands of times per campaign on matrices that can
 //! be small enough for thread-spawn latency to dominate, so the pool
 //! keeps its workers alive between calls (the same reason the paper's
-//! OpenMP runtimes pin threads once, §IV). A job is *broadcast*: every
-//! worker receives the same closure together with its worker id and
-//! decides which chunk of the work it owns. [`ThreadPool::broadcast`]
-//! blocks until every worker has finished, which is what makes passing
-//! borrowed (non-`'static`) closures sound.
+//! OpenMP runtimes pin threads once, §IV). Unlike the broadcast pool
+//! this design replaces, the scheduler is *task-granular*: a parallel
+//! job ([`ThreadPool::run_tasks`]) is split into independent chunk
+//! tasks pushed onto per-worker deques, so N concurrent `spmv_parallel`
+//! callers and M background conversion flights genuinely share the
+//! cores instead of queueing behind a single whole-pool job slot.
+//!
+//! # Scheduling model
+//!
+//! Two priority classes:
+//!
+//! * **High** — chunk tasks of parallel jobs (serves). Each worker owns
+//!   a deque: the owner pushes and pops at the back (LIFO, cache-warm),
+//!   thieves — idle workers and joining callers — steal from the front
+//!   (FIFO, oldest first). The caller of [`ThreadPool::run_tasks`]
+//!   executes chunk 0 itself and then helps steal until its job is
+//!   done, so a parallel serve makes progress even if every worker is
+//!   busy: serves can never be starved.
+//! * **Low** — fire-and-forget jobs ([`ThreadPool::submit_low`]) in a
+//!   global FIFO queue: the engine's asynchronous format conversions.
+//!   Workers take low work only when no high task is available, so a
+//!   flight never displaces a serve; a starvation bound (one low task
+//!   per [`LOW_SERVICE_INTERVAL`] consecutive high tasks per worker,
+//!   and only when no other low task is running) guarantees flights
+//!   always complete even under continuous serve saturation.
+//!
+//! [`ThreadPool::quiesce`] is the barrier over the low class: it blocks
+//! until every previously submitted low job has finished. Scheduling
+//! activity is observable through [`ThreadPool::stats`].
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A raw, lifetime-erased job pointer. Soundness argument: the pointee
-/// is a stack-allocated closure in [`ThreadPool::broadcast`], which does
-/// not return before every worker has signalled completion of that very
-/// job, so workers never dereference a dangling pointer.
-#[derive(Clone, Copy)]
-struct JobPtr(*const (dyn Fn(usize) + Sync));
+/// Starvation bound for the low class: after this many consecutive
+/// high-priority tasks, a worker services one queued low task even
+/// though high work is pending — but only if no other low task is
+/// currently running, so at most one worker at a time is diverted
+/// from serving under saturation.
+const LOW_SERVICE_INTERVAL: u32 = 64;
 
-// SAFETY: the pointee is `Sync` (shared access from many threads is the
-// whole point) and the pointer is only dereferenced while `broadcast`
-// keeps the closure alive (see the barrier protocol below).
-unsafe impl Send for JobPtr {}
-unsafe impl Sync for JobPtr {}
-
-struct Shared {
-    /// Serializes callers of `broadcast`: the epoch/slot protocol below
-    /// supports exactly one outstanding job, so concurrent client
-    /// threads (e.g. the adaptive engine serving `spmv_parallel` to
-    /// many requests at once) must take turns. Without this lock two
-    /// racing broadcasts overwrite each other's job slot and `remaining`
-    /// count — workers then skip or double-run jobs and a caller can
-    /// wait forever.
-    submit: Mutex<()>,
-    /// Current job and its epoch; `None` means "shut down".
-    slot: Mutex<(u64, Option<JobPtr>)>,
-    /// Signals a new epoch to the workers.
-    job_ready: Condvar,
-    /// Number of workers still running the current job.
+/// Per-job completion state, allocated on the caller's stack in
+/// [`ThreadPool::run_tasks`]. Soundness argument: `run_tasks` does not
+/// return before `remaining` reaches zero, i.e. before every chunk task
+/// of this job has finished executing, so tasks never dereference a
+/// dangling header. After the final decrement, completion is signalled
+/// exclusively through pool-shared state (`Shared::join_cv`) — the
+/// header itself is never touched again, so the caller is free to
+/// return the instant it observes `remaining == 0`.
+struct JobHeader {
+    /// The job closure, lifetime-erased. Only dereferenced while the
+    /// spawning caller is still inside `run_tasks` (see above).
+    f: *const (dyn Fn(usize) + Sync),
+    /// Chunk tasks not yet finished.
     remaining: AtomicUsize,
-    /// Signals job completion back to the caller.
-    job_done: Condvar,
-    /// Paired with `job_done`.
-    done_lock: Mutex<()>,
-    /// Set when any worker's job closure panicked; `broadcast`
-    /// re-raises so the panic is not silently swallowed.
+    /// Set if any chunk task panicked; `run_tasks` re-raises.
     panicked: AtomicBool,
 }
 
-/// A queued background job (see [`ThreadPool::submit_background`]).
-type BackgroundJob = Box<dyn FnOnce() + Send + 'static>;
+// SAFETY: the closure behind `f` is `Sync` (shared execution from many
+// threads is the point) and the atomics are `Sync`; the raw pointer is
+// only dereferenced under the lifetime protocol documented above.
+unsafe impl Sync for JobHeader {}
 
-/// The low-priority background lane: one dedicated worker thread with
-/// its own FIFO queue, entirely disjoint from the broadcast machinery.
-///
-/// The lane exists for work that must never block a serving request —
-/// format conversions admitted asynchronously by the adaptive engine.
-/// It shares **no** state with [`ThreadPool::broadcast`] (separate
-/// queue, separate condvars, separate worker thread), so a background
-/// job can neither starve a broadcast nor deadlock against one: the
-/// broadcast workers never look at this queue, and the background
-/// worker never touches the job slot. A background job *may* itself
-/// call `broadcast`; it then queues behind other broadcast callers like
-/// any client thread.
-struct BackgroundLane {
-    state: Mutex<BackgroundState>,
-    /// Wakes the background worker on submit or shutdown.
-    work: Condvar,
-    /// Wakes [`ThreadPool::drain_background`] callers when the lane
-    /// goes idle (empty queue, no job running).
-    idle: Condvar,
+/// One schedulable unit of a parallel job: "run chunk `index` of the
+/// job described by `job`".
+#[derive(Clone, Copy)]
+struct ChunkTask {
+    job: *const JobHeader,
+    index: usize,
 }
 
-struct BackgroundState {
-    queue: VecDeque<BackgroundJob>,
-    running: bool,
-    shutdown: bool,
+// SAFETY: the pointee is `Sync` (see `JobHeader`) and stays alive until
+// this task's completion is counted, so the task may hop threads.
+unsafe impl Send for ChunkTask {}
+
+/// A queued low-priority job (see [`ThreadPool::submit_low`]).
+type LowJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct LowQueue {
+    queue: VecDeque<LowJob>,
+    /// Low jobs currently executing on some worker.
+    running: usize,
 }
 
-/// A fixed-size pool of persistent worker threads.
+/// Cumulative scheduling counters (monotone, `Relaxed`; exactness is
+/// only guaranteed for quiesced classes — see [`ThreadPool::stats`]).
+#[derive(Default)]
+struct StatsBank {
+    high_tasks: AtomicU64,
+    low_tasks: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+/// A snapshot of the pool's scheduling activity since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// High-priority chunk tasks executed (serve work). Jobs with a
+    /// single task run inline on the caller and are not counted.
+    pub high_tasks: u64,
+    /// Low-priority jobs executed (conversion flights, test gates).
+    pub low_tasks: u64,
+    /// Chunk tasks taken from a deque the executing thread does not
+    /// own — by an idle worker or by a joining caller helping out.
+    pub steals: u64,
+    /// Times a worker went to sleep for lack of any work.
+    pub parks: u64,
+}
+
+struct Shared {
+    /// One high-priority deque per worker. Owner pushes/pops the back;
+    /// everyone else steals from the front.
+    deques: Vec<Mutex<VecDeque<ChunkTask>>>,
+    /// Upper bound on tasks across all deques; incremented *before*
+    /// pushing, decremented *after* popping, so a zero read under
+    /// `sleep` proves the deques were empty at some point after the
+    /// last push (workers may park without missing work).
+    high_pending: AtomicUsize,
+    low: Mutex<LowQueue>,
+    /// Mirrors `low.queue.len()` (updated under the `low` lock) for
+    /// lock-free "is there low work?" checks.
+    low_queued: AtomicUsize,
+    /// Wakes `quiesce` callers when the low class goes idle.
+    low_idle: Condvar,
+    /// Parking lot for idle workers.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    /// Wakes joining callers in `run_tasks` when any job completes.
+    /// Pool-shared (not per-job) so the completing thread never touches
+    /// a caller's stack after the final `remaining` decrement.
+    join_lock: Mutex<()>,
+    join_cv: Condvar,
+    /// Rotates push targets and steal scan origins to spread load.
+    cursor: AtomicUsize,
+    shutdown: AtomicBool,
+    stats: StatsBank,
+}
+
+impl Shared {
+    /// Executes one chunk task and counts it complete. After the final
+    /// `remaining` decrement the header may dangle (its caller is free
+    /// to return), so only pool-shared state is touched from there on.
+    fn exec(&self, task: ChunkTask) {
+        // SAFETY: see `JobHeader` — the spawning caller is inside
+        // `run_tasks` until this task's completion is counted.
+        let hdr = unsafe { &*task.job };
+        let f = unsafe { &*hdr.f };
+        // A panicking task must still be counted complete, otherwise
+        // the caller joins forever; the flag makes `run_tasks` re-raise.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(task.index))).is_err() {
+            hdr.panicked.store(true, Ordering::Release);
+        }
+        self.stats.high_tasks.fetch_add(1, Ordering::Relaxed);
+        if hdr.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.join_lock.lock();
+            self.join_cv.notify_all();
+        }
+    }
+
+    /// Owner pop: newest task first (LIFO, cache-warm).
+    fn pop_own(&self, w: usize) -> Option<ChunkTask> {
+        let t = self.deques[w].lock().pop_back();
+        if t.is_some() {
+            self.high_pending.fetch_sub(1, Ordering::AcqRel);
+        }
+        t
+    }
+
+    /// Steal scan: oldest task first (FIFO), over every deque except
+    /// `exclude`, starting from a rotating origin. A `None` return
+    /// means every scanned deque was empty at the moment of its check —
+    /// since tasks are never re-pushed or moved between deques, a
+    /// joiner whose scan comes up empty knows all its remaining tasks
+    /// are already claimed by executing threads.
+    fn try_steal(&self, exclude: Option<usize>) -> Option<ChunkTask> {
+        let n = self.deques.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let i = (start + k) % n;
+            if Some(i) == exclude {
+                continue;
+            }
+            let t = self.deques[i].lock().pop_front();
+            if let Some(t) = t {
+                self.high_pending.fetch_sub(1, Ordering::AcqRel);
+                self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Dequeues and runs one low job, if any. With `bounded` set the
+    /// pickup is skipped while another low job is running — the
+    /// starvation path uses this so flights never occupy more than one
+    /// worker while serves saturate the pool.
+    fn try_run_low(&self, bounded: bool) -> bool {
+        let job = {
+            let mut lo = self.low.lock();
+            if bounded && lo.running > 0 {
+                return false;
+            }
+            match lo.queue.pop_front() {
+                Some(job) => {
+                    lo.running += 1;
+                    self.low_queued.fetch_sub(1, Ordering::AcqRel);
+                    job
+                }
+                None => return false,
+            }
+        };
+        // A panicking job must not kill the worker: later flights still
+        // need it. The job's own drop guards handle its cleanup.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        self.stats.low_tasks.fetch_add(1, Ordering::Relaxed);
+        let mut lo = self.low.lock();
+        lo.running -= 1;
+        if lo.running == 0 && lo.queue.is_empty() {
+            self.low_idle.notify_all();
+        }
+        true
+    }
+}
+
+/// A fixed-size pool of persistent worker threads running the
+/// work-stealing scheduler described in the [module docs](self).
 pub struct ThreadPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
-    background: Arc<BackgroundLane>,
-    background_handle: Option<JoinHandle<()>>,
     threads: usize,
 }
 
 impl ThreadPool {
-    /// Spawns a pool with `threads` workers (at least 1).
+    /// Spawns a pool with `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
-            submit: Mutex::new(()),
-            slot: Mutex::new((0, None)),
-            job_ready: Condvar::new(),
-            remaining: AtomicUsize::new(0),
-            job_done: Condvar::new(),
-            done_lock: Mutex::new(()),
-            panicked: AtomicBool::new(false),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            high_pending: AtomicUsize::new(0),
+            low: Mutex::new(LowQueue { queue: VecDeque::new(), running: 0 }),
+            low_queued: AtomicUsize::new(0),
+            low_idle: Condvar::new(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            join_lock: Mutex::new(()),
+            join_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            stats: StatsBank::default(),
         });
         let handles = (0..threads)
             .map(|tid| {
@@ -113,30 +265,19 @@ impl ThreadPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        let background = Arc::new(BackgroundLane {
-            state: Mutex::new(BackgroundState {
-                queue: VecDeque::new(),
-                running: false,
-                shutdown: false,
-            }),
-            work: Condvar::new(),
-            idle: Condvar::new(),
-        });
-        let background_handle = {
-            let lane = Arc::clone(&background);
-            Some(
-                std::thread::Builder::new()
-                    .name("spmv-background".into())
-                    .spawn(move || background_loop(&lane))
-                    .expect("failed to spawn background worker"),
-            )
-        };
-        Self { shared, handles, background, background_handle, threads }
+        Self { shared, handles, threads }
     }
 
-    /// A pool sized to the number of available hardware threads.
+    /// A pool sized to the number of available hardware threads, unless
+    /// the `SPMV_THREADS` environment variable overrides it (any value
+    /// that parses as a `usize`; clamped to ≥ 1, so `SPMV_THREADS=0`
+    /// yields a single worker). The override exists so CI and benches
+    /// can pin the thread count without code changes.
     pub fn with_all_cores() -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::env::var("SPMV_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
         Self::new(n)
     }
 
@@ -145,86 +286,145 @@ impl ThreadPool {
         self.threads
     }
 
-    /// Runs `f(worker_id)` on every worker concurrently and returns
-    /// once all workers have finished.
+    /// Runs `f(task_index)` once for every index in `0..tasks`,
+    /// concurrently, and returns once all of them have finished.
     ///
-    /// The closure may borrow local data: `broadcast` does not return
-    /// until the last worker is done with it.
+    /// The closure may borrow local data: `run_tasks` does not return
+    /// until the last task is done with it. The calling thread executes
+    /// task 0 itself and then helps steal pending chunk tasks while
+    /// waiting, so concurrent callers make progress even when every
+    /// worker is busy — many parallel jobs run at once, interleaved at
+    /// task granularity, with no whole-pool serialization.
     ///
-    /// Safe to call from many client threads at once: concurrent
-    /// broadcasts are serialized (the pool runs one job at a time).
-    pub fn broadcast<F>(&self, f: F)
+    /// A job with a single task runs inline on the caller without
+    /// touching the scheduler. If any task panics, the panic is
+    /// re-raised on the calling thread after the join.
+    pub fn run_tasks<F>(&self, tasks: usize, f: F)
     where
         F: Fn(usize) + Sync,
     {
-        let _turn = self.shared.submit.lock();
+        match tasks {
+            0 => return,
+            1 => return f(0),
+            _ => {}
+        }
+        let s = &*self.shared;
         let erased: &(dyn Fn(usize) + Sync) = &f;
-        // SAFETY: we erase the lifetime; the barrier below guarantees
-        // the closure outlives all uses (see `JobPtr` docs).
-        let ptr = JobPtr(unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
-        });
-        self.shared.remaining.store(self.threads, Ordering::Release);
+        // SAFETY: we erase the closure's lifetime; the join below
+        // guarantees it outlives every use (see `JobHeader` docs).
+        let header = JobHeader {
+            f: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                    erased,
+                )
+            },
+            remaining: AtomicUsize::new(tasks),
+            panicked: AtomicBool::new(false),
+        };
+        let n = s.deques.len();
+        let origin = s.cursor.fetch_add(1, Ordering::Relaxed);
+        // Increment before pushing: a worker that sees empty deques with
+        // `high_pending == 0` may safely park (see `Shared::high_pending`).
+        s.high_pending.fetch_add(tasks - 1, Ordering::Release);
+        for i in 1..tasks {
+            s.deques[(origin + i) % n].lock().push_back(ChunkTask { job: &header, index: i });
+        }
         {
-            let mut slot = self.shared.slot.lock();
-            slot.0 += 1;
-            slot.1 = Some(ptr);
-            self.shared.job_ready.notify_all();
+            let _g = s.sleep.lock();
+            s.wake.notify_all();
         }
-        let mut guard = self.shared.done_lock.lock();
-        while self.shared.remaining.load(Ordering::Acquire) != 0 {
-            self.shared.job_done.wait(&mut guard);
+        // The caller contributes task 0, then helps with whatever high
+        // work remains (its own or other jobs') until its job is done.
+        s.exec(ChunkTask { job: &header, index: 0 });
+        while header.remaining.load(Ordering::Acquire) != 0 {
+            if let Some(t) = s.try_steal(None) {
+                s.exec(t);
+            } else {
+                // Every remaining task of this job is claimed and
+                // executing elsewhere (see `try_steal`): sleep until a
+                // completion signal, then re-check.
+                let mut g = s.join_lock.lock();
+                if header.remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                s.join_cv.wait(&mut g);
+            }
         }
-        drop(guard);
-        if self.shared.panicked.swap(false, Ordering::AcqRel) {
-            panic!("a thread-pool worker panicked while running a broadcast job");
+        if header.panicked.load(Ordering::Acquire) {
+            panic!("a task of a parallel job panicked");
         }
     }
 
-    /// Enqueues `job` on the background lane: one dedicated low-
-    /// priority worker runs queued jobs in FIFO order, one at a time,
-    /// off the broadcast hot path (see [`BackgroundLane`]). Built for
-    /// work a serving request wants started but must not wait for —
-    /// the adaptive engine's asynchronous format conversions.
+    /// Enqueues `job` on the low-priority class: workers dequeue in
+    /// FIFO order whenever no high-priority task is available (plus the
+    /// bounded anti-starvation pickup described in the [module
+    /// docs](self)), so queued jobs may run concurrently on several
+    /// workers when the pool is otherwise idle. Built for work a
+    /// serving request wants started but must not wait for — the
+    /// adaptive engine's asynchronous format conversions.
     ///
-    /// A panicking job is caught and dropped (the lane survives);
+    /// A panicking job is caught and dropped (the pool survives);
     /// callers that need failure handling should catch inside the job.
-    pub fn submit_background<F>(&self, job: F)
+    pub fn submit_low<F>(&self, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
-        let mut state = self.background.state.lock();
-        state.queue.push_back(Box::new(job));
-        self.background.work.notify_one();
+        let s = &*self.shared;
+        {
+            let mut lo = s.low.lock();
+            lo.queue.push_back(Box::new(job));
+            s.low_queued.fetch_add(1, Ordering::Release);
+        }
+        let _g = s.sleep.lock();
+        s.wake.notify_all();
     }
 
-    /// Background jobs queued or currently running.
-    pub fn background_pending(&self) -> usize {
-        let state = self.background.state.lock();
-        state.queue.len() + state.running as usize
+    /// Low jobs queued or currently running.
+    pub fn low_pending(&self) -> usize {
+        let lo = self.shared.low.lock();
+        lo.queue.len() + lo.running
     }
 
-    /// Blocks until the background lane is idle: every job submitted
+    /// Blocks until the low-priority class is idle: every job submitted
     /// before this call has finished and the queue is empty. Tests and
     /// deterministic benches use this as the barrier between "requests
     /// issued" and "all background admissions landed".
-    pub fn drain_background(&self) {
-        let mut state = self.background.state.lock();
-        while !state.queue.is_empty() || state.running {
-            self.background.idle.wait(&mut state);
+    pub fn quiesce(&self) {
+        let s = &*self.shared;
+        let mut lo = s.low.lock();
+        while !lo.queue.is_empty() || lo.running > 0 {
+            s.low_idle.wait(&mut lo);
+        }
+    }
+
+    /// A snapshot of cumulative scheduling counters. Counters are
+    /// updated with relaxed ordering as tasks complete; a snapshot
+    /// taken while the relevant class is quiet (e.g. after
+    /// [`ThreadPool::quiesce`] for `low_tasks`, or with no `run_tasks`
+    /// call in flight for `high_tasks`) is exact.
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.shared.stats;
+        PoolStats {
+            high_tasks: s.high_tasks.load(Ordering::Relaxed),
+            low_tasks: s.low_tasks.load(Ordering::Relaxed),
+            steals: s.steals.load(Ordering::Relaxed),
+            parks: s.parks.load(Ordering::Relaxed),
         }
     }
 
     /// Splits `0..n_items` into `threads()` contiguous chunks and runs
-    /// `f(chunk_range)` for each chunk on its own worker.
+    /// `f(chunk_range)` for each non-empty chunk, concurrently.
     pub fn parallel_chunks<F>(&self, n_items: usize, f: F)
     where
         F: Fn(std::ops::Range<usize>) + Sync,
     {
+        if n_items == 0 {
+            return;
+        }
         let t = self.threads;
-        self.broadcast(|tid| {
-            let lo = tid * n_items / t;
-            let hi = (tid + 1) * n_items / t;
+        self.run_tasks(t, |ci| {
+            let lo = ci * n_items / t;
+            let hi = (ci + 1) * n_items / t;
             if lo < hi {
                 f(lo..hi);
             }
@@ -234,84 +434,66 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        let s = &*self.shared;
+        s.shutdown.store(true, Ordering::Release);
+        // Discard queued low jobs; a running one finishes on its worker
+        // (its captured state may hold resources that must drop there).
         {
-            let mut slot = self.shared.slot.lock();
-            slot.0 += 1;
-            slot.1 = None;
-            self.shared.job_ready.notify_all();
+            let mut lo = s.low.lock();
+            lo.queue.clear();
+            s.low_queued.store(0, Ordering::Release);
+        }
+        {
+            let _g = s.sleep.lock();
+            s.wake.notify_all();
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        // Background lane: discard queued jobs, let the running one
-        // finish (its captured state may hold resources that must drop
-        // on its own thread), then join the worker.
+    }
+}
+
+fn worker_loop(w: usize, shared: &Shared) {
+    // Consecutive high tasks since this worker last ran a low job.
+    let mut since_low: u32 = 0;
+    loop {
+        // Anti-starvation: under continuous high load, periodically
+        // divert to one low task (bounded: skipped while another low
+        // task runs anywhere, so serves lose at most one worker).
+        if since_low >= LOW_SERVICE_INTERVAL
+            && shared.low_queued.load(Ordering::Acquire) > 0
+            && shared.try_run_low(true)
         {
-            let mut state = self.background.state.lock();
-            state.shutdown = true;
-            state.queue.clear();
-            self.background.work.notify_all();
+            since_low = 0;
+            continue;
         }
-        if let Some(h) = self.background_handle.take() {
-            let _ = h.join();
+        // Priority order: own deque, then steal, then low work.
+        if let Some(t) = shared.pop_own(w) {
+            shared.exec(t);
+            since_low = since_low.saturating_add(1);
+            continue;
         }
-    }
-}
-
-fn background_loop(lane: &BackgroundLane) {
-    loop {
-        let job = {
-            let mut state = lane.state.lock();
-            loop {
-                if let Some(job) = state.queue.pop_front() {
-                    state.running = true;
-                    break job;
-                }
-                if state.shutdown {
-                    return;
-                }
-                lane.work.wait(&mut state);
-            }
-        };
-        // A panicking job must not kill the lane: later admissions still
-        // need a worker. The job's own drop guards handle its cleanup.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-        let mut state = lane.state.lock();
-        state.running = false;
-        if state.queue.is_empty() {
-            lane.idle.notify_all();
+        if let Some(t) = shared.try_steal(Some(w)) {
+            shared.exec(t);
+            since_low = since_low.saturating_add(1);
+            continue;
         }
-    }
-}
-
-fn worker_loop(tid: usize, shared: &Shared) {
-    let mut last_epoch = 0u64;
-    loop {
-        let job = {
-            let mut slot = shared.slot.lock();
-            while slot.0 == last_epoch {
-                shared.job_ready.wait(&mut slot);
-            }
-            last_epoch = slot.0;
-            slot.1
-        };
-        match job {
-            None => return, // shutdown
-            Some(ptr) => {
-                // SAFETY: see `JobPtr` — the caller is blocked in
-                // `broadcast` until we decrement `remaining`.
-                let f = unsafe { &*ptr.0 };
-                // A panicking job must still decrement `remaining`,
-                // otherwise the caller waits forever; the flag makes
-                // `broadcast` re-raise on the calling thread.
-                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(tid))).is_err() {
-                    shared.panicked.store(true, Ordering::Release);
-                }
-                if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    let _guard = shared.done_lock.lock();
-                    shared.job_done.notify_all();
-                }
-            }
+        if shared.try_run_low(false) {
+            since_low = 0;
+            continue;
+        }
+        // Nothing anywhere: park. Submitters bump the pending counters
+        // *before* notifying under `sleep`, so re-checking them under
+        // the same lock cannot miss a wakeup.
+        let mut g = shared.sleep.lock();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.high_pending.load(Ordering::Acquire) == 0
+            && shared.low_queued.load(Ordering::Acquire) == 0
+        {
+            shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+            shared.wake.wait(&mut g);
         }
     }
 }
@@ -322,27 +504,25 @@ mod tests {
     use std::sync::atomic::AtomicU64;
 
     #[test]
-    fn all_workers_run_once_per_broadcast() {
+    fn run_tasks_executes_every_index_exactly_once() {
         let pool = ThreadPool::new(4);
-        let counter = AtomicU64::new(0);
-        pool.broadcast(|_tid| {
-            counter.fetch_add(1, Ordering::Relaxed);
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run_tasks(64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
         });
-        assert_eq!(counter.load(Ordering::Relaxed), 4);
-        pool.broadcast(|_tid| {
-            counter.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]
-    fn worker_ids_are_distinct_and_complete() {
-        let pool = ThreadPool::new(8);
-        let seen = Mutex::new(vec![false; 8]);
-        pool.broadcast(|tid| {
-            seen.lock()[tid] = true;
+    fn run_tasks_zero_is_noop_and_one_runs_inline() {
+        let pool = ThreadPool::new(4);
+        pool.run_tasks(0, |_| panic!("must not be called"));
+        let counter = AtomicU64::new(0);
+        pool.run_tasks(1, |i| {
+            assert_eq!(i, 0);
+            counter.fetch_add(1, Ordering::Relaxed);
         });
-        assert!(seen.lock().iter().all(|&s| s));
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -388,14 +568,29 @@ mod tests {
     }
 
     #[test]
-    fn single_thread_pool_works() {
-        let pool = ThreadPool::new(1);
+    fn single_thread_pool_works_and_zero_threads_clamps() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
         let counter = AtomicU64::new(0);
-        pool.broadcast(|tid| {
-            assert_eq!(tid, 0);
+        pool.run_tasks(5, |_| {
             counter.fetch_add(1, Ordering::Relaxed);
         });
-        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn spmv_threads_env_overrides_with_all_cores() {
+        // Serialized within this one test to avoid env races: set,
+        // observe, clear, observe. Edition 2021: set_var is safe.
+        std::env::set_var("SPMV_THREADS", "3");
+        assert_eq!(ThreadPool::with_all_cores().threads(), 3);
+        std::env::set_var("SPMV_THREADS", "0");
+        assert_eq!(ThreadPool::with_all_cores().threads(), 1, "clamped to >= 1");
+        std::env::set_var("SPMV_THREADS", "not-a-number");
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(ThreadPool::with_all_cores().threads(), cores, "garbage falls back");
+        std::env::remove_var("SPMV_THREADS");
+        assert_eq!(ThreadPool::with_all_cores().threads(), cores);
     }
 
     #[test]
@@ -403,7 +598,7 @@ mod tests {
         let pool = ThreadPool::new(4);
         let counter = AtomicU64::new(0);
         for _ in 0..1000 {
-            pool.broadcast(|_| {
+            pool.run_tasks(4, |_| {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         }
@@ -417,49 +612,52 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_broadcasts_from_many_clients_are_serialized() {
-        // Regression: two racing broadcasts used to overwrite each
-        // other's job slot, so workers skipped or double-ran jobs and a
-        // caller could hang. Each client's jobs must run to completion
-        // on every worker.
+    fn concurrent_jobs_from_many_clients_interleave_correctly() {
+        // The work-stealing point: concurrent parallel jobs share the
+        // pool at task granularity. Every client's every task must run
+        // exactly once — no lost or double-run tasks under contention.
         let pool = ThreadPool::new(2);
         let counter = AtomicU64::new(0);
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
                     for _ in 0..50 {
-                        pool.broadcast(|_| {
+                        pool.run_tasks(8, |_| {
                             counter.fetch_add(1, Ordering::Relaxed);
                         });
                     }
                 });
             }
         });
-        assert_eq!(counter.load(Ordering::Relaxed), 4 * 50 * 2);
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 50 * 8);
     }
 
     #[test]
-    fn background_jobs_run_in_order_and_drain_is_a_barrier() {
+    fn low_jobs_all_run_and_quiesce_is_a_barrier() {
         let pool = ThreadPool::new(2);
         let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..10 {
             let log = Arc::clone(&log);
-            pool.submit_background(move || log.lock().push(i));
+            pool.submit_low(move || log.lock().push(i));
         }
-        pool.drain_background();
-        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>(), "FIFO order");
-        assert_eq!(pool.background_pending(), 0);
+        pool.quiesce();
+        let mut ran = log.lock().clone();
+        ran.sort_unstable();
+        assert_eq!(ran, (0..10).collect::<Vec<_>>(), "every job ran exactly once");
+        assert_eq!(pool.low_pending(), 0);
+        assert_eq!(pool.stats().low_tasks, 10);
     }
 
     #[test]
-    fn background_lane_does_not_block_broadcast() {
-        // A background job that holds the lane busy must not delay the
-        // broadcast hot path: the two share no queue or lock.
+    fn parked_low_class_does_not_block_parallel_jobs() {
+        // Gate jobs hold every worker in the low class; parallel jobs
+        // must still complete because the caller self-executes and the
+        // high class owns strict priority on any worker that frees up.
         let pool = ThreadPool::new(2);
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
-        {
+        for _ in 0..pool.threads() {
             let gate = Arc::clone(&gate);
-            pool.submit_background(move || {
+            pool.submit_low(move || {
                 let (lock, cv) = &*gate;
                 let mut open = lock.lock();
                 while !*open {
@@ -467,61 +665,123 @@ mod tests {
                 }
             });
         }
-        // While the background worker is parked, broadcasts proceed.
         let counter = AtomicU64::new(0);
         for _ in 0..20 {
-            pool.broadcast(|_| {
+            pool.run_tasks(4, |_| {
                 counter.fetch_add(1, Ordering::Relaxed);
             });
         }
-        assert_eq!(counter.load(Ordering::Relaxed), 40);
-        assert_eq!(pool.background_pending(), 1, "blocker still running");
+        assert_eq!(counter.load(Ordering::Relaxed), 80);
+        assert_eq!(pool.low_pending(), 2, "both gate jobs still running");
         let (lock, cv) = &*gate;
         *lock.lock() = true;
         cv.notify_all();
-        pool.drain_background();
+        pool.quiesce();
     }
 
     #[test]
-    fn panicking_background_job_does_not_kill_the_lane() {
+    fn panicking_low_job_does_not_kill_the_pool() {
         let pool = ThreadPool::new(1);
         let ran = Arc::new(AtomicU64::new(0));
-        pool.submit_background(|| panic!("boom"));
+        pool.submit_low(|| panic!("boom"));
         {
             let ran = Arc::clone(&ran);
-            pool.submit_background(move || {
+            pool.submit_low(move || {
                 ran.fetch_add(1, Ordering::Relaxed);
             });
         }
-        pool.drain_background();
-        assert_eq!(ran.load(Ordering::Relaxed), 1, "lane survived the panic");
+        pool.quiesce();
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "pool survived the panic");
     }
 
     #[test]
-    fn drop_with_queued_background_jobs_does_not_hang() {
+    fn drop_with_queued_low_jobs_does_not_hang() {
         let pool = ThreadPool::new(1);
         for _ in 0..100 {
-            pool.submit_background(std::thread::yield_now);
+            pool.submit_low(std::thread::yield_now);
         }
         drop(pool); // queued jobs discarded, running one joined
     }
 
     #[test]
-    fn worker_panic_propagates_instead_of_hanging() {
+    fn task_panic_propagates_instead_of_hanging() {
         let pool = ThreadPool::new(4);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.broadcast(|tid| {
-                if tid == 2 {
+            pool.run_tasks(8, |i| {
+                if i == 5 {
                     panic!("boom");
                 }
             });
         }));
-        assert!(r.is_err(), "broadcast must re-raise the worker panic");
+        assert!(r.is_err(), "run_tasks must re-raise the task panic");
         // The pool stays usable for subsequent jobs.
         let counter = AtomicU64::new(0);
-        pool.broadcast(|_| {
+        pool.run_tasks(4, |_| {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn stats_count_tasks_per_class() {
+        let pool = ThreadPool::new(2);
+        let s0 = pool.stats();
+        assert_eq!((s0.high_tasks, s0.low_tasks, s0.steals), (0, 0, 0), "fresh pool ran nothing");
+        pool.run_tasks(8, |_| {});
+        assert_eq!(pool.stats().high_tasks, 8);
+        pool.submit_low(|| {});
+        pool.submit_low(|| {});
+        pool.quiesce();
+        let s = pool.stats();
+        assert_eq!(s.high_tasks, 8);
+        assert_eq!(s.low_tasks, 2);
+    }
+
+    /// The starvation regression the priority design must survive:
+    /// a low-priority job completes while high-priority jobs
+    /// continuously saturate every worker. High pressure is sustained
+    /// *until* the low job lands (so there is never an idle window to
+    /// sneak through), bounded by a generous round cap. Deterministic:
+    /// no sleeps or timing assumptions, just the cap.
+    #[test]
+    fn low_job_completes_under_continuous_high_saturation() {
+        let pool = ThreadPool::new(2);
+        let done = Arc::new(AtomicBool::new(false));
+        {
+            let done = Arc::clone(&done);
+            pool.submit_low(move || done.store(true, Ordering::Release));
+        }
+        // `stop` (set only once the verdict is in) keeps the load
+        // threads from outliving the scope if the cap trips.
+        let stop = Arc::new(AtomicBool::new(false));
+        let cap = 200_000usize;
+        let mut starved = false;
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let stop = Arc::clone(&stop);
+                let pool = &pool;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        pool.run_tasks(8, |_| std::hint::spin_loop());
+                    }
+                });
+            }
+            let mut rounds = 0usize;
+            while !done.load(Ordering::Acquire) {
+                rounds += 1;
+                if rounds > cap {
+                    starved = true;
+                    break;
+                }
+                pool.run_tasks(8, |_| std::hint::spin_loop());
+            }
+            stop.store(true, Ordering::Release);
+        });
+        assert!(
+            !starved,
+            "low job did not complete within {cap} saturating serve rounds — \
+             the anti-starvation pickup never fired"
+        );
+        assert!(done.load(Ordering::Acquire));
     }
 }

@@ -99,6 +99,12 @@ fn engine_selected_formats_match_dense_reference_and_counters_reconcile() {
     assert_eq!(c.conversions, c.cache_misses, "every miss led exactly one build");
     assert_eq!(c.cached_entries, specs.len());
     assert!(c.bytes_resident > 0);
+    // Pool-level reconciliation: synchronous admission never touches
+    // the low-priority class, while parallel serves (and training) ran
+    // as high-priority chunk tasks on the work-stealing scheduler.
+    assert_eq!(c.flights_scheduled, 0, "sync admission schedules no background flights");
+    assert_eq!(c.pool.low_tasks, 0, "the low-priority class stayed untouched");
+    assert!(c.pool.high_tasks > 0, "parallel serves ran as high-priority chunk tasks");
 
     // Every format served is one the engine could legitimately pick:
     // available on the device profile or the universal CSR fallback.

@@ -3,16 +3,20 @@
 //! The acceptance bar for the async serving pipeline, pinned without
 //! sleeps or timing assumptions:
 //!
-//! 1. **Zero conversion on the calling thread** — while the background
-//!    lane is parked behind a gate job, cold requests can only have
-//!    been answered by the request threads themselves; `conversions`
-//!    staying at zero proves no request converted (or waited on a
-//!    conversion), and every result still matches the dense reference
-//!    on garbage-prefilled outputs.
-//! 2. **The swap** — after releasing the gate and draining the lane,
-//!    every admitted matrix has exactly one conversion and one landed
-//!    swap, and every subsequent request serves the engine-selected
-//!    format, again dense-checked on garbage-prefilled outputs.
+//! 1. **Zero conversion on the calling thread** — while the pool's
+//!    low-priority class is parked behind one gate job per worker (low
+//!    jobs are dequeued FIFO, so every worker blocks on a gate before
+//!    any flight can start), cold requests can only have been answered
+//!    by the request threads themselves; `conversions` staying at zero
+//!    proves no request converted (or waited on a conversion), and
+//!    every result still matches the dense reference on
+//!    garbage-prefilled outputs. High-priority serve tasks keep
+//!    flowing throughout — the gates occupy only the low class.
+//! 2. **The swap** — after releasing the gates and draining the low
+//!    class, every admitted matrix has exactly one conversion and one
+//!    landed swap, and every subsequent request serves the
+//!    engine-selected format, again dense-checked on garbage-prefilled
+//!    outputs.
 //! 3. **Counter reconciliation** — `served_fallback + served_selected
 //!    == requests` and `hits + misses + coalesced == lookups`, exactly,
 //!    at both stages.
@@ -120,12 +124,15 @@ fn async_admission_serves_immediately_then_swaps_deterministically() {
     let engine = engine();
     let cases = cases();
 
-    // ---- Stage 1: lane parked — requests are provably on their own --
+    // ---- Stage 1: low class parked — requests are provably on their
+    // own. One gate job per worker: FIFO dequeue order guarantees all
+    // gates are claimed before any admission flight can run.
+    let gates = engine.pool().threads() as u64;
     let gate = Arc::new(std::sync::Mutex::new(()));
     let held = gate.lock().unwrap();
-    {
+    for _ in 0..gates {
         let gate = Arc::clone(&gate);
-        engine.pool().submit_background(move || {
+        engine.pool().submit_low(move || {
             drop(gate.lock());
         });
     }
@@ -145,15 +152,29 @@ fn async_admission_serves_immediately_then_swaps_deterministically() {
     assert_eq!(c.cache_misses, 0, "no request entered the conversion machinery");
     assert_eq!(c.served_fallback, cold_requests, "every cold request served the CSR path");
     assert_eq!(c.served_selected, 0);
-    assert_eq!(c.swaps, 0, "nothing can land while the lane is parked");
+    assert_eq!(c.swaps, 0, "nothing can land while the low class is parked");
     assert_eq!(c.served_fallback + c.served_selected, c.requests);
     assert_eq!(c.cache_hits + c.cache_misses + c.coalesced, c.cache_lookups);
+    assert_eq!(
+        c.flights_scheduled,
+        cases.len() as u64,
+        "exactly one flight claimed per id: the first request of each id \
+         scheduled it, every later request saw Building and deferred"
+    );
+    assert_eq!(c.admissions_in_flight, cases.len(), "every flight still queued behind the gates");
+    assert_eq!(c.pool.low_tasks, 0, "no low job finished while the gates were held");
+    assert!(c.pool.high_tasks > 0, "spmv_parallel serves ran as high-priority tasks meanwhile");
 
-    // ---- Stage 2: release the lane, land every flight ----------------
+    // ---- Stage 2: release the gates, land every flight ----------------
     drop(held);
     engine.drain_admissions();
     let c = engine.counters();
     assert_eq!(c.admissions_in_flight, 0, "drain_admissions is a barrier");
+    assert_eq!(
+        c.pool.low_tasks,
+        cases.len() as u64 + gates,
+        "the low class ran exactly the gates plus one flight per id"
+    );
     assert_eq!(
         c.conversions,
         cases.len() as u64,

@@ -10,10 +10,14 @@
 //! (conversion on the request path, the deterministic baseline) and
 //! asynchronous (requests never convert; background flights build the
 //! selected formats and swap the plans while clients keep hammering
-//! the CSR path). CI additionally runs this file in `--release`, where
-//! the race windows (miss vs. in-flight registration, publication vs.
-//! waiter wakeup, flight landing vs. fallback serve) are realistically
-//! narrow.
+//! the CSR path). Each mode additionally runs a **parallel-only**
+//! variant where all 8 clients drive `spmv_parallel` simultaneously —
+//! the work-stealing scheduler's worst case, with 8 concurrent
+//! parallel jobs (plus conversion flights, in async mode) interleaved
+//! at chunk-task granularity on 2 workers. CI additionally runs this
+//! file in `--release`, where the race windows (miss vs. in-flight
+//! registration, publication vs. waiter wakeup, flight landing vs.
+//! fallback serve) are realistically narrow.
 
 use spmv_suite::core::{vec_mismatch, CsrMatrix, DenseMatrix, FeatureSet};
 use spmv_suite::engine::{Admission, Engine, EngineConfig, TrainingPlan};
@@ -92,12 +96,16 @@ impl Fixture {
     }
 }
 
-/// Drives the 8-client mixed workload against a fresh engine in the
-/// given admission mode; returns the engine and, per matrix, every
-/// format kind a client observed serving it.
+/// Drives the 8-client workload against a fresh engine in the given
+/// admission mode; returns the engine and, per matrix, every format
+/// kind a client observed serving it. With `parallel_only` every
+/// request goes through `spmv_parallel`, so the clients' parallel jobs
+/// overlap on the work-stealing scheduler for the entire run;
+/// otherwise the ops mix all three entry points.
 fn run_clients(
     admission: Admission,
     fx: &Fixture,
+    parallel_only: bool,
 ) -> (Engine, BTreeMap<usize, BTreeSet<FormatKind>>) {
     let engine = Engine::new(EngineConfig {
         device: "AMD-EPYC-24".into(),
@@ -125,7 +133,8 @@ fn run_clients(
                         // requests race across all matrices at once.
                         let i = (step + client * 2) % MATRICES;
                         let (m, x, want) = (&mats[i], &xs[i], &refs[i]);
-                        let kind = match (client + round + step) % 3 {
+                        let op = if parallel_only { 1 } else { (client + round + step) % 3 };
+                        let kind = match op {
                             0 => {
                                 let mut y = vec![f64::NAN; m.rows()];
                                 let kind = engine.spmv(&ids[i], m, x, &mut y);
@@ -183,7 +192,7 @@ fn run_clients(
 #[test]
 fn concurrent_mixed_serving_is_correct_and_converts_once_per_format() {
     let fx = Fixture::new();
-    let (engine, kinds_seen) = run_clients(Admission::Sync, &fx);
+    let (engine, kinds_seen) = run_clients(Admission::Sync, &fx, false);
 
     // --- Counter reconciliation (clients quiesced) --------------------
     let c = engine.counters();
@@ -229,7 +238,7 @@ fn concurrent_async_admission_is_correct_and_converts_once_per_format() {
     // requests hit the cap, skip scheduling, and a later request must
     // pick the admission up — the exactly-once bound has to survive
     // that retry path too.
-    let (engine, kinds_seen) = run_clients(Admission::Async { max_in_flight: 8 }, &fx);
+    let (engine, kinds_seen) = run_clients(Admission::Async { max_in_flight: 8 }, &fx, false);
     engine.drain_admissions();
     // An admission skipped at the in-flight cap needs one more request
     // to re-claim it: nudge every id once, then land everything. After
@@ -293,4 +302,100 @@ fn concurrent_async_admission_is_correct_and_converts_once_per_format() {
         c.served_selected + MATRICES as u64,
         "post-swap requests all served the selected format"
     );
+}
+
+/// Overlapping `spmv_parallel` clients, synchronous admission: 8
+/// concurrent parallel jobs share 2 workers at chunk-task granularity
+/// for the whole run. Correctness (dense-checked per request inside
+/// `run_clients`), the exactly-once conversion bound, and the pool
+/// reconciliation (no low-priority work in sync mode) must all hold.
+#[test]
+fn overlapping_parallel_serves_sync_are_correct_and_convert_once() {
+    let fx = Fixture::new();
+    let (engine, kinds_seen) = run_clients(Admission::Sync, &fx, true);
+
+    let c = engine.counters();
+    let total = (CLIENTS * ROUNDS * MATRICES) as u64;
+    assert_eq!(c.requests, total, "every serve call is a request");
+    assert_eq!(c.total_selections(), c.requests);
+    assert_eq!(c.served_selected, c.requests, "sync admission always serves the selection");
+    assert_eq!(c.served_fallback, 0);
+    assert_eq!(c.cache_lookups, c.requests, "one lookup per request");
+    assert_eq!(
+        c.cache_hits + c.cache_misses + c.coalesced,
+        c.cache_lookups,
+        "every lookup classified exactly once: hit, miss, or coalesced"
+    );
+    assert_eq!(c.fallbacks, 0, "matrix set must be fallback-free for the exact bound");
+    let distinct_pairs: u64 = kinds_seen.values().map(|s| s.len() as u64).sum();
+    for (i, kinds) in &kinds_seen {
+        assert_eq!(kinds.len(), 1, "stress-{i} served under several formats: {kinds:?}");
+    }
+    assert_eq!(c.conversions, distinct_pairs, "duplicate conversions slipped past single-flight");
+    assert_eq!(c.cache_misses, c.conversions, "every miss led exactly one build");
+    assert_eq!(c.cached_entries, MATRICES, "one resident conversion per matrix");
+
+    // Work-stealing reconciliation: the low class was never touched,
+    // while the overlapping parallel serves all ran as high tasks.
+    assert_eq!(c.flights_scheduled, 0, "sync admission schedules no flights");
+    assert_eq!(c.pool.low_tasks, 0, "the low-priority class stayed untouched");
+    assert!(c.pool.high_tasks > 0, "parallel serves ran as high-priority chunk tasks");
+}
+
+/// Overlapping `spmv_parallel` clients, asynchronous admission: the
+/// acceptance scenario of the work-stealing refactor — 8 concurrent
+/// parallel serves and up to 8 conversion flights genuinely share the
+/// 2 workers, and the exactly-once conversion/swap invariants still
+/// hold exactly once everything lands.
+#[test]
+fn overlapping_parallel_serves_async_convert_once_and_swap() {
+    let fx = Fixture::new();
+    let (engine, kinds_seen) = run_clients(Admission::Async { max_in_flight: 8 }, &fx, true);
+    engine.drain_admissions();
+    // Nudge cap-skipped admissions (see the mixed async test), through
+    // the parallel path like everything else in this variant.
+    for i in 0..MATRICES {
+        let (m, x, want) = (&fx.mats[i], &fx.xs[i], &fx.refs[i]);
+        let mut y = vec![f64::NAN; m.rows()];
+        engine.spmv_parallel(&fx.ids[i], m, x, &mut y);
+        assert_eq!(vec_mismatch(&y, want, 1e-9, 1e-9), None, "{} nudge", fx.ids[i]);
+    }
+    engine.drain_admissions();
+
+    let c = engine.counters();
+    let total = (CLIENTS * ROUNDS * MATRICES + MATRICES) as u64;
+    assert_eq!(c.requests, total, "every serve call is a request");
+    assert_eq!(c.total_selections(), c.requests);
+    assert_eq!(c.served_selected + c.served_fallback, c.requests, "exact reconciliation");
+    assert_eq!(
+        c.cache_hits + c.cache_misses + c.coalesced,
+        c.cache_lookups,
+        "every lookup classified exactly once: hit, miss, or coalesced"
+    );
+    assert_eq!(c.admissions_in_flight, 0, "drain_admissions is a barrier");
+
+    // Exactly one flight, one conversion, one swap per matrix — and
+    // the flights are precisely the low-priority tasks the pool ran.
+    assert_eq!(c.fallbacks, 0, "matrix set must be fallback-free for the exact bound");
+    assert_eq!(c.flights_scheduled, MATRICES as u64, "one flight claimed per id");
+    assert_eq!(c.conversions, MATRICES as u64, "one background build per matrix");
+    assert_eq!(c.swaps, MATRICES as u64, "every flight landed and re-pinned its plan");
+    assert_eq!(c.cache_misses, c.conversions, "every background miss led exactly one build");
+    assert_eq!(c.cached_entries, MATRICES, "one resident conversion per matrix");
+    assert_eq!(
+        c.pool.low_tasks, c.flights_scheduled,
+        "every low-priority task the pool ran was an admission flight"
+    );
+    assert!(c.pool.high_tasks > 0, "parallel serves ran as high-priority chunk tasks");
+
+    // Clients only ever saw the CSR path or the selected format.
+    for (i, kinds) in &kinds_seen {
+        let selected = engine.select(&FeatureSet::extract(&fx.mats[*i]));
+        for kind in kinds {
+            assert!(
+                *kind == FormatKind::NaiveCsr || *kind == selected,
+                "stress-{i} served {kind:?}, expected the CSR path or {selected:?}"
+            );
+        }
+    }
 }
