@@ -297,7 +297,10 @@ fn main() {
                         engine.spmv(id, m, &x[..m.cols()], &mut y[..m.rows()]);
                         mine.push(t0.elapsed().as_secs_f64());
                     }
-                    latencies.lock().unwrap().extend(mine);
+                    latencies
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(mine);
                 });
             }
         });

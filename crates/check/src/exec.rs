@@ -1,0 +1,650 @@
+//! The deterministic execution core: model threads, the controlled
+//! scheduler, and the exploration drivers.
+//!
+//! One *execution* runs the program under test with every
+//! instrumented operation (see [`crate::sync`]) serialized: model
+//! threads run on real OS threads, but only one is ever *granted* the
+//! processor at a time, and the grant changes hands only at
+//! *boundaries* — the instants just before each instrumented
+//! operation. Between boundaries a thread runs real, uninstrumented
+//! code; that code is invisible to every other thread (the lint layer
+//! enforces that all cross-thread state goes through the façade), so
+//! serializing the boundaries explores exactly the interleavings of
+//! the visible operations.
+//!
+//! The *controller* (running on the checker's own thread) repeatedly:
+//!
+//! 1. waits until every live thread is parked at a boundary, asleep on
+//!    a condvar, or finished — never while any thread still runs;
+//! 2. computes the *grantable* set: threads whose declared next
+//!    operation can proceed (plain steps always; a lock acquire only
+//!    if the lock is free; a join only if the target finished);
+//! 3. if the set is empty but threads are still alive, reports a
+//!    **deadlock** (which is also how lost wakeups surface: a condvar
+//!    sleeper nobody will ever notify);
+//! 4. otherwise picks one thread — by replaying a recorded decision,
+//!    by DFS order, or at random — and grants it one step.
+//!
+//! Every point where more than one thread was grantable is a
+//! *decision*; the sequence of decisions (`"0.2.1"`) is the schedule
+//! string printed with a violation and consumed by replay. Because an
+//! execution is a deterministic function of its decisions, replaying
+//! the string reproduces the failure exactly.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once};
+
+// ---------------------------------------------------------------------
+// Object ids and thread-local execution context
+// ---------------------------------------------------------------------
+
+/// Process-global id supply for model objects (mutexes, condvars).
+/// Ids only need to be unique, not dense or per-execution: the
+/// scheduler keys its bookkeeping maps by id, and schedules record
+/// thread ids — never object ids — so global allocation cannot leak
+/// nondeterminism into replay.
+static NEXT_OBJECT_ID: StdAtomicUsize = StdAtomicUsize::new(1);
+
+pub(crate) fn new_object_id() -> usize {
+    NEXT_OBJECT_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling OS thread's identity inside a model execution.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) world: Arc<World>,
+    pub(crate) tid: usize,
+}
+
+/// The context to schedule under, or `None` when the caller is not a
+/// model thread (code running outside `Checker::check`) or is
+/// unwinding (an aborted execution tearing down) — in both cases the
+/// façade primitives fall back to their real, unscheduled behavior.
+pub(crate) fn active_ctx() -> Option<Ctx> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Sentinel panic payload used to unwind model threads out of an
+/// aborted execution. Never treated as a failure.
+pub(crate) struct Abort;
+
+// ---------------------------------------------------------------------
+// World state
+// ---------------------------------------------------------------------
+
+/// What a parked thread wants to do next. Declared at the boundary so
+/// the controller grants only operations that can proceed — a thread
+/// never burns a schedule step just to discover it must block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pending {
+    /// An always-enabled operation (atomic op, spawn, notify…).
+    Step,
+    /// A voluntary give-way (`thread::yield_now`). Enabled, but the
+    /// controller grants it only when no non-yielding thread is
+    /// grantable, and switching away from a yielder costs no
+    /// preemption budget. This is what keeps spin-retry loops (pool
+    /// workers re-scanning deques) from turning into false-livelock
+    /// schedules: the yielder cannot be pinned while the thread it is
+    /// waiting on can run.
+    Yield,
+    /// Acquire the lock with this id; grantable only while it is free.
+    Lock(usize),
+    /// Join the thread with this tid; grantable once it finished.
+    Join(usize),
+}
+
+#[derive(Debug)]
+enum TState {
+    /// OS thread launched but not yet at its first boundary (or still
+    /// running to completion without one). The controller never makes
+    /// a decision while any thread is in this state or `Running`.
+    Starting,
+    /// Granted the processor; executing real code.
+    Running,
+    /// Parked at a boundary, waiting to perform `Pending`.
+    Ready(Pending),
+    /// Asleep in `Condvar::wait`; woken only by a notify, which turns
+    /// this into `Ready(Pending::Lock(lock))` (the reacquire).
+    CondvarWait { lock: usize },
+    /// The thread's closure returned (or unwound).
+    Done,
+}
+
+struct ThreadInfo {
+    state: TState,
+    name: String,
+}
+
+/// One decision point: the grantable set (sorted by tid) and the
+/// index of the tid that was granted.
+pub(crate) struct Branch {
+    pub(crate) choices: Vec<usize>,
+    pub(crate) picked: usize,
+}
+
+pub(crate) struct WorldState {
+    threads: Vec<ThreadInfo>,
+    /// The tid currently granted the processor; `None` while the
+    /// controller deliberates.
+    active: Option<usize>,
+    /// Lock id → holder tid. Absent means never locked (free).
+    locks: HashMap<usize, Option<usize>>,
+    /// Condvar id → FIFO queue of sleeping tids.
+    cv_queues: HashMap<usize, Vec<usize>>,
+    /// Raised on failure/deadlock/abort: every parked thread unwinds
+    /// with [`Abort`] instead of waiting for a grant.
+    aborting: bool,
+    /// First real panic observed (message with location, from the
+    /// panic hook).
+    failure: Option<String>,
+    /// Scheduling steps taken (grants issued) this execution.
+    steps: usize,
+    /// Decisions taken so far (grants where > 1 thread was grantable).
+    branches: Vec<Branch>,
+}
+
+/// The shared execution state + the single condvar every transition
+/// is broadcast on (threads and controller all wait on it; the
+/// predicate re-checks make the broadcast safe).
+pub(crate) struct World {
+    state: StdMutex<WorldState>,
+    cv: StdCondvar,
+}
+
+type WsGuard<'a> = StdMutexGuard<'a, WorldState>;
+
+impl World {
+    fn new() -> Self {
+        World {
+            state: StdMutex::new(WorldState {
+                threads: Vec::new(),
+                active: None,
+                locks: HashMap::new(),
+                cv_queues: HashMap::new(),
+                aborting: false,
+                failure: None,
+                steps: 0,
+                branches: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> WsGuard<'_> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn wait_state<'a>(&self, g: WsGuard<'a>) -> WsGuard<'a> {
+        self.cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers a new model thread (state `Starting`) and returns its
+    /// tid. Called by the *spawner* while it holds the grant, so the
+    /// controller observes the child before its next decision.
+    pub(crate) fn register_thread(&self, name: String) -> usize {
+        let mut s = self.lock_state();
+        s.threads.push(ThreadInfo { state: TState::Starting, name });
+        s.threads.len() - 1
+    }
+
+    /// Marks `tid` finished and hands the processor back.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut s = self.lock_state();
+        s.threads[tid].state = TState::Done;
+        if s.active == Some(tid) {
+            s.active = None;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling thread until the controller grants it (or the
+    /// execution aborts, in which case this panics with [`Abort`]).
+    fn park_until_granted<'a>(&self, mut s: WsGuard<'a>, tid: usize) -> WsGuard<'a> {
+        loop {
+            if s.aborting {
+                drop(s);
+                panic::panic_any(Abort);
+            }
+            if s.active == Some(tid) {
+                s.threads[tid].state = TState::Running;
+                return s;
+            }
+            s = self.wait_state(s);
+        }
+    }
+
+    /// The boundary protocol: declare the next operation, yield the
+    /// processor, wait for a grant. On return the operation is
+    /// guaranteed to proceed (for `Lock`/`Join` grants the controller
+    /// checked enabledness, and nothing can run in between).
+    pub(crate) fn boundary(&self, tid: usize, pending: Pending) {
+        let mut s = self.lock_state();
+        if s.aborting {
+            drop(s);
+            panic::panic_any(Abort);
+        }
+        s.threads[tid].state = TState::Ready(pending);
+        s.active = None;
+        self.cv.notify_all();
+        drop(self.park_until_granted(s, tid));
+    }
+
+    /// An always-enabled scheduling point.
+    pub(crate) fn step(&self, tid: usize) {
+        self.boundary(tid, Pending::Step);
+    }
+
+    /// A voluntary give-way (see [`Pending::Yield`]).
+    pub(crate) fn yield_step(&self, tid: usize) {
+        self.boundary(tid, Pending::Yield);
+    }
+
+    /// Blocks until `lock_id` is free, then acquires it (bookkeeping
+    /// side; the caller then takes the real lock, which is necessarily
+    /// uncontended).
+    pub(crate) fn lock_acquire(&self, tid: usize, lock_id: usize) {
+        self.boundary(tid, Pending::Lock(lock_id));
+        let mut s = self.lock_state();
+        debug_assert!(
+            s.locks.get(&lock_id).copied().flatten().is_none(),
+            "granted a lock acquire while the lock was held"
+        );
+        s.locks.insert(lock_id, Some(tid));
+    }
+
+    /// Releases `lock_id` if the caller holds it (idempotent, so guard
+    /// drops during an abort unwind stay safe).
+    pub(crate) fn lock_release(&self, tid: usize, lock_id: usize) {
+        let mut s = self.lock_state();
+        if s.locks.get(&lock_id).copied().flatten() == Some(tid) {
+            s.locks.insert(lock_id, None);
+            self.cv.notify_all();
+        }
+    }
+
+    /// The condvar sleep protocol: one granted step performs
+    /// release-and-sleep atomically (no thread can observe a window
+    /// where the lock is free but the sleeper is not yet queued), then
+    /// the thread sleeps until a notify re-queues it as a lock
+    /// reacquire and the controller grants that.
+    pub(crate) fn condvar_sleep(&self, tid: usize, cv_id: usize, lock_id: usize) {
+        self.boundary(tid, Pending::Step);
+        let mut s = self.lock_state();
+        debug_assert!(
+            s.locks.get(&lock_id).copied().flatten() == Some(tid),
+            "Condvar::wait without holding the paired lock"
+        );
+        s.locks.insert(lock_id, None);
+        s.cv_queues.entry(cv_id).or_default().push(tid);
+        s.threads[tid].state = TState::CondvarWait { lock: lock_id };
+        s.active = None;
+        self.cv.notify_all();
+        let mut s = self.park_until_granted(s, tid);
+        // Granted the reacquire: the controller verified the lock is
+        // free, take it back before returning into `wait`'s caller.
+        s.locks.insert(lock_id, Some(tid));
+    }
+
+    /// Wakes the first (`all == false`) or every (`all == true`)
+    /// sleeper of `cv_id`: they become pending lock reacquires.
+    pub(crate) fn condvar_notify(&self, cv_id: usize, all: bool) {
+        let mut s = self.lock_state();
+        let queue = s.cv_queues.entry(cv_id).or_default();
+        let woken: Vec<usize> = if all {
+            std::mem::take(queue)
+        } else {
+            queue.drain(..queue.len().min(1)).collect()
+        };
+        for tid in woken {
+            if let TState::CondvarWait { lock, .. } = s.threads[tid].state {
+                s.threads[tid].state = TState::Ready(Pending::Lock(lock));
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records a real failure (from the panic hook) and aborts the
+    /// execution: every parked thread unwinds, every running thread
+    /// aborts at its next boundary.
+    fn note_failure(&self, message: String) {
+        let mut s = self.lock_state();
+        if s.failure.is_none() {
+            s.failure = Some(message);
+        }
+        s.aborting = true;
+        self.cv.notify_all();
+    }
+
+    fn schedule_string(s: &WorldState) -> String {
+        s.branches.iter().map(|b| b.choices[b.picked].to_string()).collect::<Vec<_>>().join(".")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model thread spawn / join (used by sync::thread)
+// ---------------------------------------------------------------------
+
+pub(crate) struct ModelJoinHandle<T> {
+    pub(crate) tid: usize,
+    pub(crate) os: std::thread::JoinHandle<std::thread::Result<T>>,
+}
+
+/// Spawns a model thread: one granted step on the spawner registers
+/// the child and launches its OS thread; the controller then waits for
+/// the child to reach its first boundary before the next decision, so
+/// executions stay deterministic.
+pub(crate) fn spawn_model<T, F>(ctx: &Ctx, name: Option<String>, f: F) -> ModelJoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    ctx.world.step(ctx.tid);
+    let name = name.unwrap_or_else(|| "model-thread".to_string());
+    let tid = ctx.world.register_thread(name.clone());
+    let world = Arc::clone(&ctx.world);
+    let os = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            set_ctx(Some(Ctx { world: Arc::clone(&world), tid }));
+            let r = panic::catch_unwind(AssertUnwindSafe(f));
+            set_ctx(None);
+            world.finish_thread(tid);
+            r
+        })
+        .expect("failed to spawn OS thread for a model thread");
+    ModelJoinHandle { tid, os }
+}
+
+/// Joins a model thread: grantable once the target finished; the
+/// follow-up OS join then returns promptly.
+pub(crate) fn join_model<T>(ctx: &Ctx, handle: ModelJoinHandle<T>) -> std::thread::Result<T> {
+    ctx.world.boundary(ctx.tid, Pending::Join(handle.tid));
+    handle.os.join().expect("model OS thread never detaches")
+}
+
+// ---------------------------------------------------------------------
+// Panic hook
+// ---------------------------------------------------------------------
+
+/// Installs (once, process-wide) a panic hook that records panics on
+/// model threads as execution failures and suppresses their default
+/// printing — the violation report carries the message. Panics on
+/// ordinary threads go to the previous hook untouched.
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let ctx = CURRENT.with(|c| c.borrow().clone());
+            match ctx {
+                Some(ctx) => {
+                    if info.payload().downcast_ref::<Abort>().is_none() {
+                        ctx.world.note_failure(info.to_string());
+                    }
+                }
+                None => prev(info),
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------
+
+/// How the controller picks among multiple grantable threads.
+pub(crate) enum Policy {
+    /// Replay `forced` decisions, then always the lowest tid (DFS
+    /// order — the explorer bumps the last branch to enumerate).
+    Dfs { forced: Vec<usize> },
+    /// Replay `forced` decisions, then deterministic lowest-tid
+    /// continuation (used for schedule replay).
+    Replay { forced: Vec<usize> },
+    /// Seeded uniform choice (SplitMix64).
+    Random { rng: SplitMix64 },
+}
+
+/// SplitMix64: small, seedable, dependency-free PRNG for the
+/// random-walk explorer.
+pub(crate) struct SplitMix64(pub(crate) u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Why an execution ended.
+pub(crate) enum Outcome {
+    /// Every thread finished, no failure.
+    Complete,
+    /// A panic, deadlock, step-limit hit, or replay divergence.
+    Violation { message: String, kind: crate::ViolationKind },
+}
+
+pub(crate) struct ExecResult {
+    pub(crate) outcome: Outcome,
+    /// Every decision point of the execution (for DFS backtracking).
+    pub(crate) branches: Vec<Branch>,
+    /// The printable schedule (decision tids joined with '.').
+    pub(crate) schedule: String,
+    pub(crate) steps: usize,
+}
+
+/// Runs one execution of `f` under the given policy and bounds.
+pub(crate) fn run_one<F>(
+    f: Arc<F>,
+    mut policy: Policy,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+) -> ExecResult
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_panic_hook();
+    let world = Arc::new(World::new());
+    let root_tid = world.register_thread("root".to_string());
+    debug_assert_eq!(root_tid, 0);
+    let root_world = Arc::clone(&world);
+    let root = std::thread::Builder::new()
+        .name("model-root".to_string())
+        .spawn(move || {
+            set_ctx(Some(Ctx { world: Arc::clone(&root_world), tid: 0 }));
+            let r = panic::catch_unwind(AssertUnwindSafe(|| f()));
+            set_ctx(None);
+            root_world.finish_thread(0);
+            r
+        })
+        .expect("failed to spawn model root thread");
+
+    let outcome = controller(&world, &mut policy, preemption_bound, max_steps);
+    let _ = root.join();
+
+    let mut s = world.lock_state();
+    let schedule = World::schedule_string(&s);
+    let steps = s.steps;
+    let branches = std::mem::take(&mut s.branches);
+    drop(s);
+    ExecResult { outcome, branches, schedule, steps }
+}
+
+fn grantable(s: &WorldState, tid: usize) -> bool {
+    match s.threads[tid].state {
+        TState::Ready(Pending::Step) | TState::Ready(Pending::Yield) => true,
+        TState::Ready(Pending::Lock(l)) => s.locks.get(&l).copied().flatten().is_none(),
+        TState::Ready(Pending::Join(t)) => matches!(s.threads[t].state, TState::Done),
+        _ => false,
+    }
+}
+
+fn is_yielding(s: &WorldState, tid: usize) -> bool {
+    matches!(s.threads[tid].state, TState::Ready(Pending::Yield))
+}
+
+fn describe_blocked(s: &WorldState) -> String {
+    s.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.state, TState::Done))
+        .map(|(tid, t)| {
+            let what = match t.state {
+                TState::Ready(Pending::Lock(_)) => "blocked acquiring a mutex".to_string(),
+                TState::Ready(Pending::Join(j)) => format!("joining thread {j}"),
+                TState::CondvarWait { .. } => "asleep in Condvar::wait (lost wakeup?)".to_string(),
+                ref other => format!("{other:?}"),
+            };
+            format!("  thread {tid} ({}): {what}", t.name)
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The controller loop: deliberate, decide, grant — until the
+/// execution completes or must be aborted.
+fn controller(
+    world: &World,
+    policy: &mut Policy,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+) -> Outcome {
+    let mut s = world.lock_state();
+    let mut last_granted: Option<usize> = None;
+    let mut preemptions: usize = 0;
+    let mut decision_idx: usize = 0;
+    loop {
+        // 1. Wait for quiescence: nobody running or starting.
+        while s.active.is_some()
+            || s.threads.iter().any(|t| matches!(t.state, TState::Starting | TState::Running))
+        {
+            if s.aborting {
+                break;
+            }
+            s = world.wait_state(s);
+        }
+        if s.aborting {
+            return abort_and_collect(world, s, None);
+        }
+        if s.threads.iter().all(|t| matches!(t.state, TState::Done)) {
+            return Outcome::Complete;
+        }
+
+        // 2. The grantable set, in tid order. Yielding threads give
+        //    way: they are chosen only when nothing else can run (see
+        //    `Pending::Yield`).
+        let mut choices: Vec<usize> =
+            (0..s.threads.len()).filter(|&tid| grantable(&s, tid)).collect();
+        if choices.is_empty() {
+            let msg = format!("deadlock: no runnable thread\n{}", describe_blocked(&s));
+            return abort_and_collect(world, s, Some((msg, crate::ViolationKind::Deadlock)));
+        }
+        if choices.iter().any(|&tid| !is_yielding(&s, tid)) {
+            choices.retain(|&tid| !is_yielding(&s, tid));
+        }
+
+        // 3. Preemption bounding: once the budget is spent, a thread
+        //    that can keep running must keep running. A yielding
+        //    thread is never pinned (its switch is voluntary).
+        if let (Some(bound), Some(last)) = (preemption_bound, last_granted) {
+            if preemptions >= bound && choices.contains(&last) && !is_yielding(&s, last) {
+                choices = vec![last];
+            }
+        }
+
+        // 4. Decide.
+        let picked_idx = if choices.len() == 1 {
+            0
+        } else {
+            let idx = match policy {
+                Policy::Dfs { forced } | Policy::Replay { forced } => {
+                    match forced.get(decision_idx) {
+                        Some(&tid) => match choices.iter().position(|&c| c == tid) {
+                            Some(i) => i,
+                            None => {
+                                let msg = format!(
+                                    "schedule replay diverged at decision {decision_idx}: \
+                                     thread {tid} is not grantable (choices: {choices:?})"
+                                );
+                                return abort_and_collect(
+                                    world,
+                                    s,
+                                    Some((msg, crate::ViolationKind::Divergence)),
+                                );
+                            }
+                        },
+                        None => 0,
+                    }
+                }
+                Policy::Random { rng } => rng.below(choices.len()),
+            };
+            decision_idx += 1;
+            s.branches.push(Branch { choices: choices.clone(), picked: idx });
+            idx
+        };
+        let pick = choices[picked_idx];
+        if let Some(last) = last_granted {
+            if pick != last && grantable(&s, last) && !is_yielding(&s, last) {
+                preemptions += 1;
+            }
+        }
+        last_granted = Some(pick);
+
+        // 5. Step accounting and the livelock bound.
+        s.steps += 1;
+        if s.steps > max_steps {
+            let msg = format!(
+                "execution exceeded {max_steps} scheduling steps — \
+                 livelock, or raise Checker::max_steps"
+            );
+            return abort_and_collect(world, s, Some((msg, crate::ViolationKind::StepLimit)));
+        }
+
+        // 6. Grant.
+        s.active = Some(pick);
+        world.cv.notify_all();
+    }
+}
+
+/// Aborts the execution (waking every parked thread to unwind) and
+/// waits until all threads are done, then reports the failure. When
+/// `forced` is `None` the failure was recorded by the panic hook.
+fn abort_and_collect(
+    world: &World,
+    mut s: WsGuard<'_>,
+    forced: Option<(String, crate::ViolationKind)>,
+) -> Outcome {
+    if let Some((msg, _)) = &forced {
+        if s.failure.is_none() {
+            s.failure = Some(msg.clone());
+        }
+    }
+    s.aborting = true;
+    world.cv.notify_all();
+    while !s.threads.iter().all(|t| matches!(t.state, TState::Done)) {
+        s = world.wait_state(s);
+    }
+    let message = s.failure.clone().unwrap_or_else(|| "execution aborted".to_string());
+    let kind = forced.map(|(_, k)| k).unwrap_or(crate::ViolationKind::Panic);
+    Outcome::Violation { message, kind }
+}

@@ -1,0 +1,311 @@
+//! `spmv-check` — a deterministic concurrency model checker (in the
+//! style of loom/shuttle) for this repository's serving spine.
+//!
+//! # What it does
+//!
+//! [`Checker::check`] runs a closure many times, each time under a
+//! *controlled scheduler* that serializes every operation performed
+//! through the [`sync`] façade (mutexes, condvars, atomics, thread
+//! spawn/join/yield) and systematically varies the interleaving:
+//!
+//! * **Bounded exhaustive DFS** (the default): enumerates every
+//!   schedule reachable within a preemption bound by backtracking
+//!   over recorded decision points.
+//! * **Seeded random walk** ([`Checker::random`]): uniform decisions
+//!   from a [SplitMix64] generator, for larger state spaces.
+//!
+//! A failing execution (panic, deadlock, or lost wakeup detected at
+//! quiescence) produces a [`Violation`] carrying a *schedule string*
+//! like `"0.2.1"` — the thread chosen at each decision point. Feeding
+//! that string to [`Checker::replay`] reproduces the failure
+//! deterministically, because an execution is a pure function of its
+//! decisions.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! # Using it
+//!
+//! Code under test must perform all cross-thread communication
+//! through `spmv_parallel::sync` (re-exported model types from this
+//! crate under `cfg(spmv_model_check)`); the `spmv-lint` tool
+//! enforces this mechanically for `crates/parallel` and
+//! `crates/engine`. Model tests live in this crate's `tests/`
+//! directory and are compiled only when the cfg is on:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg spmv_model_check" cargo test -p spmv-check --release
+//! ```
+//!
+//! # Model caveats
+//!
+//! The checker explores interleavings at **sequential consistency**
+//! granularity: `Ordering` arguments are accepted but weak-memory
+//! reorderings are not modeled. `fetch_update` is one atomic step.
+//! `notify_one` wakes the longest sleeper (FIFO) and there are no
+//! spurious wakeups — so an invariant that *relies* on spurious
+//! wakeups would be missed, while lost-wakeup bugs are surfaced as
+//! deadlocks. These are the standard trade-offs of schedule-bounded
+//! model checking; the stress tests in tier-1 remain the backstop for
+//! what the model abstracts away.
+
+#![deny(missing_docs)]
+
+mod exec;
+pub mod sync;
+
+use std::sync::Arc;
+
+use exec::{ExecResult, Outcome, Policy, SplitMix64};
+
+/// What went wrong in a failing execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A model thread panicked (assertion failure in the code under
+    /// test or in the test's invariant checks).
+    Panic,
+    /// No thread could make progress: a mutex cycle, a join cycle, or
+    /// a condvar sleeper that can never be notified (lost wakeup).
+    Deadlock,
+    /// An execution exceeded [`Checker::max_steps`] scheduling steps.
+    StepLimit,
+    /// A replayed schedule string did not match the program (the code
+    /// under test changed, or the string was recorded under different
+    /// bounds).
+    Divergence,
+}
+
+/// A failing schedule: what failed and how to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The failure class.
+    pub kind: ViolationKind,
+    /// Human-readable failure message (panic text or blocked-thread
+    /// dump).
+    pub message: String,
+    /// The decision string: pass to [`Checker::replay`] (with the
+    /// same `Checker` configuration) to reproduce deterministically.
+    pub schedule: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model-check violation ({:?}): {}", self.kind, self.message)?;
+        write!(f, "replay schedule: \"{}\"", self.schedule)
+    }
+}
+
+/// Exploration statistics for a [`Checker::check`] run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Distinct schedules executed (every DFS execution is distinct by
+    /// construction; random-walk executions are deduplicated by
+    /// decision string).
+    pub schedules: usize,
+    /// Total scheduling steps across all executions.
+    pub steps: usize,
+    /// Whether DFS exhausted the bounded space (`false` when stopped
+    /// by [`Checker::max_schedules`] or under random exploration).
+    pub exhausted: bool,
+    /// The violation, if any execution failed.
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// Panics with the violation (message + replay schedule) if one
+    /// was found. Call at the end of a model test.
+    pub fn assert_ok(&self) {
+        if let Some(v) = &self.violation {
+            panic!("{v}\n(explored {} schedules before failing)", self.schedules);
+        }
+    }
+
+    /// Panics unless a violation was found (for deliberately-buggy
+    /// variants); returns the violation otherwise.
+    pub fn expect_violation(&self) -> &Violation {
+        match &self.violation {
+            Some(v) => v,
+            None => panic!(
+                "expected a violating schedule but {} explored schedules all passed",
+                self.schedules
+            ),
+        }
+    }
+}
+
+/// How to explore the schedule space.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Dfs,
+    Random { seed: u64, iterations: usize },
+}
+
+/// A configured model-check run. Construct with [`Checker::dfs`] or
+/// [`Checker::random`], adjust bounds, then call [`Checker::check`].
+#[derive(Debug, Clone)]
+pub struct Checker {
+    mode: Mode,
+    preemption_bound: Option<usize>,
+    max_schedules: usize,
+    max_steps: usize,
+}
+
+impl Checker {
+    /// Bounded exhaustive depth-first exploration with the default
+    /// preemption bound of 2.
+    pub fn dfs() -> Self {
+        Checker {
+            mode: Mode::Dfs,
+            preemption_bound: Some(2),
+            max_schedules: 200_000,
+            max_steps: 20_000,
+        }
+    }
+
+    /// Seeded random-walk exploration for `iterations` executions.
+    pub fn random(seed: u64, iterations: usize) -> Self {
+        Checker {
+            mode: Mode::Random { seed, iterations },
+            preemption_bound: None,
+            max_schedules: usize::MAX,
+            max_steps: 20_000,
+        }
+    }
+
+    /// Sets the preemption (context-switch) bound for DFS; `None`
+    /// removes it (full exhaustive — feasible only for tiny
+    /// programs).
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps the number of schedules a DFS run may execute before
+    /// giving up on exhaustion (the report then has
+    /// `exhausted == false`).
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Caps scheduling steps per execution (livelock guard).
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Explores schedules of `f` until a violation is found, the
+    /// space is exhausted, or a cap is hit. Stops at the **first**
+    /// violation so its schedule string stays replayable.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        match self.mode {
+            Mode::Dfs => self.run_dfs(f),
+            Mode::Random { seed, iterations } => self.run_random(f, seed, iterations),
+        }
+    }
+
+    /// Re-runs `f` under a recorded schedule string (from
+    /// [`Violation::schedule`]). The `Checker` must be configured with
+    /// the same `preemption_bound` the string was recorded under, or
+    /// the replay may diverge.
+    pub fn replay<F>(&self, f: F, schedule: &str) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let forced = parse_schedule(schedule);
+        let f = Arc::new(f);
+        let r = exec::run_one(f, Policy::Replay { forced }, self.preemption_bound, self.max_steps);
+        let mut report = Report { schedules: 1, steps: r.steps, exhausted: false, violation: None };
+        if let Outcome::Violation { message, kind } = r.outcome {
+            report.violation = Some(Violation { kind, message, schedule: r.schedule });
+        }
+        report
+    }
+
+    fn run_dfs<F>(&self, f: Arc<F>) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut report = Report::default();
+        // The DFS frontier: the forced decision prefix for the next
+        // execution. Empty prefix = first execution follows
+        // lowest-tid everywhere.
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            if report.schedules >= self.max_schedules {
+                return report;
+            }
+            let r = exec::run_one(
+                Arc::clone(&f),
+                Policy::Dfs { forced: prefix.clone() },
+                self.preemption_bound,
+                self.max_steps,
+            );
+            report.schedules += 1;
+            report.steps += r.steps;
+            if let Outcome::Violation { message, kind } = r.outcome {
+                report.violation = Some(Violation { kind, message, schedule: r.schedule });
+                return report;
+            }
+            match next_prefix(&r) {
+                Some(next) => prefix = next,
+                None => {
+                    report.exhausted = true;
+                    return report;
+                }
+            }
+        }
+    }
+
+    fn run_random<F>(&self, f: Arc<F>, seed: u64, iterations: usize) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let mut report = Report::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..iterations {
+            let r = exec::run_one(
+                Arc::clone(&f),
+                Policy::Random { rng: SplitMix64(seed.wrapping_add(i as u64)) },
+                self.preemption_bound,
+                self.max_steps,
+            );
+            if seen.insert(r.schedule.clone()) {
+                report.schedules += 1;
+            }
+            report.steps += r.steps;
+            if let Outcome::Violation { message, kind } = r.outcome {
+                report.violation = Some(Violation { kind, message, schedule: r.schedule });
+                return report;
+            }
+        }
+        report
+    }
+}
+
+/// Computes the forced prefix of the next DFS execution by bumping the
+/// deepest decision that still has an untried alternative, or `None`
+/// when the bounded space is exhausted.
+fn next_prefix(r: &ExecResult) -> Option<Vec<usize>> {
+    let branches = &r.branches;
+    for depth in (0..branches.len()).rev() {
+        let b = &branches[depth];
+        if b.picked + 1 < b.choices.len() {
+            let mut prefix: Vec<usize> =
+                branches[..depth].iter().map(|p| p.choices[p.picked]).collect();
+            prefix.push(b.choices[b.picked + 1]);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+fn parse_schedule(s: &str) -> Vec<usize> {
+    s.split('.')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse::<usize>().unwrap_or_else(|_| panic!("bad schedule token {t:?}")))
+        .collect()
+}

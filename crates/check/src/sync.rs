@@ -1,0 +1,431 @@
+//! Instrumented drop-in replacements for the synchronization
+//! primitives used by the serving spine.
+//!
+//! Every type here has the same shape as its `std::sync` /
+//! `parking_lot`-shim counterpart, plus a scheduling boundary before
+//! each visible operation. When the caller is **not** a model thread
+//! (no execution context, or the thread is unwinding out of an aborted
+//! execution) every operation transparently falls back to the real
+//! primitive, so code compiled under `cfg(spmv_model_check)` still
+//! runs correctly outside `Checker::check`.
+//!
+//! Model caveats (deliberate under-approximations, documented in the
+//! crate root): interleavings are explored at sequential-consistency
+//! granularity — the `Ordering` arguments are accepted and forwarded
+//! to the fallback path but do not weaken the model; `fetch_update`
+//! is a single atomic step; `notify_one` wakes sleepers in FIFO order;
+//! there are no spurious wakeups.
+
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+
+use crate::exec::{self, active_ctx, Ctx};
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// A model mutex. Storage is a real [`std::sync::Mutex`]; under a
+/// model execution the controlled scheduler decides who acquires it
+/// (the real lock is then taken uncontended), and blocked acquirers
+/// are visible to deadlock detection.
+pub struct Mutex<T: ?Sized> {
+    id: usize,
+    inner: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases both the real lock and the
+/// scheduler's ownership bookkeeping on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    ctx: Option<Ctx>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new model mutex. Not `const` (object-id allocation);
+    /// model-checked code must construct mutexes at runtime.
+    pub fn new(value: T) -> Self {
+        Mutex { id: exec::new_object_id(), inner: StdMutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, scheduling a boundary first when running
+    /// under a model execution.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let ctx = active_ctx();
+        if let Some(ctx) = &ctx {
+            ctx.world.lock_acquire(ctx.tid, self.id);
+        }
+        MutexGuard { lock: self, ctx, inner: Some(unpoison(self.inner.lock())) }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after wait took it")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after wait took it")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then the scheduler bookkeeping
+        // (idempotent, so an abort-unwind double path stays safe).
+        self.inner = None;
+        if let Some(ctx) = &self.ctx {
+            ctx.world.lock_release(ctx.tid, self.lock.id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// A model condition variable paired with [`Mutex`]. Wakeups are FIFO
+/// and never spurious under the model; sleepers that can never be
+/// woken are reported as lost wakeups by deadlock detection.
+pub struct Condvar {
+    id: usize,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new model condvar.
+    pub fn new() -> Self {
+        Condvar { id: exec::new_object_id(), inner: StdCondvar::new() }
+    }
+
+    /// Atomically releases the guard's lock and sleeps until notified,
+    /// reacquiring the lock before returning (parking_lot-style
+    /// `&mut guard` signature, mirroring the façade's real mode).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match guard.ctx.clone() {
+            Some(ctx) => {
+                // Hand the real lock back before sleeping in the
+                // model (the scheduler serializes reacquisition), then
+                // retake it uncontended once the wakeup is granted.
+                drop(guard.inner.take().expect("guard accessed after wait took it"));
+                ctx.world.condvar_sleep(ctx.tid, self.id, guard.lock.id);
+                guard.inner = Some(unpoison(guard.lock.inner.lock()));
+            }
+            None => {
+                let real = guard.inner.take().expect("guard accessed after wait took it");
+                guard.inner = Some(unpoison(self.inner.wait(real)));
+            }
+        }
+    }
+
+    /// Wakes one sleeper (FIFO under the model).
+    pub fn notify_one(&self) {
+        self.notify(false);
+    }
+
+    /// Wakes every sleeper.
+    pub fn notify_all(&self) {
+        self.notify(true);
+    }
+
+    fn notify(&self, all: bool) {
+        match active_ctx() {
+            Some(ctx) => {
+                ctx.world.step(ctx.tid);
+                ctx.world.condvar_notify(self.id, all);
+            }
+            None => {
+                if all {
+                    self.inner.notify_all();
+                } else {
+                    self.inner.notify_one();
+                }
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+macro_rules! model_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new model atomic.
+            pub fn new(v: $prim) -> Self {
+                Self { inner: std::sync::atomic::$std::new(v) }
+            }
+
+            fn step() {
+                if let Some(ctx) = active_ctx() {
+                    ctx.world.step(ctx.tid);
+                }
+            }
+
+            /// Loads the value (one scheduling step under the model).
+            pub fn load(&self, order: Ordering) -> $prim {
+                Self::step();
+                self.inner.load(order)
+            }
+
+            /// Stores a value (one scheduling step under the model).
+            pub fn store(&self, v: $prim, order: Ordering) {
+                Self::step();
+                self.inner.store(v, order)
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                Self::step();
+                self.inner.swap(v, order)
+            }
+
+            /// Compare-and-exchange; one atomic scheduling step.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                Self::step();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Fetch-and-update; modeled as one atomic step (the
+            /// internal CAS retry loop is not interleaved).
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                f: F,
+            ) -> Result<$prim, $prim>
+            where
+                F: FnMut($prim) -> Option<$prim>,
+            {
+                Self::step();
+                self.inner.fetch_update(set_order, fetch_order, f)
+            }
+
+            /// Unscheduled load for `Debug`/stats paths that must not
+            /// perturb exploration.
+            pub fn load_unsynced(&self) -> $prim {
+                self.inner.load(Ordering::Relaxed)
+            }
+
+            /// Mutable access without synchronization.
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            /// Consumes the atomic, returning the inner value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$prim>::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), self.load_unsynced())
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Adds to the value, returning the previous one.
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                Self::step();
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                Self::step();
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Stores the maximum of the value and `v`, returning the
+            /// previous value.
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                Self::step();
+                self.inner.fetch_max(v, order)
+            }
+        }
+    };
+}
+
+model_atomic!(
+    /// Model [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+model_atomic!(
+    /// Model [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+model_atomic!(
+    /// Model [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    AtomicBool,
+    bool
+);
+model_atomic_arith!(AtomicUsize, usize);
+model_atomic_arith!(AtomicU64, u64);
+
+// ---------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------
+
+/// Model threads: `spawn`/`yield_now`/`Builder` with the same shapes
+/// as [`std::thread`]. Under a model execution, spawned closures
+/// become model threads driven by the controlled scheduler; outside
+/// one they are plain OS threads.
+pub mod thread {
+    use super::{active_ctx, exec};
+
+    enum HandleInner<T> {
+        Model(exec::ModelJoinHandle<T>),
+        Os(std::thread::JoinHandle<T>),
+    }
+
+    /// Join handle for a (possibly model) thread.
+    pub struct JoinHandle<T>(HandleInner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, returning its result (or
+        /// the panic payload, as [`std::thread::JoinHandle::join`]).
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                HandleInner::Model(h) => {
+                    let ctx =
+                        active_ctx().expect("joining a model thread from outside its execution");
+                    exec::join_model(&ctx, h)
+                }
+                HandleInner::Os(h) => h.join(),
+            }
+        }
+    }
+
+    /// Spawns a thread (model thread under an execution).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("thread spawn failed")
+    }
+
+    /// Yields the processor. Under the model this is a *give-way*
+    /// point: the scheduler prefers every other runnable thread, so
+    /// yield-based retry loops cannot be pinned into false livelocks.
+    pub fn yield_now() {
+        match active_ctx() {
+            Some(ctx) => ctx.world.yield_step(ctx.tid),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    /// Thread builder mirroring [`std::thread::Builder`].
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// Creates a builder with default settings.
+        pub fn new() -> Self {
+            Builder { name: None }
+        }
+
+        /// Names the thread.
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns the thread. Infallible in practice; the `Result`
+        /// mirrors [`std::thread::Builder::spawn`].
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            match active_ctx() {
+                Some(ctx) => {
+                    Ok(JoinHandle(HandleInner::Model(exec::spawn_model(&ctx, self.name, f))))
+                }
+                None => {
+                    let mut b = std::thread::Builder::new();
+                    if let Some(n) = self.name {
+                        b = b.name(n);
+                    }
+                    Ok(JoinHandle(HandleInner::Os(b.spawn(f)?)))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Model tests for the work-stealing [`ThreadPool`]
+//! ([`spmv_parallel::pool`]) and the PR 4 broadcast-race regression
+//! ([`spmv_parallel::model_demo`]), explored under the deterministic
+//! scheduler.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg spmv_model_check"`.
+#![cfg(spmv_model_check)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use spmv_check::{Checker, ViolationKind};
+use spmv_parallel::model_demo::run_broadcast_race;
+use spmv_parallel::ThreadPool;
+
+/// Join soundness of the work-stealing scheduler: every chunk of a
+/// `run_tasks` job runs exactly once, and the join (`run_tasks`
+/// returning) happens only after the last chunk — so the per-index
+/// counters are complete and exact when read. The pool's own debug
+/// asserts (counter reconciliation at drop, stats monotonicity) ride
+/// along in every explored schedule.
+#[test]
+fn work_stealing_join_runs_every_chunk_exactly_once() {
+    let report = Checker::random(0x9E3779B97F4A7C15, 1_500).check(|| {
+        let pool = ThreadPool::new(2);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_tasks(3, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i} ran a wrong number of times");
+        }
+        assert_eq!(pool.stats().high_tasks, 3, "scheduler counted a different task total");
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}
+
+/// The low-priority class under concurrent high traffic: a low job
+/// submitted before a stream of high work is neither lost (the
+/// park/wake handshake must not drop its wakeup) nor stuck once the
+/// anti-starvation interval (2 under the model cfg) elapses — `quiesce`
+/// returns with the job done in every explored schedule.
+#[test]
+fn low_priority_job_survives_high_traffic_and_quiesce() {
+    let report = Checker::random(0xC0FFEE, 1_500).check(|| {
+        let pool = ThreadPool::new(1);
+        let ran = Arc::new(AtomicBool::new(false));
+        {
+            let ran = Arc::clone(&ran);
+            pool.submit_low(move || ran.store(true, Ordering::Release));
+        }
+        pool.run_tasks(3, |_| {});
+        pool.quiesce();
+        assert!(ran.load(Ordering::Acquire), "low job lost despite quiesce returning");
+        assert_eq!(pool.low_pending(), 0, "low class not idle after quiesce");
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}
+
+/// The checker must rediscover the PR 4 broadcast bug: two racing
+/// broadcasters can clobber each other's job slot, so the loser sleeps
+/// forever on the completion condvar — a lost-wakeup deadlock. The
+/// violating schedule must be printable and deterministically
+/// replayable.
+#[test]
+fn buggy_broadcast_race_is_found_and_replayable() {
+    let checker = Checker::dfs();
+    let report = checker.check(|| run_broadcast_race(true));
+    let v = report.expect_violation().clone();
+    assert_eq!(v.kind, ViolationKind::Deadlock, "expected a lost-wakeup deadlock: {v}");
+    assert!(!v.schedule.is_empty(), "violating schedule must be replayable");
+    assert!(
+        v.message.contains("Condvar::wait"),
+        "deadlock dump should name the sleeping thread: {}",
+        v.message
+    );
+    // Same bounds, same decision string → same failure.
+    let again = checker.replay(|| run_broadcast_race(true), &v.schedule);
+    let rv = again.violation.expect("replay of a violating schedule must fail again");
+    assert_eq!(rv.kind, ViolationKind::Deadlock, "replay diverged: {rv}");
+}
+
+/// The PR 4 fix (serialize publication behind a slot-free wait) passes
+/// the same protocol under broad exploration: no schedule loses a job.
+#[test]
+fn fixed_broadcast_passes_all_explored_schedules() {
+    let report = Checker::random(0xD15EA5E, 2_500).check(|| run_broadcast_race(false));
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}

@@ -1,0 +1,122 @@
+//! Model tests for the engine's sharded serving state
+//! ([`spmv_engine::shard`]): single-flight conversion publication and
+//! the epoch-ticket staleness protocol, explored under the
+//! deterministic scheduler.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg spmv_model_check"`.
+#![cfg(spmv_model_check)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use spmv_check::Checker;
+use spmv_core::CsrMatrix;
+use spmv_engine::shard::{CachedFormat, Lookup, PlanState, PlanTable, ShardedConversions};
+use spmv_formats::FormatKind;
+use spmv_parallel::sync::thread;
+
+fn tiny_format() -> CachedFormat {
+    Arc::new(spmv_formats::build_format(FormatKind::NaiveCsr, &CsrMatrix::identity(2)).unwrap())
+}
+
+/// Exactly-once flight publication: three claimants race a cold
+/// `(id, format)` lookup. The single-flight register must elect exactly
+/// one leader (one conversion is built) while every claimant — leader,
+/// waiters, and late hitters — comes back with the format.
+#[test]
+fn flight_publication_is_exactly_once_under_racing_claimants() {
+    let report = Checker::dfs().preemption_bound(None).max_schedules(30_000).check(|| {
+        let conv = Arc::new(ShardedConversions::new(1 << 20, 1));
+        let leads = Arc::new(AtomicUsize::new(0));
+        let claim = |conv: Arc<ShardedConversions>, leads: Arc<AtomicUsize>| match conv
+            .begin("m", FormatKind::NaiveCsr)
+        {
+            Lookup::Hit(_, kind) => assert_eq!(kind, FormatKind::NaiveCsr),
+            Lookup::Wait(flight) => {
+                let (_, kind) = flight.wait().expect("leader never abandons here");
+                assert_eq!(kind, FormatKind::NaiveCsr);
+            }
+            Lookup::Lead(guard) => {
+                leads.fetch_add(1, Ordering::Relaxed);
+                guard.finish(tiny_format(), FormatKind::NaiveCsr);
+            }
+        };
+        let racers: Vec<_> = (0..2)
+            .map(|_| {
+                let (c, l) = (Arc::clone(&conv), Arc::clone(&leads));
+                thread::spawn(move || claim(c, l))
+            })
+            .collect();
+        claim(Arc::clone(&conv), Arc::clone(&leads));
+        for r in racers {
+            r.join().unwrap();
+        }
+        assert_eq!(leads.load(Ordering::Relaxed), 1, "conversion must build exactly once");
+        assert_eq!(conv.len(), 1, "exactly one entry resident after the race");
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}
+
+/// Epoch-ticket staleness: a build flight claimed before a
+/// `remove` + `forget` + re-admission of its id must never finish into
+/// the successor plan or re-populate the conversion cache — whatever
+/// order the flight's publication interleaves with the forgetter.
+#[test]
+fn stale_flight_never_resurrects_a_forgotten_plan() {
+    let report = Checker::dfs().preemption_bound(None).max_schedules(30_000).check(|| {
+        let plans = Arc::new(PlanTable::new(8, 1));
+        let conv = Arc::new(ShardedConversions::new(1 << 20, 1));
+        plans.insert_pending("m", FormatKind::NaiveCsr);
+        let (kind, epoch) = plans.try_begin_build("m").expect("pending is claimable");
+
+        // The admission flight, racing the forgetter below.
+        let builder = {
+            let (p, c) = (Arc::clone(&plans), Arc::clone(&conv));
+            thread::spawn(move || match c.begin("m", kind) {
+                Lookup::Lead(guard) => {
+                    let fmt = tiny_format();
+                    guard.finish_with(fmt, kind, |actual| p.finish_build("m", epoch, actual));
+                }
+                _ => p.abort_build("m", epoch),
+            })
+        };
+        // Forget the matrix mid-flight, then re-admit it under a
+        // different plan — the flight's ticket is now stale.
+        let forgetter = {
+            let (p, c) = (Arc::clone(&plans), Arc::clone(&conv));
+            thread::spawn(move || {
+                p.remove("m");
+                c.forget("m");
+                p.insert_pending("m", FormatKind::Coo);
+            })
+        };
+        // An assert-free reader widens the explored interleavings.
+        let reader = {
+            let (p, c) = (Arc::clone(&plans), Arc::clone(&conv));
+            thread::spawn(move || {
+                let _ = p.get("m");
+                let _ = c.peek("m", FormatKind::NaiveCsr);
+                let _ = p.get("m");
+                let _ = c.peek("m", FormatKind::Coo);
+            })
+        };
+        builder.join().unwrap();
+        forgetter.join().unwrap();
+        reader.join().unwrap();
+
+        // Whatever the interleaving: the re-admitted plan is still
+        // the forgetter's Pending(Coo) — a stale finish_build must
+        // not pin it — and no conversion of the forgotten epoch is
+        // resident.
+        assert_eq!(
+            plans.get("m"),
+            Some(PlanState::Pending(FormatKind::Coo)),
+            "stale flight touched the successor plan"
+        );
+        assert!(conv.peek("m", FormatKind::NaiveCsr).is_none(), "stale conversion resident");
+        assert_eq!(conv.bytes_resident(), 0, "forgotten bytes still accounted");
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}

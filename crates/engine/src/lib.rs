@@ -69,8 +69,8 @@ use spmv_analysis::{FormatSelector, SelectorFeatures};
 use spmv_core::{CsrMatrix, FeatureSet};
 use spmv_devices::{device_by_name, DeviceSpec};
 use spmv_formats::{build_with_fallback, FormatKind};
+use spmv_parallel::sync::{AtomicU64, AtomicUsize, Ordering};
 use spmv_parallel::{Executor, PoolStats, Schedule, ThreadPool};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// When the engine pays for format conversion.
@@ -714,7 +714,7 @@ impl Engine {
             // A flight was scheduled while we quiesced (or its slot
             // release is a hair behind the low class going idle): go
             // again.
-            std::thread::yield_now();
+            spmv_parallel::sync::thread::yield_now();
         }
     }
 
@@ -1076,7 +1076,7 @@ mod tests {
         // one gate job per worker occupies every possible runner of low
         // work (low jobs are dequeued FIFO, so all gates are taken
         // before the flight can start).
-        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let gate = Arc::new(spmv_parallel::sync::Mutex::new(()));
         let held = gate.lock();
         for _ in 0..engine.pool().threads() {
             let gate = Arc::clone(&gate);

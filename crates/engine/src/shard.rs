@@ -45,8 +45,8 @@
 //! lock the shard.
 
 use crate::cache::ConversionCache;
-use parking_lot::{Condvar, Mutex};
 use spmv_formats::{FormatKind, SparseFormat};
+use spmv_parallel::sync::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

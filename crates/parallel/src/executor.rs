@@ -98,6 +98,12 @@ impl<'y> DisjointWriter<'y> {
     #[inline]
     pub fn write(&self, i: usize, val: f64) {
         assert!(i < self.len, "DisjointWriter index {i} out of bounds (len {})", self.len);
+        // SAFETY: `ptr` came from the `&'y mut [f64]` this writer still
+        // borrows (the buffer cannot be freed or re-borrowed while it
+        // exists), `i < len` was just asserted, and the kernel contract
+        // in the module docs makes the caller the sole owner of index
+        // `i` in this parallel region — so the write is in-bounds and
+        // unaliased.
         unsafe { *(self.ptr as *mut f64).add(i) = val };
     }
 
@@ -109,6 +115,9 @@ impl<'y> DisjointWriter<'y> {
     #[inline]
     pub fn add(&self, i: usize, val: f64) {
         assert!(i < self.len, "DisjointWriter index {i} out of bounds (len {})", self.len);
+        // SAFETY: same argument as `write` — live borrow, asserted
+        // bounds, and exclusive ownership of index `i` under the kernel
+        // contract make this read-modify-write unaliased.
         unsafe { *(self.ptr as *mut f64).add(i) += val };
     }
 }
@@ -254,12 +263,12 @@ impl<'p> Executor<'p> {
             let lo = ci * n / t;
             let hi = (ci + 1) * n / t;
             if lo < hi {
+                let base = base as *mut T;
                 // SAFETY: tasks receive non-overlapping [lo, hi)
                 // ranges of `data` (soundness point 2 in the module
                 // docs), and `run_tasks` keeps the backing slice alive
                 // until every task returns (point 1).
-                let chunk =
-                    unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(lo), hi - lo) };
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.add(lo), hi - lo) };
                 f(lo, chunk);
             }
         });

@@ -32,8 +32,11 @@
 
 pub mod executor;
 pub mod merge;
+#[cfg(spmv_model_check)]
+pub mod model_demo;
 pub mod partition;
 pub mod pool;
+pub mod sync;
 
 pub use executor::{accumulate_rows, Carries, DisjointWriter, Executor, Schedule};
 pub use merge::{merge_path_partition, MergeCoord};

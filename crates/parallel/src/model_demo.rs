@@ -1,0 +1,137 @@
+//! A deliberately-buggy concurrency variant kept as model-checker
+//! regression material. Compiled **only** under `cfg(spmv_model_check)`
+//! — it never exists in production builds.
+//!
+//! History: PR 4 fixed `ThreadPool::broadcast` (the whole-pool
+//! predecessor of today's work-stealing scheduler) for concurrent
+//! callers — two racing broadcasts could overwrite each other's job
+//! slot, so the loser's job never ran and its completion wait hung
+//! forever. The fix serialized publication behind a submit mutex that
+//! waits for the slot to free. This module distills both variants of
+//! that protocol to their essentials so
+//! `crates/check/tests/model_pool.rs` can assert the checker *finds* a
+//! violating schedule for the buggy variant (with a printable replay
+//! string) and finds none for the fixed one.
+
+use crate::sync::{thread, Condvar, Mutex};
+use std::sync::Arc;
+
+struct SlotState {
+    /// The published job (its id), waiting for the worker to take it.
+    job: Option<u32>,
+    /// Ids of jobs the worker has completed.
+    done: Vec<u32>,
+    shutdown: bool,
+}
+
+struct MiniBroadcast {
+    state: Mutex<SlotState>,
+    /// Wakes the worker when a job is published (or shutdown).
+    work: Condvar,
+    /// Wakes broadcasters waiting for their job's completion.
+    done_cv: Condvar,
+    /// Fixed variant only: wakes broadcasters waiting for a free slot.
+    slot_free: Condvar,
+}
+
+impl MiniBroadcast {
+    fn new() -> Self {
+        MiniBroadcast {
+            state: Mutex::new(SlotState { job: None, done: Vec::new(), shutdown: false }),
+            work: Condvar::new(),
+            done_cv: Condvar::new(),
+            slot_free: Condvar::new(),
+        }
+    }
+
+    fn worker(&self) {
+        loop {
+            let id = {
+                let mut s = self.state.lock();
+                while s.job.is_none() && !s.shutdown {
+                    self.work.wait(&mut s);
+                }
+                match s.job.take() {
+                    Some(id) => id,
+                    None => return, // shutdown with an empty slot
+                }
+            };
+            // "Run" the job, then publish completion.
+            let mut s = self.state.lock();
+            s.done.push(id);
+            drop(s);
+            self.done_cv.notify_all();
+            self.slot_free.notify_all();
+        }
+    }
+
+    /// The PR 4 bug: publishes into the slot without checking it is
+    /// empty, so a racing broadcast's pending job can be overwritten —
+    /// that job then never runs and its caller waits forever.
+    fn broadcast_buggy(&self, id: u32) {
+        {
+            let mut s = self.state.lock();
+            s.job = Some(id); // BUG: may clobber a pending job
+        }
+        self.work.notify_all();
+        let mut s = self.state.lock();
+        while !s.done.contains(&id) {
+            self.done_cv.wait(&mut s);
+        }
+    }
+
+    /// The PR 4 fix, distilled: wait for the slot to be free before
+    /// publishing, so concurrent broadcasts serialize instead of
+    /// clobbering.
+    fn broadcast_fixed(&self, id: u32) {
+        {
+            let mut s = self.state.lock();
+            while s.job.is_some() {
+                self.slot_free.wait(&mut s);
+            }
+            s.job = Some(id);
+        }
+        self.work.notify_all();
+        let mut s = self.state.lock();
+        while !s.done.contains(&id) {
+            self.done_cv.wait(&mut s);
+        }
+    }
+}
+
+/// Runs one worker and two racing broadcasters over the mini protocol
+/// and asserts both jobs complete. Under the buggy variant some
+/// schedules lose a job — the checker reports those as lost-wakeup
+/// deadlocks (the loser sleeps forever on `done_cv`).
+pub fn run_broadcast_race(buggy: bool) {
+    let pool = Arc::new(MiniBroadcast::new());
+    let w = {
+        let pool = Arc::clone(&pool);
+        thread::spawn(move || pool.worker())
+    };
+    let callers: Vec<_> = (1..=2u32)
+        .map(|id| {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                if buggy {
+                    pool.broadcast_buggy(id);
+                } else {
+                    pool.broadcast_fixed(id);
+                }
+            })
+        })
+        .collect();
+    for c in callers {
+        c.join().unwrap();
+    }
+    {
+        let mut s = pool.state.lock();
+        s.shutdown = true;
+    }
+    pool.work.notify_all();
+    w.join().unwrap();
+    let s = pool.state.lock();
+    let mut done = s.done.clone();
+    done.sort_unstable();
+    assert_eq!(done, vec![1, 2], "every broadcast job ran exactly once");
+}

@@ -33,18 +33,22 @@
 //! until every previously submitted low job has finished. Scheduling
 //! activity is observable through [`ThreadPool::stats`].
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{thread, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Starvation bound for the low class: after this many consecutive
 /// high-priority tasks, a worker services one queued low task even
 /// though high work is pending — but only if no other low task is
 /// currently running, so at most one worker at a time is diverted
 /// from serving under saturation.
+#[cfg(not(spmv_model_check))]
 const LOW_SERVICE_INTERVAL: u32 = 64;
+/// Model-checked builds use a tiny interval so bounded schedule
+/// exploration can actually reach the anti-starvation pickup (64
+/// consecutive high tasks is beyond any tractable schedule depth).
+#[cfg(spmv_model_check)]
+const LOW_SERVICE_INTERVAL: u32 = 2;
 
 /// Per-job completion state, allocated on the caller's stack in
 /// [`ThreadPool::run_tasks`]. Soundness argument: `run_tasks` does not
@@ -98,6 +102,12 @@ struct StatsBank {
     low_tasks: AtomicU64,
     steals: AtomicU64,
     parks: AtomicU64,
+    /// Debug builds remember the previous snapshot so `stats()` can
+    /// assert the counters never move backwards (they are cumulative;
+    /// a regression here would mean a counter was reset or decremented
+    /// somewhere).
+    #[cfg(debug_assertions)]
+    last_snapshot: Mutex<PoolStats>,
 }
 
 /// A snapshot of the pool's scheduling activity since construction.
@@ -152,6 +162,7 @@ impl Shared {
         // SAFETY: see `JobHeader` — the spawning caller is inside
         // `run_tasks` until this task's completion is counted.
         let hdr = unsafe { &*task.job };
+        // SAFETY: `hdr.f` outlives this call for the same reason.
         let f = unsafe { &*hdr.f };
         // A panicking task must still be counted complete, otherwise
         // the caller joins forever; the flag makes `run_tasks` re-raise.
@@ -234,7 +245,7 @@ impl Shared {
 /// work-stealing scheduler described in the [module docs](self).
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
     threads: usize,
 }
 
@@ -259,7 +270,7 @@ impl ThreadPool {
         let handles = (0..threads)
             .map(|tid| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("spmv-worker-{tid}"))
                     .spawn(move || worker_loop(tid, &shared))
                     .expect("failed to spawn pool worker")
@@ -310,9 +321,9 @@ impl ThreadPool {
         }
         let s = &*self.shared;
         let erased: &(dyn Fn(usize) + Sync) = &f;
-        // SAFETY: we erase the closure's lifetime; the join below
-        // guarantees it outlives every use (see `JobHeader` docs).
         let header = JobHeader {
+            // SAFETY: we erase the closure's lifetime; the join below
+            // guarantees it outlives every use (see `JobHeader` docs).
             f: unsafe {
                 std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
                     erased,
@@ -395,6 +406,13 @@ impl ThreadPool {
         while !lo.queue.is_empty() || lo.running > 0 {
             s.low_idle.wait(&mut lo);
         }
+        // Invariant: `low_queued` mirrors `low.queue.len()` under the
+        // `low` lock, so an idle class must read zero here.
+        debug_assert_eq!(
+            s.low_queued.load(Ordering::Acquire),
+            0,
+            "low class idle but low_queued counter nonzero"
+        );
     }
 
     /// A snapshot of cumulative scheduling counters. Counters are
@@ -404,12 +422,30 @@ impl ThreadPool {
     /// call in flight for `high_tasks`) is exact.
     pub fn stats(&self) -> PoolStats {
         let s = &self.shared.stats;
-        PoolStats {
+        // In debug builds the snapshot is taken under `last_snapshot`'s
+        // lock so consecutive snapshots are totally ordered and the
+        // monotonicity assertion below cannot race itself.
+        #[cfg(debug_assertions)]
+        let mut last = s.last_snapshot.lock();
+        let snap = PoolStats {
             high_tasks: s.high_tasks.load(Ordering::Relaxed),
             low_tasks: s.low_tasks.load(Ordering::Relaxed),
             steals: s.steals.load(Ordering::Relaxed),
             parks: s.parks.load(Ordering::Relaxed),
+        };
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                snap.high_tasks >= last.high_tasks
+                    && snap.low_tasks >= last.low_tasks
+                    && snap.steals >= last.steals
+                    && snap.parks >= last.parks,
+                "PoolStats went backwards: {snap:?} after {:?}",
+                *last
+            );
+            *last = snap;
         }
+        snap
     }
 
     /// Splits `0..n_items` into `threads()` contiguous chunks and runs
@@ -450,6 +486,18 @@ impl Drop for ThreadPool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        // With every worker joined and no `run_tasks` caller possible
+        // (`&mut self`), the high class must be fully drained and the
+        // counter reconciled with the (empty) deques.
+        debug_assert!(
+            s.deques.iter().all(|d| d.lock().is_empty()),
+            "worker deques non-empty after shutdown join"
+        );
+        debug_assert_eq!(
+            s.high_pending.load(Ordering::Acquire),
+            0,
+            "high_pending counter nonzero after all workers joined"
+        );
     }
 }
 
@@ -494,6 +542,15 @@ fn worker_loop(w: usize, shared: &Shared) {
         {
             shared.stats.parks.fetch_add(1, Ordering::Relaxed);
             shared.wake.wait(&mut g);
+        } else {
+            // Counters say work exists but the scans found none: a
+            // submitter is mid-publish (it bumps the counter before
+            // pushing). Give way briefly instead of re-scanning hot —
+            // and under the model checker this marks the retry loop as
+            // a voluntary spin, which keeps bounded exploration from
+            // pinning it into a false livelock.
+            drop(g);
+            thread::yield_now();
         }
     }
 }
@@ -531,8 +588,12 @@ mod tests {
         let mut data = vec![0u64; 1000];
         let base = data.as_mut_ptr() as usize;
         pool.parallel_chunks(1000, |range| {
-            // Disjoint chunks: safe to write through the raw pointer.
             for i in range {
+                // SAFETY: `base` points at `data`, which outlives the
+                // `parallel_chunks` join below; `parallel_chunks` hands
+                // each index `i` to exactly one task (chunks partition
+                // `0..1000`), so no two writes alias and no reference
+                // to `data` is formed while the tasks write.
                 unsafe { *(base as *mut u64).add(i) = i as u64 };
             }
         });

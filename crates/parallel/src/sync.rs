@@ -1,0 +1,44 @@
+//! Synchronization façade for the serving spine.
+//!
+//! All cross-thread communication in `crates/parallel` and
+//! `crates/engine` goes through this module instead of naming
+//! `std::sync` / `parking_lot` primitives directly (`spmv-lint`
+//! enforces this mechanically). Normally the façade re-exports the
+//! real primitives with zero overhead; when the workspace is compiled
+//! with `RUSTFLAGS="--cfg spmv_model_check"` it re-exports the
+//! instrumented versions from `spmv-check`, whose controlled
+//! scheduler explores interleavings deterministically. That single
+//! switch is what lets the model tests in `crates/check/tests/` drive
+//! the *production* pool and shard protocols through exhaustively
+//! enumerated schedules.
+//!
+//! The façade surface is deliberately the intersection the two
+//! backends share: `Mutex`/`MutexGuard` and `Condvar` with the
+//! parking_lot shapes (no lock poisoning, `wait(&mut guard)`),
+//! `AtomicUsize`/`AtomicU64`/`AtomicBool` with explicit orderings,
+//! and `thread::{spawn, yield_now, Builder, JoinHandle}` mirroring
+//! `std::thread`. One deliberate difference from `std`: `Mutex::new`
+//! is not `const` under the model (each model mutex allocates a
+//! scheduler identity), so spine code constructs its mutexes at
+//! runtime.
+
+#[cfg(not(spmv_model_check))]
+mod imp {
+    pub use parking_lot::{Condvar, Mutex, MutexGuard};
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    /// Thread spawning/yielding (real `std::thread` in this mode).
+    pub mod thread {
+        pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+    }
+}
+
+#[cfg(spmv_model_check)]
+mod imp {
+    pub use spmv_check::sync::{
+        thread, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard,
+    };
+}
+
+pub use imp::{thread, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard};
+pub use std::sync::atomic::Ordering;

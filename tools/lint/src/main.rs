@@ -1,0 +1,18 @@
+//! CLI entry point: lints the repository tree and exits non-zero on
+//! any diagnostic, so CI can run it `-D`-style.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(spmv_lint::repo_root);
+    let diags = spmv_lint::lint_tree(&root);
+    if diags.is_empty() {
+        println!("spmv-lint: clean ({})", root.display());
+        return;
+    }
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    eprintln!("spmv-lint: {} diagnostic(s)", diags.len());
+    std::process::exit(1);
+}
