@@ -130,12 +130,14 @@ pub struct FormatSelector {
 }
 
 impl FormatSelector {
-    /// Fits a selector on labeled observations. `k` is clamped to the
-    /// training-set size; an empty training set is allowed but then
+    /// Fits a selector on labeled observations. `k` is clamped to
+    /// `1..=observations.len()` (so a fitted selector always satisfies
+    /// the invariant [`from_portable`](Self::from_portable) enforces);
+    /// an empty training set is allowed but then
     /// [`recommend`](Self::recommend) returns `None`.
     pub fn fit(observations: &[Observation], k: usize) -> Self {
         Self {
-            k: k.max(1),
+            k: k.clamp(1, observations.len().max(1)),
             embedded: observations
                 .iter()
                 .map(|o| (o.features.embed(), o.best_format.clone()))
@@ -199,10 +201,28 @@ impl FormatSelector {
             let mut e = [0.0f64; 5];
             for (slot, field) in e.iter_mut().zip(&fields[1..6]) {
                 *slot = field.parse().map_err(|e| err(i + 1, &format!("bad float: {e}")))?;
+                // A NaN embedding would poison every distance it takes
+                // part in (`total_cmp` orders it after all numbers, so
+                // the observation silently never votes); an infinity
+                // makes dist2 overflow to inf for every probe. Neither
+                // can come from `to_portable` of a fitted model, so
+                // both are corruption, not data.
+                if !slot.is_finite() {
+                    return Err(err(i + 1, &format!("non-finite feature {field:?}")));
+                }
             }
             embedded.push((e, fields[6].to_string()));
         }
-        Ok(Self { k: k.max(1), embedded })
+        if k == 0 {
+            return Err(err(2, "k must be at least 1"));
+        }
+        if k > embedded.len().max(1) {
+            return Err(err(
+                2,
+                &format!("k {k} exceeds the {} stored observations", embedded.len()),
+            ));
+        }
+        Ok(Self { k, embedded })
     }
 
     /// Recommends a format for the given features by majority vote of
@@ -413,6 +433,35 @@ mod tests {
         assert!(e.to_string().contains("line 3"));
         let bad_float = "spmv-selector v1\nk 1\nobs 1 2 three 4 5 CSR\n";
         assert!(FormatSelector::from_portable(bad_float).is_err());
+    }
+
+    /// Non-finite embeddings parse as valid `f64`s but poison every
+    /// distance computation, and a `k` inconsistent with the record
+    /// count can never come from `to_portable` — all must be typed
+    /// parse errors, not silently-wrong models.
+    #[test]
+    fn portable_parse_rejects_non_finite_and_inconsistent_k() {
+        let cases: &[(&str, &str)] = &[
+            ("spmv-selector v1\nk 1\nobs NaN 2 3 4 5 CSR\n", "NaN feature"),
+            ("spmv-selector v1\nk 1\nobs 1 inf 3 4 5 CSR\n", "inf feature"),
+            ("spmv-selector v1\nk 1\nobs 1 2 -inf 4 5 CSR\n", "-inf feature"),
+            ("spmv-selector v1\nk 1\nobs 1 2 3 4 1e999 CSR\n", "overflowing literal"),
+            ("spmv-selector v1\nk 0\nobs 1 2 3 4 5 CSR\n", "k of zero"),
+            ("spmv-selector v1\nk 0\n", "k of zero on an empty model"),
+            ("spmv-selector v1\nk 2\nobs 1 2 3 4 5 CSR\n", "k above the record count"),
+        ];
+        for (text, what) in cases {
+            assert!(FormatSelector::from_portable(text).is_err(), "{what} must be rejected");
+        }
+        // `k 1` with zero observations is the fixed point of
+        // `fit(&[], _)` and stays accepted.
+        let empty = FormatSelector::from_portable("spmv-selector v1\nk 1\n").unwrap();
+        assert!(empty.is_empty());
+        // `fit` clamps instead of erroring, so every fitted selector
+        // round-trips through the stricter parser.
+        let sel = FormatSelector::fit(&[obs(1.0, 10.0, 0.0, "A")], 100);
+        assert_eq!(sel.k(), 1);
+        assert_eq!(FormatSelector::from_portable(&sel.to_portable()).unwrap().k(), 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! serves `requests` calls per client and the binary reports
 //! requests/sec plus the counter breakdown.
 //!
-//! Exit status enforces three bars:
+//! Exit status enforces these bars:
 //!
 //! * **zero duplicate conversions** — after every run, `conversions`
 //!   must equal the number of distinct resident `(id, format)` pairs;
@@ -32,7 +32,14 @@
 //!   On ≥ 8-thread hosts, at least half the flights must land while
 //!   the serving clients are still running (simultaneous progress, no
 //!   whole-pool serialization) and mixed throughput must hold ≥ 0.5×
-//!   the flight-free baseline (reported, not gated, on smaller hosts).
+//!   the flight-free baseline (reported, not gated, on smaller hosts);
+//! * **warm start** — a final phase serves a set of never-seen ids
+//!   under synchronous admission (first touch pays the conversion),
+//!   snapshots the engine, then boots a fresh engine from the snapshot
+//!   via `EngineConfig::warm_start` and serves the same ids again.
+//!   Warm p99 must beat cold p99 and the warm engine must schedule
+//!   **zero** conversion flights for the restored ids (always
+//!   enforced: a cache hit never loses to a conversion).
 //!
 //! Flags: `--device NAME` (default AMD-EPYC-24), `--scale F` (default
 //! 4096: small matrices, so serving — not kernels — dominates),
@@ -475,11 +482,125 @@ fn main() {
         );
     }
 
+    // ---- Warm-start phase: snapshot/restore vs cold first-touch ------
+    // Serve never-seen ids under Sync admission so every first touch
+    // pays its conversion inline, snapshot the fully-warm engine, then
+    // boot a fresh engine from the snapshot file (the production
+    // `EngineConfig::warm_start` path) and serve the same ids again.
+    // The restored engine must answer from the restored cache: zero
+    // flights, zero conversions, and a p99 that beats the cold run.
+    let wreps = 240usize.div_ceil(mats.len());
+    let warm_ids: Vec<(String, &CsrMatrix)> = (0..wreps)
+        .flat_map(|rep| mats.iter().map(move |(id, m)| (format!("warm{rep}-{id}"), m)))
+        .collect();
+    println!(
+        "\nwarm-start: {} ids ({} matrices x {wreps} reps), 8 clients, \
+         cold sync first-touch vs snapshot restore",
+        warm_ids.len(),
+        mats.len()
+    );
+    let timed_p99 = |engine: &Engine| {
+        let latencies = std::sync::Mutex::new(Vec::with_capacity(warm_ids.len()));
+        std::thread::scope(|s| {
+            for client in 0..8usize {
+                let (engine, warm_ids, latencies, x) = (engine, &warm_ids, &latencies, &x);
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut y = vec![0.0; max_rows];
+                    for (id, m) in warm_ids.iter().skip(client).step_by(8) {
+                        let t0 = Instant::now();
+                        engine.spmv(id, m, &x[..m.cols()], &mut y[..m.rows()]);
+                        mine.push(t0.elapsed().as_secs_f64());
+                    }
+                    latencies
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(mine);
+                });
+            }
+        });
+        let mut lat = latencies.into_inner().unwrap();
+        lat.sort_by(f64::total_cmp);
+        lat[(lat.len() * 99 / 100).min(lat.len() - 1)] * 1e6
+    };
+    let cold_engine = Engine::with_selector(
+        EngineConfig {
+            device: cfg.device.clone(),
+            scale: cfg.scale,
+            cache_capacity_bytes: 4 << 30,
+            threads: 1,
+            admission: Admission::Sync,
+            training,
+            ..EngineConfig::default()
+        },
+        selector.clone(),
+    )
+    .expect("device validated above");
+    let cold_first_p99 = timed_p99(&cold_engine);
+    let cold_c = cold_engine.counters();
+    assert_eq!(cold_c.conversions, warm_ids.len() as u64, "sync first touch converts");
+
+    let snap_path =
+        std::env::temp_dir().join(format!("spmv-serve-throughput-{}.snap", std::process::id()));
+    {
+        let mut file = std::fs::File::create(&snap_path).expect("snapshot file creates");
+        cold_engine.snapshot(&mut file).expect("snapshot serializes");
+    }
+    let warm_engine = Engine::with_selector(
+        EngineConfig {
+            device: cfg.device.clone(),
+            scale: cfg.scale,
+            cache_capacity_bytes: 4 << 30,
+            threads: 1,
+            admission: Admission::Async { max_in_flight: 1024 },
+            warm_start: Some(snap_path.clone()),
+            training,
+            ..EngineConfig::default()
+        },
+        selector.clone(),
+    )
+    .expect("warm start restores the snapshot");
+    let _ = std::fs::remove_file(&snap_path);
+    let pre = warm_engine.counters();
+    assert_eq!(pre.conversions, 0, "restore moves no counters");
+    assert_eq!(pre.cached_entries, warm_ids.len(), "every conversion restored");
+    let warm_p99 = timed_p99(&warm_engine);
+    let warm_c = warm_engine.counters();
+    println!(
+        "  cold sync p99 {cold_first_p99:>8.1} us, warm restored p99 {warm_p99:>8.1} us \
+         ({:.1}x)  (hits {}, flights {}, conversions {})",
+        cold_first_p99 / warm_p99,
+        warm_c.cache_hits,
+        warm_c.flights_scheduled,
+        warm_c.conversions
+    );
+    // Always enforced: restored ids are cache hits, never flights.
+    if warm_c.flights_scheduled != 0 || warm_c.conversions != 0 {
+        eprintln!(
+            "FAIL: warm engine scheduled {} flight(s) / {} conversion(s) for restored ids",
+            warm_c.flights_scheduled, warm_c.conversions
+        );
+        ok = false;
+    }
+    if warm_c.cache_hits != warm_ids.len() as u64 {
+        eprintln!(
+            "FAIL: only {}/{} warm requests hit the restored cache",
+            warm_c.cache_hits,
+            warm_ids.len()
+        );
+        ok = false;
+    }
+    if warm_p99 >= cold_first_p99 {
+        eprintln!("FAIL: warm p99 {warm_p99:.1} us >= cold first-touch p99 {cold_first_p99:.1} us");
+        ok = false;
+    }
+
     if !ok {
         std::process::exit(1);
     }
     println!(
-        "PASS: zero duplicate conversions, mixed-phase exactly-once{}",
+        "PASS: zero duplicate conversions, mixed-phase exactly-once, \
+         warm restore p99 < cold (zero warm flights){}",
         if cores >= 8 {
             ", scaling >= 3x, async cold p99 < sync, simultaneous mixed progress"
         } else {

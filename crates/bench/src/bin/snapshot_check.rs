@@ -1,0 +1,199 @@
+//! Corrupt-snapshot hardening check: a CI-facing binary that builds a
+//! real snapshot from a served engine and then verifies the whole
+//! deserialization surface rejects hostile inputs with typed errors —
+//! never a panic, and never a partial restore.
+//!
+//! Checks (exit status 1 on any violation):
+//!
+//! * the untampered snapshot restores into a fresh engine and the
+//!   restored byte accounting matches the source engine exactly;
+//! * truncation prefixes and single-byte flips are all `Err` — every
+//!   position in the structured head and checksum tail plus a
+//!   deterministic stride through the payload body (exhaustive
+//!   per-byte coverage lives in the `snapshot_roundtrip` proptests);
+//! * a failed restore leaves the target engine untouched (no plans, no
+//!   conversions, no bytes);
+//! * `EngineConfig::warm_start` pointing at a corrupt file fails engine
+//!   construction (never boots half-restored), while a missing file is
+//!   a silent cold start.
+//!
+//! Flags: `--device NAME` (default AMD-EPYC-24), `--stride N` (dataset
+//! subsample stride, default 60).
+
+use spmv_engine::{Engine, EngineConfig, TrainingPlan};
+use spmv_gen::dataset::{Dataset, DatasetSize};
+
+const SCALE: f64 = 1024.0;
+
+fn config(device: &str) -> EngineConfig {
+    EngineConfig {
+        device: device.to_string(),
+        scale: SCALE,
+        k: 1,
+        cache_capacity_bytes: 256 << 20,
+        threads: 1,
+        training: TrainingPlan { size: DatasetSize::Small, stride: 60, base_seed: 0x51AB },
+        ..EngineConfig::default()
+    }
+}
+
+fn fresh(device: &str, selector: &spmv_analysis::FormatSelector) -> Engine {
+    Engine::with_selector(config(device), selector.clone()).expect("fresh engine")
+}
+
+fn main() {
+    let mut device = "AMD-EPYC-24".to_string();
+    let mut stride = 60usize;
+    spmv_bench::args::parse_flag_pairs(
+        "snapshot_check [--device NAME] [--stride N]",
+        |flag, value| {
+            match flag {
+                "--device" => device = value.to_string(),
+                "--stride" => stride = value.parse().expect("--stride N"),
+                _ => return false,
+            }
+            true
+        },
+    );
+
+    // Build a served engine whose snapshot carries real plans and
+    // conversions across several formats.
+    let engine = Engine::new(config(&device)).unwrap_or_else(|e| {
+        eprintln!("engine construction failed: {e}");
+        std::process::exit(2);
+    });
+    let specs = Dataset { size: DatasetSize::Small, scale: SCALE, base_seed: 0xC0FFEE }
+        .specs_subsampled(stride);
+    for spec in &specs {
+        let m = spec.materialize().expect("dataset matrices materialize");
+        let x = vec![1.0; m.cols()];
+        let mut y = vec![0.0; m.rows()];
+        engine.spmv(&spec.id, &m, &x, &mut y);
+    }
+    let counters = engine.counters();
+    let mut blob = Vec::new();
+    engine.snapshot(&mut blob).expect("snapshot serializes");
+    println!(
+        "snapshot_check: {} matrices served, {} resident conversions, snapshot {} bytes",
+        specs.len(),
+        counters.cached_entries,
+        blob.len()
+    );
+
+    let selector = engine.selector().clone();
+    let mut ok = true;
+
+    // Untampered restore round-trips the resident set exactly.
+    let clean = fresh(&device, &selector);
+    match clean.restore(&mut &blob[..]) {
+        Ok(stats) => {
+            let c = clean.counters();
+            if stats.conversions_restored != counters.cached_entries
+                || c.cached_entries != counters.cached_entries
+                || c.bytes_resident != counters.bytes_resident
+            {
+                eprintln!(
+                    "FAIL: clean restore landed {} conversions / {} bytes, \
+                     expected {} / {}",
+                    c.cached_entries,
+                    c.bytes_resident,
+                    counters.cached_entries,
+                    counters.bytes_resident
+                );
+                ok = false;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: untampered snapshot rejected: {e}");
+            ok = false;
+        }
+    }
+
+    // Truncations and single-byte flips all error, and the engine they
+    // were aimed at stays untouched. Every restore attempt re-hashes
+    // the whole stream, so exhausting every position is O(len^2);
+    // instead every position in the structured head and tail (magic,
+    // selector length, first records, checksum trailer) is hit, plus a
+    // deterministic stride through the payload body.
+    let positions: Vec<usize> = {
+        let head = 256.min(blob.len());
+        let tail = blob.len().saturating_sub(64);
+        let stride = (blob.len() / 2048).max(1);
+        (0..head).chain((head..tail).step_by(stride)).chain(tail..blob.len()).collect()
+    };
+    let target = fresh(&device, &selector);
+    let mut truncations_ok = 0usize;
+    for &len in &positions {
+        if target.restore(&mut &blob[..len]).is_ok() {
+            eprintln!("FAIL: truncation to {len} of {} bytes accepted", blob.len());
+            ok = false;
+        } else {
+            truncations_ok += 1;
+        }
+    }
+    let mut flips_ok = 0usize;
+    let mut bad = blob.clone();
+    for &pos in &positions {
+        bad[pos] ^= 0x01;
+        if target.restore(&mut &bad[..]).is_ok() {
+            eprintln!("FAIL: byte flip at {pos} accepted");
+            ok = false;
+        } else {
+            flips_ok += 1;
+        }
+        bad[pos] ^= 0x01;
+    }
+    let after = target.counters();
+    if after.cached_entries != 0 || after.bytes_resident != 0 {
+        eprintln!(
+            "FAIL: failed restores left {} entries / {} bytes resident",
+            after.cached_entries, after.bytes_resident
+        );
+        ok = false;
+    }
+    println!(
+        "  {truncations_ok}/{} truncations rejected, {flips_ok}/{} byte flips rejected, \
+         target engine untouched",
+        positions.len(),
+        positions.len()
+    );
+
+    // Warm-start boot: corrupt file refuses construction, missing file
+    // cold-starts.
+    let dir = std::env::temp_dir();
+    let corrupt_path = dir.join(format!("spmv-snapshot-check-{}.snap", std::process::id()));
+    std::fs::write(&corrupt_path, &blob[..blob.len() / 2]).expect("corrupt snapshot writes");
+    let mut corrupt_cfg = config(&device);
+    corrupt_cfg.warm_start = Some(corrupt_path.clone());
+    match Engine::with_selector(corrupt_cfg, selector.clone()) {
+        Ok(_) => {
+            eprintln!("FAIL: warm start booted from a corrupt snapshot");
+            ok = false;
+        }
+        Err(e) => println!("  corrupt warm start refused: {e}"),
+    }
+    let _ = std::fs::remove_file(&corrupt_path);
+    let mut missing_cfg = config(&device);
+    missing_cfg.warm_start =
+        Some(dir.join(format!("spmv-snapshot-check-{}-missing.snap", std::process::id())));
+    match Engine::with_selector(missing_cfg, selector) {
+        Ok(engine) => {
+            let c = engine.counters();
+            if c.cached_entries != 0 {
+                eprintln!("FAIL: missing warm-start file restored {} entries", c.cached_entries);
+                ok = false;
+            } else {
+                println!("  missing warm-start file cold-starts");
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: missing warm-start file refused construction: {e}");
+            ok = false;
+        }
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("PASS: every corrupt snapshot rejected with a typed error, engine state untouched");
+}

@@ -304,11 +304,8 @@ impl World {
     pub(crate) fn condvar_notify(&self, cv_id: usize, all: bool) {
         let mut s = self.lock_state();
         let queue = s.cv_queues.entry(cv_id).or_default();
-        let woken: Vec<usize> = if all {
-            std::mem::take(queue)
-        } else {
-            queue.drain(..queue.len().min(1)).collect()
-        };
+        let woken: Vec<usize> =
+            if all { std::mem::take(queue) } else { queue.drain(..queue.len().min(1)).collect() };
         for tid in woken {
             if let TState::CondvarWait { lock, .. } = s.threads[tid].state {
                 s.threads[tid].state = TState::Ready(Pending::Lock(lock));

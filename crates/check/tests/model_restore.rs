@@ -1,0 +1,181 @@
+//! Model tests for snapshot-restore publication
+//! ([`spmv_engine::snapshot`]): a restore lands conversions through the
+//! same plan-claim + single-flight machinery a live admission uses, so
+//! these tests explore a restore racing a live resolver and a `forget`
+//! under the deterministic scheduler, mirroring the protocol
+//! `Engine::restore` runs per conversion record (insert_pending →
+//! try_begin_build → begin → Hit: finish_build / Wait: abort_build /
+//! Lead: finish_with).
+//!
+//! Compiled only under `RUSTFLAGS="--cfg spmv_model_check"`.
+#![cfg(spmv_model_check)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use spmv_check::Checker;
+use spmv_core::CsrMatrix;
+use spmv_engine::shard::{CachedFormat, Lookup, PlanState, PlanTable, ShardedConversions};
+use spmv_formats::FormatKind;
+use spmv_parallel::sync::thread;
+
+fn tiny_format() -> CachedFormat {
+    Arc::new(spmv_formats::build_format(FormatKind::NaiveCsr, &CsrMatrix::identity(2)).unwrap())
+}
+
+/// One restore record landing, exactly as `Engine::restore` does it.
+fn restore_one(plans: &PlanTable, conv: &ShardedConversions, builds: &AtomicUsize) {
+    let kind = FormatKind::NaiveCsr;
+    plans.insert_pending("m", kind);
+    let Some((_, epoch)) = plans.try_begin_build("m") else {
+        return; // a live flight owns the plan: skip
+    };
+    match conv.begin("m", kind) {
+        Lookup::Hit(_, actual) => {
+            plans.finish_build("m", epoch, actual);
+        }
+        Lookup::Wait(_) => {
+            // Never block a restore on a live flight.
+            plans.abort_build("m", epoch);
+        }
+        Lookup::Lead(guard) => {
+            builds.fetch_add(1, Ordering::Relaxed);
+            guard.finish_with(tiny_format(), kind, |actual| plans.finish_build("m", epoch, actual));
+        }
+    }
+}
+
+/// A synchronous serve-path resolver (`Engine::resolve`): no plan
+/// claim, publication re-pins via `pin`.
+fn resolve_one(plans: &PlanTable, conv: &ShardedConversions, builds: &AtomicUsize) {
+    let kind = FormatKind::NaiveCsr;
+    plans.insert_pending("m", kind);
+    match conv.begin("m", kind) {
+        Lookup::Hit(_, actual) => assert_eq!(actual, kind),
+        Lookup::Wait(flight) => {
+            let (_, actual) = flight.wait().expect("neither leader abandons here");
+            assert_eq!(actual, kind);
+        }
+        Lookup::Lead(guard) => {
+            builds.fetch_add(1, Ordering::Relaxed);
+            guard.finish_with(tiny_format(), kind, |actual| {
+                plans.pin("m", actual);
+                true
+            });
+        }
+    }
+}
+
+/// Restore racing a live synchronous resolver on the same cold
+/// `(id, format)`: whatever the interleaving, the conversion builds
+/// exactly once, exactly one entry becomes resident, and the plan ends
+/// `Pinned` — never wedged in `Building`, never duplicated.
+#[test]
+fn restore_and_live_resolver_publish_exactly_once() {
+    let report = Checker::dfs().preemption_bound(None).max_schedules(30_000).check(|| {
+        let plans = Arc::new(PlanTable::new(8, 1));
+        let conv = Arc::new(ShardedConversions::new(1 << 20, 1));
+        let builds = Arc::new(AtomicUsize::new(0));
+
+        let restorer = {
+            let (p, c, b) = (Arc::clone(&plans), Arc::clone(&conv), Arc::clone(&builds));
+            thread::spawn(move || restore_one(&p, &c, &b))
+        };
+        let resolver = {
+            let (p, c, b) = (Arc::clone(&plans), Arc::clone(&conv), Arc::clone(&builds));
+            thread::spawn(move || resolve_one(&p, &c, &b))
+        };
+        // An assert-free reader widens the explored interleavings.
+        let reader = {
+            let (p, c) = (Arc::clone(&plans), Arc::clone(&conv));
+            thread::spawn(move || {
+                let _ = p.get("m");
+                let _ = c.peek("m", FormatKind::NaiveCsr);
+            })
+        };
+        restorer.join().unwrap();
+        resolver.join().unwrap();
+        reader.join().unwrap();
+
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "conversion must build exactly once");
+        assert_eq!(conv.len(), 1, "exactly one entry resident");
+        assert!(conv.bytes_resident() > 0, "byte account tracks the resident entry");
+        assert_eq!(
+            plans.get("m"),
+            Some(PlanState::Pinned(FormatKind::NaiveCsr)),
+            "plan must land Pinned, whoever won the flight"
+        );
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}
+
+/// Restore racing a `forget` + re-admission of the same id: the
+/// restore's epoch ticket and flight deregistration must veto its
+/// publication in every interleaving — the successor plan stays
+/// untouched and no restored conversion of the forgotten id is
+/// resident.
+#[test]
+fn restore_flight_never_resurrects_a_forgotten_id() {
+    let report = Checker::dfs().preemption_bound(None).max_schedules(30_000).check(|| {
+        let plans = Arc::new(PlanTable::new(8, 1));
+        let conv = Arc::new(ShardedConversions::new(1 << 20, 1));
+        let builds = Arc::new(AtomicUsize::new(0));
+
+        // The restore claims its plan ticket before the forgetter
+        // starts (the interesting window: a claimed-but-unlanded
+        // restore flight outliving a forget).
+        let kind = FormatKind::NaiveCsr;
+        plans.insert_pending("m", kind);
+        let (_, epoch) = plans.try_begin_build("m").expect("pending is claimable");
+
+        let restorer = {
+            let (p, c, b) = (Arc::clone(&plans), Arc::clone(&conv), Arc::clone(&builds));
+            thread::spawn(move || match c.begin("m", kind) {
+                Lookup::Hit(_, actual) => {
+                    p.finish_build("m", epoch, actual);
+                }
+                Lookup::Wait(_) => p.abort_build("m", epoch),
+                Lookup::Lead(guard) => {
+                    b.fetch_add(1, Ordering::Relaxed);
+                    guard.finish_with(tiny_format(), kind, |actual| {
+                        p.finish_build("m", epoch, actual)
+                    });
+                }
+            })
+        };
+        // Forget the id mid-restore, then re-admit under another plan.
+        let forgetter = {
+            let (p, c) = (Arc::clone(&plans), Arc::clone(&conv));
+            thread::spawn(move || {
+                p.remove("m");
+                c.forget("m");
+                p.insert_pending("m", FormatKind::Coo);
+            })
+        };
+        // An assert-free reader widens the explored interleavings.
+        let reader = {
+            let (p, c) = (Arc::clone(&plans), Arc::clone(&conv));
+            thread::spawn(move || {
+                let _ = p.get("m");
+                let _ = c.peek("m", kind);
+            })
+        };
+        restorer.join().unwrap();
+        forgetter.join().unwrap();
+        reader.join().unwrap();
+
+        // The forgetter always runs to completion, so whatever the
+        // interleaving the successor plan must survive the stale
+        // restore landing, and the forgotten conversion must be gone.
+        assert_eq!(
+            plans.get("m"),
+            Some(PlanState::Pending(FormatKind::Coo)),
+            "stale restore landing touched the successor plan"
+        );
+        assert!(conv.peek("m", kind).is_none(), "forgotten conversion resurrected by restore");
+        assert_eq!(conv.bytes_resident(), 0, "forgotten bytes still accounted");
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}

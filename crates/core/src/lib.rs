@@ -49,7 +49,7 @@ pub mod rowstats;
 
 pub use error::SparseError;
 pub use features::FeatureSet;
-pub use hash::fnv1a;
+pub use hash::{fnv1a, xxh64};
 pub use matrix::coo::CooMatrix;
 pub use matrix::csc::CscMatrix;
 pub use matrix::csr::CsrMatrix;

@@ -97,6 +97,15 @@ impl ConversionCache {
         self.debug_check();
     }
 
+    /// Read-only iteration over the resident entries, in key order.
+    /// Does not refresh recency — snapshotting the cache must not
+    /// perturb the LRU order it is snapshotting.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, FormatKind, &Arc<Box<dyn SparseFormat>>)> {
+        self.entries
+            .iter()
+            .flat_map(|(id, m)| m.iter().map(move |(&k, e)| (id.as_str(), k, &e.fmt)))
+    }
+
     /// Drops every entry of one matrix (e.g. when the caller knows the
     /// matrix changed); returns the bytes released.
     pub fn forget(&mut self, id: &str) -> usize {
@@ -142,12 +151,22 @@ impl ConversionCache {
 
     /// Debug-build audit: the byte account must equal the sum over the
     /// resident entries after every mutation (a re-insert that failed
-    /// to release the displaced entry's bytes would drift it upward).
+    /// to release the displaced entry's bytes would drift it upward),
+    /// and the budget may only be exceeded by a lone oversized entry —
+    /// every other path (insert, snapshot restore) must have evicted
+    /// down to capacity.
     fn debug_check(&self) {
         #[cfg(debug_assertions)]
         {
             let sum: usize = self.entries.values().flat_map(|m| m.values()).map(|e| e.bytes).sum();
             debug_assert_eq!(sum, self.bytes, "bytes_resident drifted from the entry sum");
+            debug_assert!(
+                self.bytes <= self.capacity_bytes || self.len() == 1,
+                "budget overshoot ({} > {}) with {} entries resident",
+                self.bytes,
+                self.capacity_bytes,
+                self.len()
+            );
         }
     }
 }

@@ -58,10 +58,12 @@
 
 pub mod cache;
 pub mod shard;
+pub mod snapshot;
 pub mod training;
 
 pub use cache::ConversionCache;
 pub use shard::{PlanState, PlanTable, ShardedConversions};
+pub use snapshot::{selector_from_snapshot, RestoreStats, SnapshotError, SNAPSHOT_MAGIC};
 pub use training::{labeled_runs, selector_from_records, TrainingPlan};
 
 use shard::{CachedFormat, Lookup};
@@ -147,6 +149,14 @@ pub struct EngineConfig {
     pub admission: Admission,
     /// How the built-in training campaign samples the dataset.
     pub training: TrainingPlan,
+    /// Path of an engine snapshot (written by [`Engine::snapshot`]) to
+    /// restore before the first request. A missing file is a silent
+    /// cold start — the normal first boot; any other open failure, or
+    /// a corrupt snapshot, fails construction with
+    /// [`EngineError::Snapshot`] (serving unexpectedly cold is an
+    /// operational surprise worth a hard error). `None` (the default)
+    /// skips warm start entirely.
+    pub warm_start: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -161,6 +171,7 @@ impl Default for EngineConfig {
             shards: 16,
             admission: Admission::Sync,
             training: TrainingPlan::default(),
+            warm_start: None,
         }
     }
 }
@@ -172,6 +183,10 @@ pub enum EngineError {
     UnknownDevice(String),
     /// The training campaign produced no usable (non-failed) records.
     EmptyTrainingSet,
+    /// The [`EngineConfig::warm_start`] snapshot could not be read or
+    /// restored (a missing file is *not* an error — see the knob's
+    /// docs).
+    Snapshot(SnapshotError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -183,11 +198,18 @@ impl std::fmt::Display for EngineError {
             EngineError::EmptyTrainingSet => {
                 write!(f, "training campaign produced no usable records")
             }
+            EngineError::Snapshot(e) => write!(f, "warm start failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<SnapshotError> for EngineError {
+    fn from(e: SnapshotError) -> Self {
+        EngineError::Snapshot(e)
+    }
+}
 
 /// Snapshot of an engine's instrumentation counters.
 ///
@@ -336,6 +358,7 @@ pub struct Engine {
     selector: FormatSelector,
     pool: ThreadPool,
     admission: Admission,
+    warm_start: Option<std::path::PathBuf>,
     state: Arc<ServeState>,
 }
 
@@ -365,7 +388,9 @@ impl Engine {
         if selector.is_empty() {
             return Err(EngineError::EmptyTrainingSet);
         }
-        Ok(Self::assemble(config, device, selector, pool))
+        let engine = Self::assemble(config, device, selector, pool);
+        engine.apply_warm_start()?;
+        Ok(engine)
     }
 
     /// Builds an engine around an already-fitted (possibly
@@ -377,7 +402,28 @@ impl Engine {
     ) -> Result<Engine, EngineError> {
         let device = Self::resolve_device(&config)?;
         let pool = Self::make_pool(config.threads);
-        Ok(Self::assemble(config, device, selector, pool))
+        let engine = Self::assemble(config, device, selector, pool);
+        engine.apply_warm_start()?;
+        Ok(engine)
+    }
+
+    /// Restores the [`EngineConfig::warm_start`] snapshot, if one is
+    /// configured and present. Runs after assembly (the restore goes
+    /// through the regular flight machinery) but before the engine is
+    /// handed to the caller, so the first request already sees the
+    /// restored plans and conversions.
+    fn apply_warm_start(&self) -> Result<(), EngineError> {
+        let Some(path) = &self.warm_start else {
+            return Ok(());
+        };
+        let mut file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            // First boot: nothing was ever snapshotted. Cold is normal.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(EngineError::Snapshot(SnapshotError::Io(e.to_string()))),
+        };
+        self.restore(&mut file)?;
+        Ok(())
     }
 
     fn resolve_device(config: &EngineConfig) -> Result<DeviceSpec, EngineError> {
@@ -406,6 +452,7 @@ impl Engine {
             selector,
             pool,
             admission: config.admission,
+            warm_start: config.warm_start.clone(),
             state: Arc::new(ServeState {
                 plans: PlanTable::new(config.plan_capacity, config.shards),
                 conversions: ShardedConversions::new(config.cache_capacity_bytes, config.shards),

@@ -311,6 +311,18 @@ impl PlanTable {
         self.shard(id).lock().remove(id);
     }
 
+    /// Snapshot export: every remembered plan as `(id, state)`. Each
+    /// shard is locked once and recency is deliberately not refreshed —
+    /// exporting the table must not reorder the LRU it is exporting.
+    pub fn export(&self) -> Vec<(String, PlanState)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let shard = s.lock();
+            out.extend(shard.map.iter().map(|(id, e)| (id.to_string(), e.state)));
+        }
+        out
+    }
+
     /// Total ids remembered across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().map.len()).sum()
@@ -607,6 +619,22 @@ impl ShardedConversions {
             shard.redirects.remove(&key);
         }
         shard.cache.forget(id)
+    }
+
+    /// Snapshot export: every resident conversion as
+    /// `(id, resident kind, format)`. Each shard is locked once and
+    /// recency is untouched (see [`ConversionCache::iter`]); in-flight
+    /// conversions are not exported — a snapshot carries only landed
+    /// state, and a restore re-lands it through the flight machinery.
+    pub fn export(&self) -> Vec<(String, FormatKind, CachedFormat)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let shard = s.lock();
+            out.extend(
+                shard.cache.iter().map(|(id, kind, fmt)| (id.to_string(), kind, Arc::clone(fmt))),
+            );
+        }
+        out
     }
 
     /// Total `(bytes resident, resident entries)` across all shards in

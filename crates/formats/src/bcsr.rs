@@ -11,9 +11,68 @@
 //! stored bytes (like OSKI-style autotuners), or takes it explicitly.
 
 use crate::traits::{FormatBuildError, SparseFormat};
+use crate::wire::{SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
 use std::collections::BTreeSet;
+
+/// Decodes a BCSR wire payload, re-validating block geometry: a
+/// CSR-style monotone block pointer, in-bounds block columns and a
+/// dense `block²` value slab per stored block.
+pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<BcsrFormat, WireError> {
+    let malformed = |m: String| WireError::Malformed(m);
+    let rows = r.dim()?;
+    let cols = r.dim()?;
+    let nnz = r.dim()?;
+    let block = r.dim()?;
+    let block_ptr = r.vec_usize()?;
+    let block_col = r.vec_u32()?;
+    let values = r.vec_f64()?;
+    if block == 0 {
+        return Err(malformed("BCSR block size 0".into()));
+    }
+    let block_rows = rows.div_ceil(block);
+    if block_ptr.len() != block_rows + 1 || block_ptr.first() != Some(&0) {
+        return Err(malformed(format!(
+            "BCSR block pointer must be {} entries starting at 0, got {}",
+            block_rows + 1,
+            block_ptr.len()
+        )));
+    }
+    if block_ptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(malformed("BCSR block pointer not monotone".into()));
+    }
+    if *block_ptr.last().expect("non-empty") != block_col.len() {
+        return Err(malformed(format!(
+            "BCSR block pointer ends at {}, but {} blocks are stored",
+            block_ptr.last().expect("non-empty"),
+            block_col.len()
+        )));
+    }
+    let per_block = block
+        .checked_mul(block)
+        .ok_or_else(|| malformed(format!("BCSR block size {block} overflows")))?;
+    let stored = block_col
+        .len()
+        .checked_mul(per_block)
+        .ok_or_else(|| malformed("BCSR value slab overflows".into()))?;
+    if values.len() != stored {
+        return Err(malformed(format!(
+            "BCSR value slab is {stored} entries, got {}",
+            values.len()
+        )));
+    }
+    let block_cols = cols.div_ceil(block);
+    if let Some(&bc) = block_col.iter().find(|&&bc| bc as usize >= block_cols) {
+        return Err(malformed(format!(
+            "BCSR block column {bc} out of bounds ({block_cols} block columns)"
+        )));
+    }
+    if nnz > stored {
+        return Err(malformed(format!("BCSR nnz {nnz} exceeds stored entries {stored}")));
+    }
+    Ok(BcsrFormat { rows, cols, nnz, block, block_rows, block_ptr, block_col, values })
+}
 
 /// Block sizes the auto-tuner considers.
 pub const CANDIDATE_BLOCK_SIZES: [usize; 3] = [2, 4, 8];
@@ -208,6 +267,16 @@ impl SparseFormat for BcsrFormat {
             y,
             |range, out| self.spmv_block_rows(range, x, out),
         );
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        out.usize(self.rows);
+        out.usize(self.cols);
+        out.usize(self.nnz);
+        out.usize(self.block);
+        out.slice_usize(&self.block_ptr);
+        out.slice_u32(&self.block_col);
+        out.slice_f64(&self.values);
     }
 }
 

@@ -6,8 +6,22 @@
 //! the HYB COO tail, orchestrated by the executor.
 
 use crate::traits::SparseFormat;
+use crate::wire::{SectionReader, SectionWriter, WireError};
 use spmv_core::{CooMatrix, CsrMatrix};
 use spmv_parallel::{accumulate_rows, Executor, ThreadPool};
+
+/// Decodes a COO wire payload through the validating
+/// [`CooMatrix::new`] constructor (length, bound and ordering checks).
+pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<CooFormat, WireError> {
+    let rows = r.dim()?;
+    let cols = r.dim()?;
+    let row_idx = r.vec_u32()?;
+    let col_idx = r.vec_u32()?;
+    let values = r.vec_f64()?;
+    let coo = CooMatrix::new(rows, cols, row_idx, col_idx, values)
+        .map_err(|e| WireError::Malformed(format!("COO sections: {e}")))?;
+    Ok(CooFormat { coo })
+}
 
 /// COO storage (row-major sorted triplets).
 pub struct CooFormat {
@@ -55,6 +69,14 @@ impl SparseFormat for CooFormat {
         for i in 0..self.nnz() {
             y[ri[i] as usize] += v[i] * x[ci[i] as usize];
         }
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        out.usize(self.coo.rows());
+        out.usize(self.coo.cols());
+        out.slice_u32(self.coo.row_idx());
+        out.slice_u32(self.coo.col_idx());
+        out.slice_f64(self.coo.values());
     }
 
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {

@@ -6,8 +6,18 @@
 //! resolution)").
 
 use crate::traits::SparseFormat;
+use crate::wire::{self, SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
+
+/// Decodes a CSR wire payload (the variant comes from the wire tag,
+/// not the payload).
+pub(crate) fn decode(
+    r: &mut SectionReader<'_>,
+    variant: CsrVariant,
+) -> Result<CsrFormat, WireError> {
+    Ok(CsrFormat::new(wire::decode_csr(r)?, variant))
+}
 
 /// Which CSR kernel variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +127,10 @@ impl SparseFormat for CsrFormat {
             _ => Schedule::Static { items: self.rows() },
         };
         Executor::new(pool).run_disjoint(schedule, y, |range, out| self.spmv_rows(range, x, out));
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        wire::encode_csr(&self.matrix, out);
     }
 
     fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {

@@ -11,8 +11,22 @@
 //! splitting ... slightly increases memory footprint".
 
 use crate::traits::SparseFormat;
+use crate::wire::{self, SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{Carries, Executor, ThreadPool};
+
+/// Decodes a CSR5 wire payload. The tile row pointer is *derived*
+/// data, so the payload carries only the CSR sections plus `tile_nnz`
+/// and the decoder rebuilds the tiles deterministically — hostile
+/// tile metadata simply cannot be expressed on the wire.
+pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<Csr5Format, WireError> {
+    let csr = wire::decode_csr(r)?;
+    let tile_nnz = r.dim()?;
+    if tile_nnz == 0 {
+        return Err(WireError::Malformed("CSR5 tile size 0".into()));
+    }
+    Ok(Csr5Format::from_csr_with_tile(&csr, tile_nnz))
+}
 
 /// Default tile size in nonzeros (ω·σ of the original design).
 pub const DEFAULT_TILE_NNZ: usize = 128;
@@ -82,6 +96,11 @@ impl SparseFormat for Csr5Format {
 
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         self.matrix.spmv_into(x, y);
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        wire::encode_csr(&self.matrix, out);
+        out.usize(self.tile_nnz);
     }
 
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {

@@ -7,9 +7,46 @@
 //! [`EllFormat`](crate::ell::EllFormat) does.
 
 use crate::traits::{FormatBuildError, SparseFormat};
+use crate::wire::{SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
 use std::collections::BTreeMap;
+
+/// Decodes a DIA wire payload, re-validating the invariants the
+/// kernels index by: strictly ascending offsets and one lane per
+/// offset sized exactly to its in-bounds span.
+pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<DiaFormat, WireError> {
+    let malformed = |m: String| WireError::Malformed(m);
+    let rows = r.dim()?;
+    let cols = r.dim()?;
+    let nnz = r.dim()?;
+    let offsets = r.vec_i64()?;
+    let mut lanes = Vec::with_capacity(offsets.len());
+    let mut stored = 0usize;
+    for (d, &off) in offsets.iter().enumerate() {
+        if d > 0 && off <= offsets[d - 1] {
+            return Err(malformed(format!("DIA offsets not strictly ascending at lane {d}")));
+        }
+        if off.unsigned_abs() > crate::wire::MAX_DIM {
+            return Err(malformed(format!("DIA offset {off} out of range")));
+        }
+        let lane = r.vec_f64()?;
+        let (lo, hi) = lane_span(rows, cols, off);
+        if lane.len() != hi - lo {
+            return Err(malformed(format!(
+                "DIA lane {d} has {} entries, span is {}",
+                lane.len(),
+                hi - lo
+            )));
+        }
+        stored += lane.len();
+        lanes.push(lane);
+    }
+    if nnz > stored {
+        return Err(malformed(format!("DIA nnz {nnz} exceeds stored entries {stored}")));
+    }
+    Ok(DiaFormat { rows, cols, nnz, offsets, lanes })
+}
 
 /// Default cap on `stored entries / nnz` before conversion refuses.
 pub const DEFAULT_MAX_PADDING_RATIO: f64 = 16.0;
@@ -169,6 +206,16 @@ impl SparseFormat for DiaFormat {
         Executor::new(pool).run_disjoint(Schedule::Static { items: self.rows }, y, |range, out| {
             self.spmv_rows(range, x, out)
         });
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        out.usize(self.rows);
+        out.usize(self.cols);
+        out.usize(self.nnz);
+        out.slice_i64(&self.offsets);
+        for lane in &self.lanes {
+            out.slice_f64(lane);
+        }
     }
 }
 

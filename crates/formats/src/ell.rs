@@ -6,8 +6,38 @@
 //! ELL users do.
 
 use crate::traits::{FormatBuildError, SparseFormat};
+use crate::wire::{SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
+
+/// Decodes an ELL wire payload, re-validating slab geometry and
+/// column bounds (the kernel indexes `x` by `col_idx` unguarded).
+pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<EllFormat, WireError> {
+    let malformed = |m: String| WireError::Malformed(m);
+    let rows = r.dim()?;
+    let cols = r.dim()?;
+    let nnz = r.dim()?;
+    let width = r.dim()?;
+    let col_idx = r.vec_u32()?;
+    let values = r.vec_f64()?;
+    let stored = width
+        .checked_mul(rows)
+        .ok_or_else(|| malformed(format!("ELL slab {width}x{rows} overflows")))?;
+    if col_idx.len() != stored || values.len() != stored {
+        return Err(malformed(format!(
+            "ELL slab is {stored} entries, got {} columns / {} values",
+            col_idx.len(),
+            values.len()
+        )));
+    }
+    if let Some(&c) = col_idx.iter().find(|&&c| c as usize >= cols) {
+        return Err(malformed(format!("ELL column {c} out of bounds ({cols} cols)")));
+    }
+    if nnz > stored {
+        return Err(malformed(format!("ELL nnz {nnz} exceeds stored entries {stored}")));
+    }
+    Ok(EllFormat { rows, cols, nnz, width, col_idx, values })
+}
 
 /// Default cap on `stored entries / nnz` before conversion refuses.
 pub const DEFAULT_MAX_PADDING_RATIO: f64 = 16.0;
@@ -124,6 +154,15 @@ impl SparseFormat for EllFormat {
         Executor::new(pool).run_disjoint(Schedule::Static { items: self.rows }, y, |range, out| {
             self.spmv_rows(range, x, out)
         });
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        out.usize(self.rows);
+        out.usize(self.cols);
+        out.usize(self.nnz);
+        out.usize(self.width);
+        out.slice_u32(&self.col_idx);
+        out.slice_f64(&self.values);
     }
 
     fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {

@@ -5,8 +5,60 @@
 //! this is the cuSPARSE-9.2 HYB of the GPU testbeds.
 
 use crate::traits::SparseFormat;
+use crate::wire::{SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{accumulate_rows, DisjointWriter, Executor, Schedule, ThreadPool};
+
+/// Decodes a HYB wire payload, re-validating both halves: ELL slab
+/// geometry and column bounds, plus a row-sorted, in-bounds COO tail
+/// (the carry kernel requires row-major order).
+pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<HybFormat, WireError> {
+    let malformed = |m: String| WireError::Malformed(m);
+    let rows = r.dim()?;
+    let cols = r.dim()?;
+    let nnz = r.dim()?;
+    let k = r.dim()?;
+    let ell_nnz = r.dim()?;
+    let ell_col = r.vec_u32()?;
+    let ell_val = r.vec_f64()?;
+    let coo_row = r.vec_u32()?;
+    let coo_col = r.vec_u32()?;
+    let coo_val = r.vec_f64()?;
+    let stored = k
+        .checked_mul(rows)
+        .ok_or_else(|| malformed(format!("HYB ELL slab {k}x{rows} overflows")))?;
+    if ell_col.len() != stored || ell_val.len() != stored {
+        return Err(malformed(format!(
+            "HYB ELL slab is {stored} entries, got {} columns / {} values",
+            ell_col.len(),
+            ell_val.len()
+        )));
+    }
+    if coo_row.len() != coo_val.len() || coo_col.len() != coo_val.len() {
+        return Err(malformed(format!(
+            "HYB COO tail lengths disagree: {} rows, {} columns, {} values",
+            coo_row.len(),
+            coo_col.len(),
+            coo_val.len()
+        )));
+    }
+    if let Some(&c) = ell_col.iter().chain(&coo_col).find(|&&c| c as usize >= cols) {
+        return Err(malformed(format!("HYB column {c} out of bounds ({cols} cols)")));
+    }
+    if let Some(&row) = coo_row.iter().find(|&&row| row as usize >= rows) {
+        return Err(malformed(format!("HYB COO row {row} out of bounds ({rows} rows)")));
+    }
+    if coo_row.windows(2).any(|w| w[0] > w[1]) {
+        return Err(malformed("HYB COO tail not sorted by row".into()));
+    }
+    if ell_nnz > stored || nnz != ell_nnz + coo_val.len() {
+        return Err(malformed(format!(
+            "HYB entry accounting broken: nnz {nnz}, ell_nnz {ell_nnz}, coo {}",
+            coo_val.len()
+        )));
+    }
+    Ok(HybFormat { rows, cols, nnz, k, ell_col, ell_val, coo_row, coo_col, coo_val, ell_nnz })
+}
 
 /// Hybrid ELL + COO storage.
 pub struct HybFormat {
@@ -131,6 +183,19 @@ impl SparseFormat for HybFormat {
         } else {
             (self.k * self.rows + self.coo_nnz()) as f64 / self.nnz as f64
         }
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        out.usize(self.rows);
+        out.usize(self.cols);
+        out.usize(self.nnz);
+        out.usize(self.k);
+        out.usize(self.ell_nnz);
+        out.slice_u32(&self.ell_col);
+        out.slice_f64(&self.ell_val);
+        out.slice_u32(&self.coo_row);
+        out.slice_u32(&self.coo_col);
+        out.slice_f64(&self.coo_val);
     }
 
     fn spmv(&self, x: &[f64], y: &mut [f64]) {

@@ -42,6 +42,8 @@ pub mod sellcs;
 pub mod sparsex;
 pub mod traits;
 pub mod vsl;
+pub mod wire;
 
 pub use registry::{build_format, build_with_fallback, FormatKind};
 pub use traits::{FormatBuildError, SparseFormat};
+pub use wire::{deserialize_from, SectionReader, SectionWriter, WireError};

@@ -6,8 +6,15 @@
 //! even a single giant row is split across workers.
 
 use crate::traits::SparseFormat;
+use crate::wire::{self, SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{merge_path_partition, Carries, Executor, ThreadPool};
+
+/// Decodes a Merge-CSR wire payload (plain CSR sections — merge-path
+/// coordinates are computed per `spmv_parallel` call, never stored).
+pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<MergeCsrFormat, WireError> {
+    Ok(MergeCsrFormat { matrix: wire::decode_csr(r)? })
+}
 
 /// CSR storage with merge-path parallel execution.
 pub struct MergeCsrFormat {
@@ -44,6 +51,10 @@ impl SparseFormat for MergeCsrFormat {
 
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         self.matrix.spmv_into(x, y);
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        wire::encode_csr(&self.matrix, out);
     }
 
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {

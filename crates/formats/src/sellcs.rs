@@ -7,8 +7,96 @@
 //! memory latency overheads".
 
 use crate::traits::SparseFormat;
+use crate::wire::{SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
+
+/// Decodes a SELL-C-σ wire payload. Beyond chunk geometry, `perm`
+/// must be a *bijection* on `0..rows`: the scatter kernel writes
+/// `y[perm[p]]` through a [`DisjointWriter`], so a duplicated entry
+/// would alias two lanes onto one row — a data race under the
+/// parallel schedule, not just a wrong answer.
+pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<SellCSigmaFormat, WireError> {
+    let malformed = |m: String| WireError::Malformed(m);
+    let rows = r.dim()?;
+    let cols = r.dim()?;
+    let nnz = r.dim()?;
+    let c = r.dim()?;
+    let sigma = r.dim()?;
+    let perm = r.vec_u32()?;
+    let chunk_ptr = r.vec_usize()?;
+    let chunk_width = r.vec_u32()?;
+    let col_idx = r.vec_u32()?;
+    let values = r.vec_f64()?;
+    if c == 0 || sigma == 0 {
+        return Err(malformed(format!("SELL-C-s parameters must be positive: C={c}, s={sigma}")));
+    }
+    if perm.len() != rows {
+        return Err(malformed(format!(
+            "SELL-C-s permutation has {} entries for {rows} rows",
+            perm.len()
+        )));
+    }
+    let mut seen = vec![false; rows];
+    for &p in &perm {
+        match seen.get_mut(p as usize) {
+            Some(slot) if !*slot => *slot = true,
+            Some(_) => return Err(malformed(format!("SELL-C-s permutation repeats row {p}"))),
+            None => return Err(malformed(format!("SELL-C-s permutation row {p} out of bounds"))),
+        }
+    }
+    let n_chunks = rows.div_ceil(c);
+    if chunk_ptr.len() != n_chunks + 1 || chunk_width.len() != n_chunks {
+        return Err(malformed(format!(
+            "SELL-C-s chunk arrays must be {} pointers / {n_chunks} widths, got {} / {}",
+            n_chunks + 1,
+            chunk_ptr.len(),
+            chunk_width.len()
+        )));
+    }
+    if chunk_ptr.first().map(|&p| p != 0).unwrap_or(false) {
+        return Err(malformed("SELL-C-s chunk pointer must start at 0".into()));
+    }
+    for k in 0..n_chunks {
+        let span = (chunk_width[k] as usize)
+            .checked_mul(c)
+            .and_then(|s| chunk_ptr[k].checked_add(s))
+            .ok_or_else(|| malformed(format!("SELL-C-s chunk {k} size overflows")))?;
+        if chunk_ptr[k + 1] != span {
+            return Err(malformed(format!(
+                "SELL-C-s chunk {k} pointer {} disagrees with width {}",
+                chunk_ptr[k + 1],
+                chunk_width[k]
+            )));
+        }
+    }
+    let stored = chunk_ptr.last().copied().unwrap_or(0);
+    if col_idx.len() != stored || values.len() != stored {
+        return Err(malformed(format!(
+            "SELL-C-s stores {stored} slots, got {} columns / {} values",
+            col_idx.len(),
+            values.len()
+        )));
+    }
+    if let Some(&cc) = col_idx.iter().find(|&&cc| cc as usize >= cols) {
+        return Err(malformed(format!("SELL-C-s column {cc} out of bounds ({cols} cols)")));
+    }
+    if nnz > stored {
+        return Err(malformed(format!("SELL-C-s nnz {nnz} exceeds stored slots {stored}")));
+    }
+    Ok(SellCSigmaFormat {
+        rows,
+        cols,
+        nnz,
+        c,
+        sigma,
+        perm,
+        chunk_ptr,
+        chunk_width,
+        col_idx,
+        values,
+    })
+}
 
 /// Default chunk height (AVX2/NEON-friendly).
 pub const DEFAULT_C: usize = 8;
@@ -171,6 +259,19 @@ impl SparseFormat for SellCSigmaFormat {
         assert_eq!(y.len(), self.rows);
         let out = DisjointWriter::new(y);
         self.spmv_chunks(0..self.chunk_width.len(), x, &out);
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        out.usize(self.rows);
+        out.usize(self.cols);
+        out.usize(self.nnz);
+        out.usize(self.c);
+        out.usize(self.sigma);
+        out.slice_u32(&self.perm);
+        out.slice_usize(&self.chunk_ptr);
+        out.slice_u32(&self.chunk_width);
+        out.slice_u32(&self.col_idx);
+        out.slice_f64(&self.values);
     }
 
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {

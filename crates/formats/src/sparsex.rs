@@ -18,8 +18,19 @@
 //! something that can be beneficial especially for large matrices".
 
 use crate::traits::{FormatBuildError, SparseFormat};
+use crate::wire::{self, SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
+
+/// Decodes a SparseX wire payload. The payload carries the *CSR*
+/// sections, not the unit stream: `encode_row` is deterministic, so
+/// re-running the converter reproduces the stream byte-for-byte while
+/// a hostile "stream program" (with out-of-bounds columns or counts
+/// that overrun `values`) simply cannot be expressed on the wire.
+pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<SparseXFormat, WireError> {
+    let csr = wire::decode_csr(r)?;
+    SparseXFormat::from_csr(&csr).map_err(|e| WireError::Malformed(format!("SparseX rebuild: {e}")))
+}
 
 /// Minimum run length that is worth a DENSE unit.
 const MIN_DENSE_RUN: usize = 4;
@@ -83,6 +94,61 @@ impl SparseXFormat {
         } else {
             self.stream.len() as f64 / (4.0 * self.nnz as f64)
         }
+    }
+
+    /// Reconstructs the CSR matrix this format was converted from by
+    /// replaying the unit stream (the exact inverse of `encode_row`).
+    /// Values are already in CSR order and `val_ptr` *is* the CSR row
+    /// pointer, so only the column indices need decoding.
+    fn to_csr(&self) -> CsrMatrix {
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.nnz);
+        for r in 0..self.rows {
+            let mut s = self.stream_ptr[r] as usize;
+            let end = self.stream_ptr[r + 1] as usize;
+            while s < end {
+                let tag = self.stream[s];
+                let count = self.stream[s + 1] as usize;
+                let start =
+                    u32::from_le_bytes(self.stream[s + 2..s + 6].try_into().expect("start col"));
+                s += 6;
+                match tag {
+                    T_DENSE => col_idx.extend(start..start + count as u32),
+                    T_DELTA8 => {
+                        let mut c = start;
+                        col_idx.push(c);
+                        for i in 0..count - 1 {
+                            c += self.stream[s + i] as u32;
+                            col_idx.push(c);
+                        }
+                        s += count - 1;
+                    }
+                    T_DELTA16 => {
+                        let mut c = start;
+                        col_idx.push(c);
+                        for i in 0..count - 1 {
+                            c += u16::from_le_bytes(
+                                self.stream[s + 2 * i..s + 2 * i + 2].try_into().expect("d16"),
+                            ) as u32;
+                            col_idx.push(c);
+                        }
+                        s += 2 * (count - 1);
+                    }
+                    _ => {
+                        let mut c = start;
+                        col_idx.push(c);
+                        for i in 0..count - 1 {
+                            c += u32::from_le_bytes(
+                                self.stream[s + 4 * i..s + 4 * i + 4].try_into().expect("d32"),
+                            );
+                            col_idx.push(c);
+                        }
+                        s += 4 * (count - 1);
+                    }
+                }
+            }
+        }
+        CsrMatrix::new(self.rows, self.cols, self.val_ptr.clone(), col_idx, self.values.clone())
+            .expect("a converted SparseX stream always replays to its source CSR")
     }
 
     fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
@@ -250,6 +316,10 @@ impl SparseFormat for SparseXFormat {
             y,
             |range, out| self.spmv_rows(range, x, out),
         );
+    }
+
+    fn encode_payload(&self, out: &mut SectionWriter) {
+        wire::encode_csr(&self.to_csr(), out);
     }
 }
 

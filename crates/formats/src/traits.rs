@@ -102,6 +102,24 @@ pub trait SparseFormat: Send + Sync {
         self.spmm(x, k, &mut y);
         y
     }
+
+    /// Encodes this format's payload sections — the format-specific
+    /// body of the binary wire envelope (see [`crate::wire`]).
+    ///
+    /// Implementation detail of [`SparseFormat::serialize_into`]; the
+    /// matching decoder lives next to each implementation and is
+    /// dispatched by wire tag in [`crate::wire::deserialize_from`].
+    fn encode_payload(&self, out: &mut crate::wire::SectionWriter);
+
+    /// Writes the versioned, checksummed binary envelope for this
+    /// format: magic, per-format tag, length-prefixed payload from
+    /// [`SparseFormat::encode_payload`], and an XXH64 checksum. The
+    /// inverse is [`crate::wire::deserialize_from`].
+    fn serialize_into(&self, w: &mut dyn std::io::Write) -> Result<(), crate::wire::WireError> {
+        let mut payload = crate::wire::SectionWriter::new();
+        self.encode_payload(&mut payload);
+        crate::wire::write_envelope(self.name(), payload, w)
+    }
 }
 
 #[cfg(test)]

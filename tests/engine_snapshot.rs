@@ -1,0 +1,153 @@
+//! End-to-end test of engine snapshot / restore (tier-1).
+//!
+//! The persistence acceptance bar:
+//!
+//! 1. **Snapshot under load** — the snapshot is taken while serve
+//!    threads are hammering the engine; export locks each shard
+//!    briefly, so the stream must still parse, checksum and restore.
+//! 2. **Warm restart** — restoring into a fresh engine lands every
+//!    conversion that was resident, and serving the same working set
+//!    afterwards performs **zero** conversions: every request is a
+//!    cache hit on the restored entry, answered with the same format
+//!    and the same (dense-checked) result.
+//! 3. **Counter reconciliation** — restore moves no counters, and the
+//!    standard invariants (`served_selected + served_fallback ==
+//!    requests`, `hits + misses + coalesced == lookups`) hold exactly
+//!    on the restored engine.
+
+use spmv_suite::core::{vec_mismatch, CsrMatrix, DenseMatrix};
+use spmv_suite::engine::{Engine, EngineConfig, TrainingPlan};
+use spmv_suite::gen::dataset::{Dataset, DatasetSize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const SCALE: f64 = 16384.0;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig {
+        device: "AMD-EPYC-24".into(),
+        scale: SCALE,
+        k: 1,
+        cache_capacity_bytes: 64 << 20,
+        threads: 3,
+        training: TrainingPlan { size: DatasetSize::Small, stride: 40, base_seed: 0xA11CE },
+        ..EngineConfig::default()
+    })
+    .expect("builtin training")
+}
+
+struct Case {
+    id: String,
+    m: CsrMatrix,
+    x: Vec<f64>,
+    reference: Vec<f64>,
+}
+
+fn cases() -> Vec<Case> {
+    let specs =
+        Dataset { size: DatasetSize::Small, scale: SCALE, base_seed: 0xB0B }.specs_subsampled(379);
+    assert!(specs.len() >= 8, "need a meaningful subsample, got {}", specs.len());
+    specs
+        .iter()
+        .map(|spec| {
+            let m = spec.materialize().expect("dataset matrices materialize");
+            let x: Vec<f64> = (0..m.cols()).map(|i| ((i * 37 + 11) % 23) as f64 - 11.0).collect();
+            let reference = DenseMatrix::from_csr(&m).spmv(&x);
+            Case { id: spec.id.clone(), m, x, reference }
+        })
+        .collect()
+}
+
+#[test]
+fn snapshot_under_load_restores_into_a_warm_engine() {
+    let engine = Arc::new(engine());
+    let cases = Arc::new(cases());
+
+    // Convert the whole working set (sync admission: deterministic).
+    for case in cases.iter() {
+        let mut y = vec![f64::NAN; case.m.rows()];
+        engine.spmv(&case.id, &case.m, &case.x, &mut y);
+        assert_eq!(vec_mismatch(&y, &case.reference, 1e-9, 1e-9), None, "{} warm-up", case.id);
+    }
+    let warm = engine.counters();
+    assert_eq!(warm.conversions, cases.len() as u64);
+    assert_eq!(warm.cached_entries, cases.len());
+
+    // ---- Snapshot while serve threads are hammering the engine ------
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..3)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let cases = Arc::clone(&cases);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut served = 0usize;
+                while !stop.load(Ordering::Relaxed) || served == 0 {
+                    let case = &cases[(served * 3 + t) % cases.len()];
+                    let mut y = vec![f64::NAN; case.m.rows()];
+                    engine.spmv(&case.id, &case.m, &case.x, &mut y);
+                    assert_eq!(
+                        vec_mismatch(&y, &case.reference, 1e-9, 1e-9),
+                        None,
+                        "{} under snapshot load",
+                        case.id
+                    );
+                    served += 1;
+                }
+            })
+        })
+        .collect();
+    let mut blob = Vec::new();
+    engine.snapshot(&mut blob).expect("snapshot under load");
+    stop.store(true, Ordering::Relaxed);
+    for h in hammers {
+        h.join().expect("hammer thread");
+    }
+
+    // ---- Restore into a fresh engine (no re-training: the selector
+    // rides in the snapshot) --------------------------------------
+    let selector =
+        spmv_suite::engine::selector_from_snapshot(&mut &blob[..]).expect("selector section");
+    let fresh = Engine::with_selector(
+        EngineConfig {
+            device: "AMD-EPYC-24".into(),
+            scale: SCALE,
+            k: 1,
+            cache_capacity_bytes: 64 << 20,
+            threads: 3,
+            ..EngineConfig::default()
+        },
+        selector,
+    )
+    .expect("fresh engine");
+    let stats = fresh.restore(&mut &blob[..]).expect("restore");
+    assert_eq!(stats.conversions_restored, cases.len(), "every resident conversion lands");
+    assert_eq!(stats.conversions_skipped, 0);
+    assert!(stats.plans_restored >= cases.len());
+
+    let restored = fresh.counters();
+    assert_eq!(restored.requests, 0, "restore is not a serve");
+    assert_eq!(restored.conversions, 0, "restore is not a conversion");
+    assert_eq!(restored.cache_lookups, 0, "restore moves no lookup counters");
+    assert_eq!(restored.cached_entries, warm.cached_entries);
+    assert_eq!(restored.bytes_resident, warm.bytes_resident, "byte accounting round-trips");
+
+    // ---- Warm ids: zero conversions, same formats, same results -----
+    for case in cases.iter() {
+        let mut warm_y = vec![f64::NAN; case.m.rows()];
+        let warm_kind = engine.spmv(&case.id, &case.m, &case.x, &mut warm_y);
+        let mut y = vec![f64::INFINITY; case.m.rows()];
+        let kind = fresh.spmv(&case.id, &case.m, &case.x, &mut y);
+        assert_eq!(kind, warm_kind, "{} serves its restored format", case.id);
+        assert_eq!(vec_mismatch(&y, &case.reference, 1e-9, 1e-9), None, "{} restored", case.id);
+    }
+    let c = fresh.counters();
+    assert_eq!(c.requests, cases.len() as u64);
+    assert_eq!(c.conversions, 0, "warm ids must not convert after restore");
+    assert_eq!(c.cache_misses, 0);
+    assert_eq!(c.cache_hits, cases.len() as u64, "every request hit its restored entry");
+    assert_eq!(c.served_selected, c.requests, "no CSR-path fallbacks on a warm engine");
+    assert_eq!(c.served_fallback + c.served_selected, c.requests);
+    assert_eq!(c.cache_hits + c.cache_misses + c.coalesced, c.cache_lookups);
+    assert_eq!(c.total_selections(), c.requests);
+}
