@@ -110,6 +110,8 @@ fn policy_of(kind: FormatKind, class: DeviceClass) -> Policy {
         | FormatKind::Bcsr => Policy::StaticRows,
         FormatKind::BalancedCsr
         | FormatKind::SellCSigma
+        | FormatKind::SellC4
+        | FormatKind::SellC16
         | FormatKind::SparseX
         | FormatKind::Hyb => Policy::BalancedRows,
         FormatKind::Coo | FormatKind::MergeCsr | FormatKind::Csr5 | FormatKind::Vsl => {
@@ -134,6 +136,13 @@ fn ilp_overhead(kind: FormatKind, class: DeviceClass) -> f64 {
             | FormatKind::Ell
             | FormatKind::Hyb
             | FormatKind::SellCSigma => 2.0,
+            // Chunk width scales the per-chunk loop overhead: narrow
+            // C=4 chunks pay the prologue 4x as often per row block as
+            // C=16 chunks, which amortize it almost entirely — the
+            // niche that makes wide chunks the short-regular-row
+            // format of choice.
+            FormatKind::SellC4 => 2.6,
+            FormatKind::SellC16 => 1.2,
             // Vendor inspector-executor CSR: tuned prologue, slightly
             // more bookkeeping than the pure vectorized loop.
             FormatKind::BalancedCsr => 2.2,
@@ -202,6 +211,20 @@ fn format_bytes_per_nnz(
         FormatKind::SellCSigma => {
             // Window sorting leaves only intra-chunk padding.
             let pad = 1.05 + (0.05 * f.std_nnz_per_row / avg).min(0.30);
+            12.0 * pad + 4.0 * per_row
+        }
+        // Narrower chunks pad each row only to the max of 3 neighbors
+        // (cheap even under skew); wider chunks pad to the max of 15,
+        // so irregular rows inflate the slab fast.
+        FormatKind::SellC4 => {
+            let pad = 1.02 + (0.02 * f.std_nnz_per_row / avg).min(0.15);
+            12.0 * pad + 4.0 * per_row
+        }
+        FormatKind::SellC16 => {
+            // The σ=256 sort window still evens out regular matrices at
+            // C=16 (low base), but every skewed row drags 15 neighbors
+            // up to its length (steep slope).
+            let pad = 1.03 + (0.10 * f.std_nnz_per_row / avg).min(0.50);
             12.0 * pad + 4.0 * per_row
         }
         FormatKind::SparseX => {
@@ -636,6 +659,36 @@ mod tests {
         let bare =
             estimate_with(&ModelConfig::bare_roofline(), &dev, FormatKind::NaiveCsr, &s).unwrap();
         assert!(bare.gflops > full.gflops * 2.0, "bottlenecks must matter on this matrix");
+    }
+
+    #[test]
+    fn sell_chunk_widths_trade_padding_against_loop_overhead() {
+        let dev = device_by_name("AMD-EPYC-64").unwrap().scaled(16.0);
+        // Compare the deterministic terms: the per-format measurement
+        // noise draw can exceed the few-percent chunk-width gap.
+        let cfg = ModelConfig { noise: false, ..ModelConfig::default() };
+        // Short regular rows: padding is negligible either way, so the
+        // lower per-chunk overhead of C=16 should win.
+        let regular = summary(16.0, 4.0, 0.0, 0.5, 0.5);
+        let c4 = estimate_with(&cfg, &dev, FormatKind::SellC4, &regular).unwrap();
+        let c16 = estimate_with(&cfg, &dev, FormatKind::SellC16, &regular).unwrap();
+        assert!(
+            c16.gflops > c4.gflops,
+            "short regular rows: C16 {:.2} must beat C4 {:.2}",
+            c16.gflops,
+            c4.gflops
+        );
+        // Skewed rows: wide chunks pad every row to the chunk max, so
+        // the narrow chunk should win on stored bytes.
+        let skewed = summary(16.0, 10.0, 1000.0, 0.5, 0.5);
+        let c4s = estimate_with(&cfg, &dev, FormatKind::SellC4, &skewed).unwrap();
+        let c16s = estimate_with(&cfg, &dev, FormatKind::SellC16, &skewed).unwrap();
+        assert!(
+            c4s.format_bytes_per_nnz < c16s.format_bytes_per_nnz,
+            "skew: C4 stores {:.2} B/nnz vs C16 {:.2}",
+            c4s.format_bytes_per_nnz,
+            c16s.format_bytes_per_nnz
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! DESIGN.md for the mapping rationale).
 
 use serde::{Deserialize, Serialize};
-use spmv_formats::FormatKind;
+use spmv_formats::{FormatKind, LaneProfile, LaneWidth};
 
 /// Device family, driving which model branch applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -72,6 +72,17 @@ impl DeviceSpec {
         self.cores as f64 * self.freq_ghz * self.dp_flops_per_cycle
     }
 
+    /// The SIMD lane profile this testbed's kernels should run at.
+    ///
+    /// `dp_flops_per_cycle` is SIMD lanes × 2 (FMA), so halving it
+    /// recovers the double-precision vector width: AVX-512 (16) → 8
+    /// lanes, AVX2 (8) → 4, NEON (4) → 2, scalar-rate GPUs (1) → 1.
+    /// The SELL-C-σ chunk width follows the lane width (a chunk is one
+    /// vector register of rows).
+    pub fn lane_profile(&self) -> LaneProfile {
+        LaneProfile::with_width(LaneWidth::from_lanes((self.dp_flops_per_cycle / 2.0) as usize))
+    }
+
     /// Returns a copy with capacities scaled down by `factor` — the
     /// counterpart of generating the dataset with footprints divided by
     /// the same factor (crossover points are preserved because every
@@ -114,6 +125,8 @@ pub fn all_devices() -> Vec<DeviceSpec> {
                 MergeCsr,
                 SparseX,
                 SellCSigma,
+                SellC4,
+                SellC16,
             ],
             fpga: None,
         },
@@ -133,7 +146,7 @@ pub fn all_devices() -> Vec<DeviceSpec> {
             nnz_half_util: 150_000.0,
             // Reduced set: "due to access limitations ... we were not
             // able to run experiments on all formats" (§IV).
-            formats: vec![NaiveCsr, VectorizedCsr, Csr5, MergeCsr, SellCSigma],
+            formats: vec![NaiveCsr, VectorizedCsr, Csr5, MergeCsr, SellCSigma, SellC4, SellC16],
             fpga: None,
         },
         DeviceSpec {
@@ -151,7 +164,16 @@ pub fn all_devices() -> Vec<DeviceSpec> {
             max_w: 105.0,
             sched_units: 80,
             nnz_half_util: 180_000.0,
-            formats: vec![NaiveCsr, VectorizedCsr, BalancedCsr, MergeCsr, SparseX, SellCSigma],
+            formats: vec![
+                NaiveCsr,
+                VectorizedCsr,
+                BalancedCsr,
+                MergeCsr,
+                SparseX,
+                SellCSigma,
+                SellC4,
+                SellC16,
+            ],
             fpga: None,
         },
         DeviceSpec {
@@ -175,6 +197,8 @@ pub fn all_devices() -> Vec<DeviceSpec> {
                 MergeCsr,
                 SparseX,
                 SellCSigma,
+                SellC4,
+                SellC16,
             ],
             fpga: None,
         },
@@ -350,6 +374,37 @@ mod tests {
         assert!((epyc24.peak_gflops() - 537.6).abs() < 1.0);
         let u280 = device_by_name("Alveo-U280").unwrap();
         assert!((u280.peak_gflops() - 38.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn lane_profiles_follow_simd_width() {
+        let cases = [
+            ("INTEL-XEON", LaneWidth::W8, 16), // AVX-512
+            ("AMD-EPYC-24", LaneWidth::W4, 8), // AVX2
+            ("ARM-NEON", LaneWidth::W2, 4),    // NEON
+            ("Tesla-A100", LaneWidth::W1, 4),  // scalar-rate FP64
+            ("IBM-POWER9", LaneWidth::W2, 4),  // VSX
+        ];
+        for (name, width, sell_c) in cases {
+            let p = device_by_name(name).unwrap().lane_profile();
+            assert_eq!(p.width, width, "{name}");
+            assert_eq!(p.sell_c, sell_c, "{name}");
+        }
+    }
+
+    #[test]
+    fn sell_chunk_width_variants_ride_with_sellcs() {
+        use FormatKind::*;
+        for d in all_devices() {
+            let has_sell = d.formats.contains(&SellCSigma);
+            let is_cpu = d.class == DeviceClass::Cpu;
+            assert_eq!(
+                d.formats.contains(&SellC4) && d.formats.contains(&SellC16),
+                has_sell && is_cpu,
+                "{}: chunk-width variants accompany SELL-C-s on CPUs",
+                d.name
+            );
+        }
     }
 
     #[test]

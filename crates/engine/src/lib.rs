@@ -70,7 +70,7 @@ use shard::{CachedFormat, Lookup};
 use spmv_analysis::{FormatSelector, SelectorFeatures};
 use spmv_core::{CsrMatrix, FeatureSet};
 use spmv_devices::{device_by_name, DeviceSpec};
-use spmv_formats::{build_with_fallback, FormatKind};
+use spmv_formats::{build_with_fallback_profile, FormatKind, LaneProfile};
 use spmv_parallel::sync::{AtomicU64, AtomicUsize, Ordering};
 use spmv_parallel::{Executor, PoolStats, Schedule, ThreadPool};
 use std::sync::Arc;
@@ -337,6 +337,9 @@ struct ServeState {
     /// Fallback chain appended after the planned kind (device default,
     /// then universal CSR).
     fallback_chain: [FormatKind; 2],
+    /// Lane profile every conversion (foreground or flight) builds at:
+    /// `SPMV_LANES` when set, else the device profile's SIMD width.
+    lanes: LaneProfile,
 }
 
 /// How one request was answered.
@@ -447,6 +450,7 @@ impl Engine {
         pool: ThreadPool,
     ) -> Engine {
         let default_format = Self::universal_format(&device);
+        let lanes = LaneProfile::resolve(Some(device.lane_profile()));
         Engine {
             device,
             selector,
@@ -459,6 +463,7 @@ impl Engine {
                 counters: CounterBank::default(),
                 in_flight: AtomicUsize::new(0),
                 fallback_chain: [default_format, FormatKind::NaiveCsr],
+                lanes,
             }),
         }
     }
@@ -502,6 +507,13 @@ impl Engine {
         self.state.fallback_chain[0]
     }
 
+    /// The lane profile conversions run at: the `SPMV_LANES` override
+    /// when set, otherwise the device profile's SIMD width (and the
+    /// SELL-C-σ chunk width that rides with it).
+    pub fn lane_profile(&self) -> LaneProfile {
+        self.state.lanes
+    }
+
     /// Pure selection: the format the engine would pick for a matrix
     /// with these features — the k-NN recommendation when it names a
     /// format available on the device profile, the device default
@@ -519,7 +531,22 @@ impl Engine {
             .recommend(&probe)
             .and_then(FormatKind::from_name)
             .filter(|k| self.device.formats.contains(k))
+            .map(|k| self.remap_sell_chunk_width(k))
             .unwrap_or_else(|| self.default_format())
+    }
+
+    /// Re-targets a default-width SELL-C-σ recommendation onto the
+    /// chunk-width variant matching the lane profile, when the device
+    /// profile carries that variant. Selectors trained before the
+    /// chunk-width split (or on coarse labels) keep recommending
+    /// "SELL-C-s"; the device profile decides which C actually runs.
+    fn remap_sell_chunk_width(&self, kind: FormatKind) -> FormatKind {
+        if kind != FormatKind::SellCSigma {
+            return kind;
+        }
+        FormatKind::sell_variant_for_c(self.state.lanes.sell_c)
+            .filter(|v| self.device.formats.contains(v))
+            .unwrap_or(kind)
     }
 
     /// The per-matrix plan: select once per id, remember the outcome.
@@ -561,9 +588,13 @@ impl Engine {
                     // Conversion runs with no shard lock held: it can
                     // take many SpMV-equivalents, and other matrices on
                     // the same shard must keep serving meanwhile.
-                    let (built, actual, refused) =
-                        build_with_fallback(guard.kind(), csr, &self.state.fallback_chain)
-                            .expect("fallback chain ends in CSR, which accepts any matrix");
+                    let (built, actual, refused) = build_with_fallback_profile(
+                        guard.kind(),
+                        csr,
+                        &self.state.fallback_chain,
+                        self.state.lanes,
+                    )
+                    .expect("fallback chain ends in CSR, which accepts any matrix");
                     c.fallbacks.fetch_add(refused as u64, Ordering::Relaxed);
                     c.conversions.fetch_add(1, Ordering::Relaxed);
                     let fmt: CachedFormat = Arc::new(built);
@@ -869,9 +900,13 @@ fn run_admission(state: &Arc<ServeState>, id: &str, csr: &CsrMatrix, kind: Forma
             }
             Lookup::Lead(guard) => {
                 c.misses.fetch_add(1, Ordering::Relaxed);
-                let (built, actual, refused) =
-                    build_with_fallback(guard.kind(), csr, &state.fallback_chain)
-                        .expect("fallback chain ends in CSR, which accepts any matrix");
+                let (built, actual, refused) = build_with_fallback_profile(
+                    guard.kind(),
+                    csr,
+                    &state.fallback_chain,
+                    state.lanes,
+                )
+                .expect("fallback chain ends in CSR, which accepts any matrix");
                 c.fallbacks.fetch_add(refused as u64, Ordering::Relaxed);
                 c.conversions.fetch_add(1, Ordering::Relaxed);
                 let mut landed = false;
@@ -896,6 +931,7 @@ fn run_admission(state: &Arc<ServeState>, id: &str, csr: &CsrMatrix, kind: Forma
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spmv_analysis::Observation;
     use spmv_gen::dataset::DatasetSize;
 
     fn quick_config() -> EngineConfig {
@@ -1004,6 +1040,62 @@ mod tests {
         let f = FeatureSet::extract(&skewed_matrix());
         let kind = engine.select(&f);
         assert_ne!(kind, FormatKind::NaiveCsr, "static CSR loses on skew");
+    }
+
+    #[test]
+    fn lane_profile_resolves_env_over_device() {
+        let engine = Engine::with_selector(quick_config(), FormatSelector::fit(&[], 1)).unwrap();
+        let expected = LaneProfile::resolve(Some(engine.device().lane_profile()));
+        assert_eq!(engine.lane_profile(), expected);
+        // Without an env override, the device profile decides (EPYC-24
+        // is AVX2 → 4 lanes, C=8).
+        if std::env::var("SPMV_LANES").is_err() {
+            assert_eq!(engine.lane_profile().width, spmv_formats::LaneWidth::W4);
+            assert_eq!(engine.lane_profile().sell_c, 8);
+        }
+    }
+
+    #[test]
+    fn sell_recommendations_follow_the_profiled_chunk_width() {
+        // A selector that always recommends default-width SELL-C-σ.
+        let sell = Observation {
+            features: SelectorFeatures {
+                footprint_mb: 1.0,
+                avg_nnz_per_row: 8.0,
+                skew: 0.0,
+                cross_row_sim: 0.5,
+                avg_num_neigh: 0.5,
+            },
+            best_format: "SELL-C-s".into(),
+        };
+        let engine =
+            Engine::with_selector(quick_config(), FormatSelector::fit(&[sell], 1)).unwrap();
+        let picked = engine.select(&FeatureSet::extract(&CsrMatrix::identity(64)));
+        // EPYC-24 carries every chunk-width variant, so the pick must
+        // be the variant matching the lane profile's C.
+        let expected = FormatKind::sell_variant_for_c(engine.lane_profile().sell_c).unwrap();
+        assert_eq!(picked, expected);
+        assert_eq!(picked.sell_c(), Some(engine.lane_profile().sell_c));
+    }
+
+    #[test]
+    fn sell_remap_is_identity_without_device_variants() {
+        // POWER9 has no SELL formats at all: the recommendation is
+        // filtered to the device default, remap never fires.
+        let sell = Observation {
+            features: SelectorFeatures {
+                footprint_mb: 1.0,
+                avg_nnz_per_row: 8.0,
+                skew: 0.0,
+                cross_row_sim: 0.5,
+                avg_num_neigh: 0.5,
+            },
+            best_format: "SELL-C-s".into(),
+        };
+        let cfg = EngineConfig { device: "IBM-POWER9".into(), ..quick_config() };
+        let engine = Engine::with_selector(cfg, FormatSelector::fit(&[sell], 1)).unwrap();
+        let picked = engine.select(&FeatureSet::extract(&CsrMatrix::identity(64)));
+        assert_eq!(picked, engine.default_format());
     }
 
     #[test]

@@ -90,6 +90,23 @@ mod tests {
     }
 
     #[test]
+    fn sell_chunk_widths_are_distinct_training_observations() {
+        let pool = ThreadPool::new(2);
+        let recs = quick_plan().records("AMD-EPYC-24", 512.0, &pool);
+        let formats: std::collections::BTreeSet<_> =
+            recs.iter().filter(|r| r.failed.is_none()).map(|r| r.format.as_str()).collect();
+        for name in ["SELL-C-s", "SELL-4-s", "SELL-16-s"] {
+            assert!(formats.contains(name), "campaign must observe {name}, got {formats:?}");
+        }
+        // The labeled runs keep them apart too — the selector can learn
+        // a chunk width, not just "some SELL".
+        let runs = labeled_runs(&recs);
+        for name in ["SELL-4-s", "SELL-16-s"] {
+            assert!(runs.iter().any(|r| r.format == name), "{name} must survive labeling");
+        }
+    }
+
+    #[test]
     fn selector_from_records_learns_one_label_per_matrix() {
         let pool = ThreadPool::new(2);
         let recs = quick_plan().records("AMD-EPYC-24", 512.0, &pool);

@@ -188,14 +188,19 @@ impl BcsrFormat {
         }
     }
 
+    /// SpMV over a range of block rows. `acc` is the caller-provided
+    /// per-block-row accumulator (at least `block` entries); passing it
+    /// in lets [`SparseFormat::spmv_with_scratch`] reuse one buffer
+    /// across an entire SpMM batch.
     fn spmv_block_rows(
         &self,
         block_rows: std::ops::Range<usize>,
         x: &[f64],
+        acc: &mut [f64],
         out: &DisjointWriter<'_>,
     ) {
         let b = self.block;
-        let mut acc = vec![0.0f64; b];
+        let acc = &mut acc[..b];
         for br in block_rows {
             acc.iter_mut().for_each(|a| *a = 0.0);
             for k in self.block_ptr[br]..self.block_ptr[br + 1] {
@@ -250,10 +255,17 @@ impl SparseFormat for BcsrFormat {
     }
 
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_with_scratch(x, y, &mut Vec::new());
+    }
+
+    fn spmv_with_scratch(&self, x: &[f64], y: &mut [f64], scratch: &mut Vec<f64>) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
+        if scratch.len() < self.block {
+            scratch.resize(self.block, 0.0);
+        }
         let out = DisjointWriter::new(y);
-        self.spmv_block_rows(0..self.block_rows, x, &out);
+        self.spmv_block_rows(0..self.block_rows, x, scratch, &out);
     }
 
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
@@ -261,11 +273,11 @@ impl SparseFormat for BcsrFormat {
         assert_eq!(y.len(), self.rows);
         // Block-row chunks map to disjoint row ranges (block row `br`
         // owns rows `br·b .. br·b + b`), satisfying the executor's
-        // kernel contract.
+        // kernel contract. Each chunk allocates its own accumulator.
         Executor::new(pool).run_disjoint(
             Schedule::Static { items: self.block_rows },
             y,
-            |range, out| self.spmv_block_rows(range, x, out),
+            |range, out| self.spmv_block_rows(range, x, &mut vec![0.0f64; self.block], out),
         );
     }
 
@@ -390,6 +402,19 @@ mod tests {
         let f1 = BcsrFormat::from_csr_with_block(&m, 1).unwrap();
         assert_eq!(f1.blocks(), m.nnz());
         assert!((f1.padding_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spmm_default_with_shared_scratch_matches_spmv() {
+        let m = blocked_matrix();
+        let f = BcsrFormat::from_csr(&m).unwrap();
+        let k = 3usize;
+        let x: Vec<f64> = (0..m.cols() * k).map(|i| (i as f64 * 0.3).cos()).collect();
+        let got = f.spmm_alloc(&x, k);
+        for j in 0..k {
+            let want = f.spmv_alloc(&x[j * m.cols()..(j + 1) * m.cols()]);
+            assert_eq!(&got[j * m.rows()..(j + 1) * m.rows()], &want[..], "column {j}");
+        }
     }
 
     #[test]

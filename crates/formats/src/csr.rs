@@ -1,17 +1,23 @@
 //! The three CSR SpMV implementations of the paper's CPU testbeds
-//! (Fig. 7): **Naive-CSR** (static row chunks), **Vectorized-CSR**
-//! (static row chunks with an unrolled, accumulator-split inner loop,
-//! standing in for the AVX2 kernels of the paper), and **Balanced-CSR**
-//! (nnz-balanced row chunks — "adds nonzero balancing (row
-//! resolution)").
+//! (Fig. 7): **Naive-CSR** (static row chunks, pinned to the scalar
+//! lane kernel — it *is* the baseline), **Vectorized-CSR** (static row
+//! chunks with the lane-unrolled gather-dot kernel, standing in for
+//! the AVX2 kernels of the paper), and **Balanced-CSR** (nnz-balanced
+//! row chunks — "adds nonzero balancing (row resolution)" — on the
+//! same lane kernel).
+//!
+//! All inner loops live in [`crate::kernels::dot`]; this file only
+//! holds storage, scheduling and the lane-width policy per variant.
 
+use crate::kernels::{dot, LaneProfile, LaneWidth};
 use crate::traits::SparseFormat;
 use crate::wire::{self, SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
 use spmv_parallel::{DisjointWriter, Executor, Schedule, ThreadPool};
 
 /// Decodes a CSR wire payload (the variant comes from the wire tag,
-/// not the payload).
+/// not the payload; the lane width from the decoding process's
+/// profile).
 pub(crate) fn decode(
     r: &mut SectionReader<'_>,
     variant: CsrVariant,
@@ -22,25 +28,38 @@ pub(crate) fn decode(
 /// Which CSR kernel variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CsrVariant {
-    /// Straight loop, static row partition.
+    /// Scalar loop, static row partition.
     Naive,
-    /// 4-way unrolled inner loop with independent accumulators (ILP),
+    /// Lane-unrolled inner loop with independent accumulators (ILP),
     /// static row partition.
     Vectorized,
-    /// Straight loop, nnz-balanced row partition.
+    /// Lane-unrolled loop, nnz-balanced row partition.
     Balanced,
 }
 
-/// CSR storage plus a kernel-variant tag.
+/// CSR storage plus a kernel-variant tag and resolved lane width.
 pub struct CsrFormat {
     matrix: CsrMatrix,
     variant: CsrVariant,
+    lanes: LaneWidth,
 }
 
 impl CsrFormat {
-    /// Wraps a CSR matrix with the chosen kernel variant.
+    /// Wraps a CSR matrix with the chosen kernel variant, resolving
+    /// lanes from the process-wide [`LaneProfile::current`].
     pub fn new(matrix: CsrMatrix, variant: CsrVariant) -> Self {
-        Self { matrix, variant }
+        Self::with_profile(matrix, variant, LaneProfile::current())
+    }
+
+    /// Wraps a CSR matrix with an explicit lane profile. Naive-CSR is
+    /// pinned to W = 1 regardless of the profile — it is the scalar
+    /// baseline the other kernels are measured against.
+    pub fn with_profile(matrix: CsrMatrix, variant: CsrVariant, profile: LaneProfile) -> Self {
+        let lanes = match variant {
+            CsrVariant::Naive => LaneWidth::W1,
+            _ => profile.width,
+        };
+        Self { matrix, variant, lanes }
     }
 
     /// Borrow of the underlying CSR matrix.
@@ -48,43 +67,22 @@ impl CsrFormat {
         &self.matrix
     }
 
-    #[inline]
-    fn row_sum(&self, r: usize, x: &[f64]) -> f64 {
-        let (lo, hi) = (self.matrix.row_ptr()[r], self.matrix.row_ptr()[r + 1]);
-        let cols = &self.matrix.col_idx()[lo..hi];
-        let vals = &self.matrix.values()[lo..hi];
-        match self.variant {
-            CsrVariant::Vectorized => row_sum_unrolled(cols, vals, x),
-            _ => cols.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum(),
-        }
+    /// The lane width this instance dispatches to.
+    pub fn lanes(&self) -> LaneWidth {
+        self.lanes
     }
 
     fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
-        for r in rows {
-            out.write(r, self.row_sum(r, x));
-        }
+        dot::csr_spmv_rows(
+            self.lanes,
+            rows,
+            self.matrix.row_ptr(),
+            self.matrix.col_idx(),
+            self.matrix.values(),
+            x,
+            out,
+        );
     }
-}
-
-/// 4-accumulator unrolled dot product: the scalar stand-in for the
-/// paper's AVX2 "Vectorized-CSR". Splitting the accumulator breaks the
-/// loop-carried dependence, letting the CPU (and LLVM's auto-
-/// vectorizer) exploit ILP on long rows.
-#[inline]
-fn row_sum_unrolled(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
-    let mut acc = [0.0f64; 4];
-    let chunks = cols.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
-            acc[lane] += vals[base + lane] * x[cols[base + lane] as usize];
-        }
-    }
-    let mut tail = 0.0;
-    for i in chunks * 4..cols.len() {
-        tail += vals[i] * x[cols[i] as usize];
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 impl SparseFormat for CsrFormat {
@@ -137,29 +135,18 @@ impl SparseFormat for CsrFormat {
         let (rows, cols) = (self.rows(), self.cols());
         assert_eq!(x.len(), cols * k, "x must be a column-major cols × k block");
         assert_eq!(y.len(), rows * k, "y must be a column-major rows × k block");
-        if k == 0 {
-            return;
-        }
-        // Fused kernel: each row's column indices and values are read
-        // once and reused across all k vectors, so the matrix stream —
-        // the bandwidth bottleneck of SpMV — is amortized k-fold.
-        let row_ptr = self.matrix.row_ptr();
-        let col_idx = self.matrix.col_idx();
-        let values = self.matrix.values();
-        let mut acc = vec![0.0f64; k];
-        for r in 0..rows {
-            acc.fill(0.0);
-            for i in row_ptr[r]..row_ptr[r + 1] {
-                let c = col_idx[i] as usize;
-                let v = values[i];
-                for (j, a) in acc.iter_mut().enumerate() {
-                    *a += v * x[j * cols + c];
-                }
-            }
-            for (j, &a) in acc.iter().enumerate() {
-                y[j * rows + r] = a;
-            }
-        }
+        dot::csr_spmm_rows(
+            self.lanes,
+            0..rows,
+            rows,
+            cols,
+            self.matrix.row_ptr(),
+            self.matrix.col_idx(),
+            self.matrix.values(),
+            x,
+            k,
+            y,
+        );
     }
 }
 
@@ -186,18 +173,31 @@ mod tests {
     }
 
     #[test]
-    fn all_variants_match_dense() {
+    fn all_variants_match_dense_at_every_width() {
         let m = test_matrix();
         let d = DenseMatrix::from_csr(&m);
         let x = x_for(&m);
         let want = d.spmv(&x);
         for variant in [CsrVariant::Naive, CsrVariant::Vectorized, CsrVariant::Balanced] {
-            let f = CsrFormat::new(m.clone(), variant);
-            let got = f.spmv_alloc(&x);
-            for (a, b) in got.iter().zip(&want) {
-                assert!((a - b).abs() < 1e-12, "{variant:?}: {a} vs {b}");
+            for width in LaneWidth::ALL {
+                let f = CsrFormat::with_profile(m.clone(), variant, LaneProfile::with_width(width));
+                let got = f.spmv_alloc(&x);
+                for (a, b) in got.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-12, "{variant:?} {width:?}: {a} vs {b}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn naive_is_pinned_to_scalar_lanes() {
+        let m = test_matrix();
+        let wide = LaneProfile::with_width(LaneWidth::W8);
+        assert_eq!(
+            CsrFormat::with_profile(m.clone(), CsrVariant::Naive, wide).lanes(),
+            LaneWidth::W1
+        );
+        assert_eq!(CsrFormat::with_profile(m, CsrVariant::Vectorized, wide).lanes(), LaneWidth::W8);
     }
 
     #[test]
@@ -210,20 +210,9 @@ mod tests {
             let seq = f.spmv_alloc(&x);
             let mut par = vec![f64::NAN; m.rows()];
             f.spmv_parallel(&pool, &x, &mut par);
-            for (a, b) in par.iter().zip(&seq) {
-                assert!((a - b).abs() < 1e-12);
-            }
-        }
-    }
-
-    #[test]
-    fn unrolled_sum_handles_all_lengths() {
-        let x: Vec<f64> = (0..32).map(|i| i as f64).collect();
-        for len in 0..16 {
-            let cols: Vec<u32> = (0..len as u32).collect();
-            let vals = vec![1.0; len];
-            let want: f64 = (0..len).map(|i| i as f64).sum();
-            assert_eq!(row_sum_unrolled(&cols, &vals, &x), want, "len {len}");
+            // Row sums are per-row deterministic, so parallel equals
+            // sequential bit-for-bit at a fixed profile.
+            assert_eq!(par, seq, "{variant:?}");
         }
     }
 
@@ -254,14 +243,20 @@ mod tests {
         let m = test_matrix();
         let (rows, cols) = (m.rows(), m.cols());
         for variant in [CsrVariant::Naive, CsrVariant::Vectorized, CsrVariant::Balanced] {
-            let f = CsrFormat::new(m.clone(), variant);
-            for k in [0usize, 1, 3, 8] {
-                let x: Vec<f64> = (0..cols * k).map(|i| (i as f64 * 0.041).sin()).collect();
-                let got = f.spmm_alloc(&x, k);
-                for j in 0..k {
-                    let want = f.spmv_alloc(&x[j * cols..(j + 1) * cols]);
-                    for (i, (a, b)) in got[j * rows..(j + 1) * rows].iter().zip(&want).enumerate() {
-                        assert!((a - b).abs() < 1e-12, "{variant:?} k={k} col {j} row {i}");
+            for width in LaneWidth::ALL {
+                let f = CsrFormat::with_profile(m.clone(), variant, LaneProfile::with_width(width));
+                for k in [0usize, 1, 3, 8] {
+                    let x: Vec<f64> = (0..cols * k).map(|i| (i as f64 * 0.041).sin()).collect();
+                    let got = f.spmm_alloc(&x, k);
+                    for j in 0..k {
+                        let want = f.spmv_alloc(&x[j * cols..(j + 1) * cols]);
+                        // Fused SpMM shares the kernel's accumulation
+                        // order with SpMV, so agreement is exact.
+                        assert_eq!(
+                            &got[j * rows..(j + 1) * rows],
+                            &want[..],
+                            "{variant:?} {width:?} k={k} col {j}"
+                        );
                     }
                 }
             }

@@ -4,7 +4,12 @@
 //! up on skewed ones — conversions therefore enforce a configurable
 //! padding budget and refuse pathological matrices, exactly like real
 //! ELL users do.
+//!
+//! The inner loops live in [`crate::kernels::slab`]: W-row lane blocks
+//! with one accumulator per row, so results are bit-identical at every
+//! lane width (see the kernels module's determinism contract).
 
+use crate::kernels::{slab, LaneProfile, LaneWidth};
 use crate::traits::{FormatBuildError, SparseFormat};
 use crate::wire::{SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
@@ -36,7 +41,7 @@ pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<EllFormat, WireError> 
     if nnz > stored {
         return Err(malformed(format!("ELL nnz {nnz} exceeds stored entries {stored}")));
     }
-    Ok(EllFormat { rows, cols, nnz, width, col_idx, values })
+    Ok(EllFormat { rows, cols, nnz, width, col_idx, values, lanes: LaneProfile::current().width })
 }
 
 /// Default cap on `stored entries / nnz` before conversion refuses.
@@ -54,10 +59,13 @@ pub struct EllFormat {
     col_idx: Vec<u32>,
     /// Matching values; padding entries are `0.0`.
     values: Vec<f64>,
+    /// Lane width the kernels dispatch to.
+    lanes: LaneWidth,
 }
 
 impl EllFormat {
-    /// Converts from CSR with the default padding budget.
+    /// Converts from CSR with the default padding budget and the
+    /// process-wide [`LaneProfile::current`].
     pub fn from_csr(csr: &CsrMatrix) -> Result<Self, FormatBuildError> {
         Self::from_csr_with_budget(csr, DEFAULT_MAX_PADDING_RATIO)
     }
@@ -66,6 +74,16 @@ impl EllFormat {
     pub fn from_csr_with_budget(
         csr: &CsrMatrix,
         max_padding_ratio: f64,
+    ) -> Result<Self, FormatBuildError> {
+        Self::from_csr_with(csr, max_padding_ratio, LaneProfile::current())
+    }
+
+    /// Converts from CSR with an explicit padding budget and lane
+    /// profile.
+    pub fn from_csr_with(
+        csr: &CsrMatrix,
+        max_padding_ratio: f64,
+        profile: LaneProfile,
     ) -> Result<Self, FormatBuildError> {
         let rows = csr.rows();
         let width = (0..rows).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
@@ -87,7 +105,7 @@ impl EllFormat {
                 values[j * rows + r] = v;
             }
         }
-        Ok(Self { rows, cols: csr.cols(), nnz, width, col_idx, values })
+        Ok(Self { rows, cols: csr.cols(), nnz, width, col_idx, values, lanes: profile.width })
     }
 
     /// Slab width (`max_row_nnz`).
@@ -95,20 +113,22 @@ impl EllFormat {
         self.width
     }
 
+    /// The lane width this instance dispatches to.
+    pub fn lanes(&self) -> LaneWidth {
+        self.lanes
+    }
+
     fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
-        for r in rows.clone() {
-            out.write(r, 0.0);
-        }
-        // Column-major traversal: each `j` pass streams a contiguous
-        // lane of the slab, the access pattern vector units like.
-        for j in 0..self.width {
-            let base = j * self.rows;
-            for r in rows.clone() {
-                let v = self.values[base + r];
-                let c = self.col_idx[base + r] as usize;
-                out.add(r, v * x[c]);
-            }
-        }
+        slab::slab_spmv_rows(
+            self.lanes,
+            rows,
+            self.rows,
+            self.width,
+            &self.col_idx,
+            &self.values,
+            x,
+            out,
+        );
     }
 }
 
@@ -151,9 +171,10 @@ impl SparseFormat for EllFormat {
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        Executor::new(pool).run_disjoint(Schedule::Static { items: self.rows }, y, |range, out| {
-            self.spmv_rows(range, x, out)
-        });
+        // Lane-aligned chunk seams: only the last chunk can see a
+        // partial W-row block.
+        let schedule = Schedule::StaticAligned { items: self.rows, align: self.lanes.lanes() };
+        Executor::new(pool).run_disjoint(schedule, y, |range, out| self.spmv_rows(range, x, out));
     }
 
     fn encode_payload(&self, out: &mut SectionWriter) {
@@ -168,27 +189,21 @@ impl SparseFormat for EllFormat {
     fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
         assert_eq!(x.len(), self.cols * k, "x must be a column-major cols × k block");
         assert_eq!(y.len(), self.rows * k, "y must be a column-major rows × k block");
-        y.fill(0.0);
         // The slab is streamed exactly once (vs. k times for k
-        // independent SpMVs); row blocking keeps the k accumulated y
-        // stripes cache-resident while every loaded (value, column)
-        // pair feeds all k vectors.
-        const ROW_BLOCK: usize = 256;
-        let mut r0 = 0;
-        while r0 < self.rows {
-            let r1 = (r0 + ROW_BLOCK).min(self.rows);
-            for j in 0..self.width {
-                let base = j * self.rows;
-                for r in r0..r1 {
-                    let v = self.values[base + r];
-                    let c = self.col_idx[base + r] as usize;
-                    for jj in 0..k {
-                        y[jj * self.rows + r] += v * x[jj * self.cols + c];
-                    }
-                }
-            }
-            r0 = r1;
-        }
+        // independent SpMVs); every loaded (value, column) pair feeds
+        // all k vectors from a W × k register block.
+        slab::slab_spmm_rows(
+            self.lanes,
+            0..self.rows,
+            self.rows,
+            self.cols,
+            self.width,
+            &self.col_idx,
+            &self.values,
+            x,
+            k,
+            y,
+        );
     }
 }
 
@@ -208,14 +223,31 @@ mod tests {
     }
 
     #[test]
-    fn matches_dense() {
+    fn matches_dense_at_every_width() {
         let m = balanced_matrix();
         let x: Vec<f64> = (0..32).map(|i| (i as f64) * 0.1 - 1.6).collect();
         let want = DenseMatrix::from_csr(&m).spmv(&x);
-        let f = EllFormat::from_csr(&m).unwrap();
-        let got = f.spmv_alloc(&x);
-        for (a, b) in got.iter().zip(&want) {
-            assert!((a - b).abs() < 1e-12);
+        for width in LaneWidth::ALL {
+            let profile = LaneProfile::with_width(width);
+            let f = EllFormat::from_csr_with(&m, DEFAULT_MAX_PADDING_RATIO, profile).unwrap();
+            let got = f.spmv_alloc(&x);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-12, "{width:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_widths_are_bit_identical() {
+        // Slab accumulators map 1:1 to rows, so W is invisible in the
+        // result — the strongest form of the determinism contract.
+        let m = balanced_matrix();
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.71).sin()).collect();
+        let scalar = EllFormat::from_csr_with(&m, 16.0, LaneProfile::scalar()).unwrap();
+        let want = scalar.spmv_alloc(&x);
+        for width in [LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+            let f = EllFormat::from_csr_with(&m, 16.0, LaneProfile::with_width(width)).unwrap();
+            assert_eq!(f.spmv_alloc(&x), want, "{width:?}");
         }
     }
 
@@ -228,9 +260,7 @@ mod tests {
         let pool = ThreadPool::new(4);
         let mut got = vec![f64::NAN; 16];
         f.spmv_parallel(&pool, &x, &mut got);
-        for (a, b) in got.iter().zip(&want) {
-            assert!((a - b).abs() < 1e-12);
-        }
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -271,15 +301,19 @@ mod tests {
     #[test]
     fn spmm_matches_k_independent_spmvs() {
         let m = balanced_matrix();
-        let f = EllFormat::from_csr(&m).unwrap();
         let (rows, cols) = (m.rows(), m.cols());
-        for k in [1usize, 2, 8] {
-            let x: Vec<f64> = (0..cols * k).map(|i| (i as f64 * 0.13).cos()).collect();
-            let got = f.spmm_alloc(&x, k);
-            for j in 0..k {
-                let want = f.spmv_alloc(&x[j * cols..(j + 1) * cols]);
-                for (a, b) in got[j * rows..(j + 1) * rows].iter().zip(&want) {
-                    assert!((a - b).abs() < 1e-12, "k={k} col {j}");
+        for width in LaneWidth::ALL {
+            let f = EllFormat::from_csr_with(&m, 16.0, LaneProfile::with_width(width)).unwrap();
+            for k in [1usize, 2, 8] {
+                let x: Vec<f64> = (0..cols * k).map(|i| (i as f64 * 0.13).cos()).collect();
+                let got = f.spmm_alloc(&x, k);
+                for j in 0..k {
+                    let want = f.spmv_alloc(&x[j * cols..(j + 1) * cols]);
+                    assert_eq!(
+                        &got[j * rows..(j + 1) * rows],
+                        &want[..],
+                        "{width:?} k={k} col {j}"
+                    );
                 }
             }
         }

@@ -3,7 +3,13 @@
 //! row (the heuristic named by the paper), so the ELL slab stays
 //! padding-light while the skewed tail goes to the balanced COO part —
 //! this is the cuSPARSE-9.2 HYB of the GPU testbeds.
+//!
+//! Neither half owns an inner loop anymore: the ELL slab runs on
+//! [`crate::kernels::slab`] (shared with [`crate::ell`]) and the COO
+//! tail runs on [`spmv_parallel::accumulate_rows`] (shared with
+//! [`crate::coo`]) in both the sequential and the parallel path.
 
+use crate::kernels::{slab, LaneProfile, LaneWidth};
 use crate::traits::SparseFormat;
 use crate::wire::{SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
@@ -57,7 +63,19 @@ pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<HybFormat, WireError> 
             coo_val.len()
         )));
     }
-    Ok(HybFormat { rows, cols, nnz, k, ell_col, ell_val, coo_row, coo_col, coo_val, ell_nnz })
+    Ok(HybFormat {
+        rows,
+        cols,
+        nnz,
+        k,
+        ell_col,
+        ell_val,
+        coo_row,
+        coo_col,
+        coo_val,
+        ell_nnz,
+        lanes: LaneProfile::current().width,
+    })
 }
 
 /// Hybrid ELL + COO storage.
@@ -76,18 +94,31 @@ pub struct HybFormat {
     coo_val: Vec<f64>,
     /// Logical (non-padding) entries stored in the ELL part.
     ell_nnz: usize,
+    /// Lane width the ELL slab kernel dispatches to.
+    lanes: LaneWidth,
 }
 
 impl HybFormat {
     /// Converts from CSR with `k = ceil(avg nnz per row)`.
     pub fn from_csr(csr: &CsrMatrix) -> Self {
+        Self::from_csr_profile(csr, LaneProfile::current())
+    }
+
+    /// Converts from CSR with `k = ceil(avg nnz per row)` and an
+    /// explicit lane profile.
+    pub fn from_csr_profile(csr: &CsrMatrix, profile: LaneProfile) -> Self {
         let rows = csr.rows();
         let avg = if rows > 0 { csr.nnz() as f64 / rows as f64 } else { 0.0 };
-        Self::from_csr_with_k(csr, avg.ceil() as usize)
+        Self::from_csr_with(csr, avg.ceil() as usize, profile)
     }
 
     /// Converts from CSR with an explicit ELL width `k`.
     pub fn from_csr_with_k(csr: &CsrMatrix, k: usize) -> Self {
+        Self::from_csr_with(csr, k, LaneProfile::current())
+    }
+
+    /// Converts from CSR with an explicit ELL width and lane profile.
+    pub fn from_csr_with(csr: &CsrMatrix, k: usize, profile: LaneProfile) -> Self {
         let rows = csr.rows();
         let stored = k.saturating_mul(rows);
         let mut ell_col = vec![0u32; stored];
@@ -121,6 +152,7 @@ impl HybFormat {
             coo_col,
             coo_val,
             ell_nnz,
+            lanes: profile.width,
         }
     }
 
@@ -139,15 +171,42 @@ impl HybFormat {
         self.ell_nnz
     }
 
+    /// The lane width this instance dispatches to.
+    pub fn lanes(&self) -> LaneWidth {
+        self.lanes
+    }
+
     fn ell_rows(&self, rows: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
-        for r in rows.clone() {
-            out.write(r, 0.0);
+        slab::slab_spmv_rows(
+            self.lanes,
+            rows,
+            self.rows,
+            self.k,
+            &self.ell_col,
+            &self.ell_val,
+            x,
+            out,
+        );
+    }
+
+    /// Adds the COO tail on top of the ELL partial sums in `y` using
+    /// the shared carry kernel over a single chunk (the carries *are*
+    /// the first/last row sums, merged right here).
+    fn coo_tail_sequential(&self, x: &[f64], y: &mut [f64]) {
+        let carries = {
+            let out = DisjointWriter::new(y);
+            accumulate_rows(
+                0..self.coo_val.len(),
+                |i| self.coo_row[i] as usize,
+                |i| self.coo_val[i] * x[self.coo_col[i] as usize],
+                &out,
+            )
+        };
+        if let Some((row, sum)) = carries.first {
+            y[row] += sum;
         }
-        for j in 0..self.k {
-            let base = j * self.rows;
-            for r in rows.clone() {
-                out.add(r, self.ell_val[base + r] * x[self.ell_col[base + r] as usize]);
-            }
+        if let Some((row, sum)) = carries.last {
+            y[row] += sum;
         }
     }
 }
@@ -201,21 +260,21 @@ impl SparseFormat for HybFormat {
     fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
-        let out = DisjointWriter::new(y);
-        self.ell_rows(0..self.rows, x, &out);
-        for i in 0..self.coo_val.len() {
-            y[self.coo_row[i] as usize] += self.coo_val[i] * x[self.coo_col[i] as usize];
+        {
+            let out = DisjointWriter::new(y);
+            self.ell_rows(0..self.rows, x, &out);
         }
+        self.coo_tail_sequential(x, y);
     }
 
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(y.len(), self.rows);
         let exec = Executor::new(pool);
-        // Phase 1: ELL slab over static row chunks (overwrites y).
-        exec.run_disjoint(Schedule::Static { items: self.rows }, y, |range, out| {
-            self.ell_rows(range, x, out)
-        });
+        // Phase 1: ELL slab over lane-aligned static row chunks
+        // (overwrites y).
+        let schedule = Schedule::StaticAligned { items: self.rows, align: self.lanes.lanes() };
+        exec.run_disjoint(schedule, y, |range, out| self.ell_rows(range, x, out));
         // Phase 2: COO tail via the shared carry kernel, *adding* on
         // top of the ELL partial sums (interior rows are owned by
         // exactly one chunk; boundary rows merge sequentially).
@@ -261,6 +320,17 @@ mod tests {
         let got = HybFormat::from_csr(&m).spmv_alloc(&x);
         for (a, b) in got.iter().zip(&want) {
             assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lane_widths_are_bit_identical() {
+        let m = skewed_matrix();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.33).sin()).collect();
+        let want = HybFormat::from_csr_with(&m, 4, LaneProfile::scalar()).spmv_alloc(&x);
+        for width in [LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+            let f = HybFormat::from_csr_with(&m, 4, LaneProfile::with_width(width));
+            assert_eq!(f.spmv_alloc(&x), want, "{width:?}");
         }
     }
 

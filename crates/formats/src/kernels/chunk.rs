@@ -1,0 +1,384 @@
+//! Microkernels for SELL-C-σ chunk slabs: chunk `k` stores its C
+//! packed rows column-major (entry (lane i, slot j) at
+//! `chunk_ptr[k] + j*C + i`), padded to the chunk's own widest row.
+//! The i-loop over the C in-chunk lanes is W-blocked so LLVM can pack
+//! each block of W adjacent accumulators into vector FMAs.
+//!
+//! Each in-chunk lane owns exactly one packed row and its additions
+//! are slot-sequential, so — like the ELL slab kernels — results are
+//! **bit-identical across lane widths**; W is purely a throughput
+//! knob. Results are scattered through `perm` (guarded against the
+//! padding lanes of the final partial chunk).
+
+use super::LaneWidth;
+use spmv_parallel::DisjointWriter;
+use std::ops::Range;
+
+#[allow(clippy::too_many_arguments)]
+fn sell_chunks_w<const W: usize>(
+    chunks: Range<usize>,
+    c: usize,
+    total_rows: usize,
+    perm: &[u32],
+    chunk_ptr: &[usize],
+    chunk_width: &[u32],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) {
+    let mut acc = vec![0.0f64; c];
+    for k in chunks {
+        acc.fill(0.0);
+        let base = chunk_ptr[k];
+        let width = chunk_width[k] as usize;
+        for j in 0..width {
+            let slot = base + j * c;
+            let mut i = 0;
+            while i + W <= c {
+                for lane in 0..W {
+                    let p = slot + i + lane;
+                    acc[i + lane] += values[p] * x[col_idx[p] as usize];
+                }
+                i += W;
+            }
+            while i < c {
+                acc[i] += values[slot + i] * x[col_idx[slot + i] as usize];
+                i += 1;
+            }
+        }
+        for (i, &a) in acc.iter().enumerate() {
+            let p = k * c + i;
+            if p < total_rows {
+                out.write(perm[p] as usize, a);
+            }
+        }
+    }
+}
+
+/// SpMV over a SELL-C-σ chunk range, scattering through `perm`.
+#[allow(clippy::too_many_arguments)]
+pub fn sell_spmv_chunks(
+    lanes: LaneWidth,
+    chunks: Range<usize>,
+    c: usize,
+    total_rows: usize,
+    perm: &[u32],
+    chunk_ptr: &[usize],
+    chunk_width: &[u32],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) {
+    match lanes {
+        LaneWidth::W1 => sell_chunks_w::<1>(
+            chunks,
+            c,
+            total_rows,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            out,
+        ),
+        LaneWidth::W2 => sell_chunks_w::<2>(
+            chunks,
+            c,
+            total_rows,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            out,
+        ),
+        LaneWidth::W4 => sell_chunks_w::<4>(
+            chunks,
+            c,
+            total_rows,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            out,
+        ),
+        LaneWidth::W8 => sell_chunks_w::<8>(
+            chunks,
+            c,
+            total_rows,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            out,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sell_spmm_w<const W: usize>(
+    chunks: Range<usize>,
+    c: usize,
+    total_rows: usize,
+    total_cols: usize,
+    perm: &[u32],
+    chunk_ptr: &[usize],
+    chunk_width: &[u32],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    k: usize,
+    y: &mut [f64],
+) {
+    // acc[i * k + jj]: (in-chunk lane i, rhs jj) accumulator.
+    let mut acc = vec![0.0f64; c * k];
+    for chunk in chunks {
+        acc.fill(0.0);
+        let base = chunk_ptr[chunk];
+        let width = chunk_width[chunk] as usize;
+        for j in 0..width {
+            let slot = base + j * c;
+            let mut i = 0;
+            while i + W <= c {
+                for lane in 0..W {
+                    let p = slot + i + lane;
+                    let v = values[p];
+                    let col = col_idx[p] as usize;
+                    for jj in 0..k {
+                        acc[(i + lane) * k + jj] += v * x[jj * total_cols + col];
+                    }
+                }
+                i += W;
+            }
+            while i < c {
+                let v = values[slot + i];
+                let col = col_idx[slot + i] as usize;
+                for jj in 0..k {
+                    acc[i * k + jj] += v * x[jj * total_cols + col];
+                }
+                i += 1;
+            }
+        }
+        for i in 0..c {
+            let p = chunk * c + i;
+            if p < total_rows {
+                let r = perm[p] as usize;
+                for jj in 0..k {
+                    y[jj * total_rows + r] = acc[i * k + jj];
+                }
+            }
+        }
+    }
+}
+
+/// Fused SpMM over a SELL-C-σ chunk range: every packed (value,
+/// column) pair is loaded once and multiplied against all `k`
+/// right-hand sides. Per-(row, rhs) accumulation order matches
+/// [`sell_spmv_chunks`] — slot-sequential, width-independent.
+#[allow(clippy::too_many_arguments)]
+pub fn sell_spmm_chunks(
+    lanes: LaneWidth,
+    chunks: Range<usize>,
+    c: usize,
+    total_rows: usize,
+    total_cols: usize,
+    perm: &[u32],
+    chunk_ptr: &[usize],
+    chunk_width: &[u32],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    k: usize,
+    y: &mut [f64],
+) {
+    if k == 0 {
+        return;
+    }
+    match lanes {
+        LaneWidth::W1 => sell_spmm_w::<1>(
+            chunks,
+            c,
+            total_rows,
+            total_cols,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            k,
+            y,
+        ),
+        LaneWidth::W2 => sell_spmm_w::<2>(
+            chunks,
+            c,
+            total_rows,
+            total_cols,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            k,
+            y,
+        ),
+        LaneWidth::W4 => sell_spmm_w::<4>(
+            chunks,
+            c,
+            total_rows,
+            total_cols,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            k,
+            y,
+        ),
+        LaneWidth::W8 => sell_spmm_w::<8>(
+            chunks,
+            c,
+            total_rows,
+            total_cols,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            k,
+            y,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two chunks of C = 3 over 5 rows (last chunk has one padding
+    /// lane), widths 2 and 1, identity-ish perm with a swap.
+    struct Fixture {
+        c: usize,
+        rows: usize,
+        perm: Vec<u32>,
+        chunk_ptr: Vec<usize>,
+        chunk_width: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    }
+
+    fn fixture() -> Fixture {
+        let c = 3;
+        let rows = 5;
+        let perm = vec![1u32, 0, 2, 4, 3];
+        let chunk_ptr = vec![0usize, 6, 9];
+        let chunk_width = vec![2u32, 1];
+        // chunk 0: slots j=0 (lanes 0..3) then j=1; chunk 1: one slot.
+        let col_idx = vec![0u32, 1, 2, 3, 0, 1, 2, 3, 0];
+        let values = vec![1.0, 2.0, -1.0, 0.5, 0.0, 1.5, 3.0, -2.0, 0.0];
+        Fixture { c, rows, perm, chunk_ptr, chunk_width, col_idx, values }
+    }
+
+    #[test]
+    fn all_widths_including_w_wider_than_c_are_bit_identical() {
+        let f = fixture();
+        let x: Vec<f64> = (0..4).map(|i| (i as f64 * 0.83).sin() + 2.0).collect();
+        let mut want = vec![f64::NAN; f.rows];
+        {
+            let out = DisjointWriter::new(&mut want);
+            sell_spmv_chunks(
+                LaneWidth::W1,
+                0..2,
+                f.c,
+                f.rows,
+                &f.perm,
+                &f.chunk_ptr,
+                &f.chunk_width,
+                &f.col_idx,
+                &f.values,
+                &x,
+                &out,
+            );
+        }
+        assert!(want.iter().all(|v| v.is_finite()), "every row written");
+        // W = 4 and W = 8 exceed C = 3: the scalar remainder path must
+        // cover the whole lane loop and still agree exactly.
+        for lanes in [LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+            let mut y = vec![f64::NAN; f.rows];
+            {
+                let out = DisjointWriter::new(&mut y);
+                sell_spmv_chunks(
+                    lanes,
+                    0..2,
+                    f.c,
+                    f.rows,
+                    &f.perm,
+                    &f.chunk_ptr,
+                    &f.chunk_width,
+                    &f.col_idx,
+                    &f.values,
+                    &x,
+                    &out,
+                );
+            }
+            assert_eq!(y, want, "{lanes:?}");
+        }
+    }
+
+    #[test]
+    fn spmm_matches_repeated_spmv_bitwise() {
+        let f = fixture();
+        let cols = 4;
+        let k = 2;
+        let x: Vec<f64> = (0..cols * k).map(|i| (i as f64 * 0.47).cos() - 0.5).collect();
+        for lanes in LaneWidth::ALL {
+            let mut y = vec![f64::NAN; f.rows * k];
+            sell_spmm_chunks(
+                lanes,
+                0..2,
+                f.c,
+                f.rows,
+                cols,
+                &f.perm,
+                &f.chunk_ptr,
+                &f.chunk_width,
+                &f.col_idx,
+                &f.values,
+                &x,
+                k,
+                &mut y,
+            );
+            for j in 0..k {
+                let mut want = vec![f64::NAN; f.rows];
+                {
+                    let out = DisjointWriter::new(&mut want);
+                    sell_spmv_chunks(
+                        lanes,
+                        0..2,
+                        f.c,
+                        f.rows,
+                        &f.perm,
+                        &f.chunk_ptr,
+                        &f.chunk_width,
+                        &f.col_idx,
+                        &f.values,
+                        &x[j * cols..(j + 1) * cols],
+                        &out,
+                    );
+                }
+                assert_eq!(&y[j * f.rows..(j + 1) * f.rows], &want[..], "{lanes:?} rhs {j}");
+            }
+        }
+    }
+}

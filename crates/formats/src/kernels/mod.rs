@@ -1,0 +1,273 @@
+//! Shared lane-kernel layer: the SIMD-style inner loops of every
+//! row-major sparse kernel in this crate, written **once** and
+//! instantiated per lane width W ∈ {1, 2, 4, 8}.
+//!
+//! The paper's premise (and SELL-C-σ's raison d'être, Kreutzer et
+//! al.) is that the inner gather·multiply·accumulate loop maps onto
+//! vector lanes. Stable Rust has no `std::simd`, so the microkernels
+//! here use the next best thing: **W independent accumulators** in a
+//! const-generic loop body that LLVM's auto-vectorizer reliably turns
+//! into packed FMAs. Dispatch over W happens *once per kernel call*
+//! (a `match` on [`LaneWidth`] selecting a monomorphized instance),
+//! never per row.
+//!
+//! Submodules by memory layout:
+//!
+//! | module  | layout                          | used by              |
+//! |---------|---------------------------------|----------------------|
+//! | [`dot`]   | CSR row slices (gather dot)     | Naive/Vectorized/Balanced CSR |
+//! | [`slab`]  | col-major `width × rows` slab   | ELL, HYB's ELL half  |
+//! | [`chunk`] | SELL-C-σ chunk-major slabs      | SELL-C-σ (C ∈ 4/8/16) |
+//!
+//! ## Determinism contract
+//!
+//! * At a **fixed** [`LaneProfile`], every kernel is bit-reproducible
+//!   run to run and across thread counts: each accumulator maps to a
+//!   fixed set of products added in a fixed order.
+//! * For the slab and chunk kernels, accumulators map 1:1 to matrix
+//!   *rows*, so the per-row addition order is j-sequential regardless
+//!   of W — those kernels are bit-identical **across** lane widths
+//!   too.
+//! * For the gather-dot kernel, W splits a row's products across W
+//!   accumulators (reduced pairwise), so different widths may differ
+//!   in the last ulps — cross-width agreement is within floating-point
+//!   tolerance only.
+
+use spmv_parallel::DisjointWriter;
+
+pub mod chunk;
+pub mod dot;
+pub mod slab;
+
+/// Number of independent accumulator lanes a kernel instance unrolls.
+///
+/// Widths mirror the hardware the paper benchmarks: 1 (scalar), 2
+/// (NEON 128-bit / SSE2), 4 (AVX2), 8 (AVX-512).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LaneWidth {
+    /// Scalar: one accumulator, strictly sequential sums.
+    W1,
+    /// Two lanes (128-bit double vectors).
+    W2,
+    /// Four lanes (256-bit double vectors, AVX2).
+    W4,
+    /// Eight lanes (512-bit double vectors, AVX-512).
+    W8,
+}
+
+impl LaneWidth {
+    /// Every width, narrowest first.
+    pub const ALL: [LaneWidth; 4] = [LaneWidth::W1, LaneWidth::W2, LaneWidth::W4, LaneWidth::W8];
+
+    /// The number of lanes as a plain count.
+    #[inline]
+    pub fn lanes(self) -> usize {
+        match self {
+            LaneWidth::W1 => 1,
+            LaneWidth::W2 => 2,
+            LaneWidth::W4 => 4,
+            LaneWidth::W8 => 8,
+        }
+    }
+
+    /// Largest supported width not exceeding `n` (0 rounds up to 1).
+    pub fn from_lanes(n: usize) -> LaneWidth {
+        match n {
+            0 | 1 => LaneWidth::W1,
+            2 | 3 => LaneWidth::W2,
+            4..=7 => LaneWidth::W4,
+            _ => LaneWidth::W8,
+        }
+    }
+}
+
+/// The lane configuration chosen once at startup (or per engine) and
+/// threaded through format construction, so every kernel call
+/// dispatches on a pre-resolved width instead of re-probing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneProfile {
+    /// Unroll width for the inner loops.
+    pub width: LaneWidth,
+    /// Preferred SELL-C-σ chunk width for this profile; chunks of C
+    /// rows feed C accumulators, so C tracks (a small multiple of)
+    /// the vector width.
+    pub sell_c: usize,
+}
+
+impl LaneProfile {
+    /// Strictly scalar profile: W = 1, C = 4.
+    pub fn scalar() -> Self {
+        LaneProfile::with_width(LaneWidth::W1)
+    }
+
+    /// Profile for an explicit width, with the matching default C.
+    pub fn with_width(width: LaneWidth) -> Self {
+        LaneProfile { width, sell_c: default_sell_c(width) }
+    }
+
+    /// The process-wide profile: `SPMV_LANES` if set to a parseable
+    /// lane count, else a host CPU-feature probe. Resolved once and
+    /// cached (mirroring `SPMV_THREADS` in `spmv-parallel`).
+    pub fn current() -> Self {
+        let (env, host) = *probe();
+        LaneProfile::with_width(env.unwrap_or(host))
+    }
+
+    /// Resolves the effective profile given an optional device hint:
+    /// the `SPMV_LANES` override always wins, then the hint, then the
+    /// host probe. Engines pass their `DeviceSpec`-derived profile as
+    /// the hint so modeled devices keep their calibrated width unless
+    /// the operator pins one.
+    pub fn resolve(hint: Option<LaneProfile>) -> Self {
+        let (env, host) = *probe();
+        match env {
+            Some(w) => LaneProfile::with_width(w),
+            None => hint.unwrap_or_else(|| LaneProfile::with_width(host)),
+        }
+    }
+}
+
+/// Default SELL chunk width per lane width: narrow profiles want small
+/// chunks (less padding), wide profiles want chunks that fill the
+/// vector unit.
+pub fn default_sell_c(width: LaneWidth) -> usize {
+    match width {
+        LaneWidth::W1 | LaneWidth::W2 => 4,
+        LaneWidth::W4 => 8,
+        LaneWidth::W8 => 16,
+    }
+}
+
+/// Parses an `SPMV_LANES`-style value: a lane count, rounded down to
+/// the nearest supported width. Unparseable or zero values yield
+/// `None` (fall through to the probe).
+fn width_from_env_str(v: &str) -> Option<LaneWidth> {
+    match v.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(LaneWidth::from_lanes(n)),
+    }
+}
+
+/// Best width the *host* CPU supports, by feature detection.
+fn host_width() -> LaneWidth {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            LaneWidth::W8
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            LaneWidth::W4
+        } else {
+            LaneWidth::W2
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        LaneWidth::W2
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        LaneWidth::W1
+    }
+}
+
+/// (env override, host default), probed once per process.
+fn probe() -> &'static (Option<LaneWidth>, LaneWidth) {
+    static PROBE: std::sync::OnceLock<(Option<LaneWidth>, LaneWidth)> = std::sync::OnceLock::new();
+    PROBE.get_or_init(|| {
+        let env = std::env::var("SPMV_LANES").ok().and_then(|v| width_from_env_str(&v));
+        (env, host_width())
+    })
+}
+
+/// Pairwise (tree) reduction of W accumulators. For W = 4 this is
+/// `(a0+a1) + (a2+a3)` — the historical Vectorized-CSR order — and
+/// the order is fixed per W, which is what the determinism contract
+/// requires.
+#[inline]
+pub(crate) fn tree_sum<const W: usize>(acc: &[f64; W]) -> f64 {
+    match W {
+        1 => acc[0],
+        2 => acc[0] + acc[1],
+        4 => (acc[0] + acc[1]) + (acc[2] + acc[3]),
+        8 => ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])),
+        _ => unreachable!("unsupported lane width {W}"),
+    }
+}
+
+/// Writes `acc[lane]` to `out[first_row + lane]` for a full block of
+/// W rows.
+#[inline]
+pub(crate) fn write_block<const W: usize>(
+    out: &DisjointWriter<'_>,
+    first_row: usize,
+    acc: &[f64; W],
+) {
+    for (lane, &a) in acc.iter().enumerate() {
+        out.write(first_row + lane, a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts_round_trip() {
+        for w in LaneWidth::ALL {
+            assert_eq!(LaneWidth::from_lanes(w.lanes()), w);
+        }
+        assert_eq!(LaneWidth::from_lanes(0), LaneWidth::W1);
+        assert_eq!(LaneWidth::from_lanes(3), LaneWidth::W2);
+        assert_eq!(LaneWidth::from_lanes(6), LaneWidth::W4);
+        assert_eq!(LaneWidth::from_lanes(64), LaneWidth::W8);
+    }
+
+    #[test]
+    fn env_string_parsing_matches_spmv_threads_discipline() {
+        // Mirrors the SPMV_THREADS contract: garbage and zero fall
+        // through to the probe instead of erroring.
+        assert_eq!(width_from_env_str("1"), Some(LaneWidth::W1));
+        assert_eq!(width_from_env_str("2"), Some(LaneWidth::W2));
+        assert_eq!(width_from_env_str("4"), Some(LaneWidth::W4));
+        assert_eq!(width_from_env_str("8"), Some(LaneWidth::W8));
+        assert_eq!(width_from_env_str(" 8 "), Some(LaneWidth::W8));
+        assert_eq!(width_from_env_str("5"), Some(LaneWidth::W4));
+        assert_eq!(width_from_env_str("0"), None);
+        assert_eq!(width_from_env_str("banana"), None);
+        assert_eq!(width_from_env_str(""), None);
+    }
+
+    #[test]
+    fn default_chunk_width_tracks_lane_width() {
+        assert_eq!(default_sell_c(LaneWidth::W1), 4);
+        assert_eq!(default_sell_c(LaneWidth::W2), 4);
+        assert_eq!(default_sell_c(LaneWidth::W4), 8);
+        assert_eq!(default_sell_c(LaneWidth::W8), 16);
+        for w in LaneWidth::ALL {
+            assert_eq!(LaneProfile::with_width(w).sell_c, default_sell_c(w));
+        }
+    }
+
+    #[test]
+    fn resolve_prefers_hint_over_host_when_no_env_override() {
+        let hint = LaneProfile::with_width(LaneWidth::W2);
+        let resolved = LaneProfile::resolve(Some(hint));
+        let (env, _) = *probe();
+        match env {
+            // Operator pinned a width: the hint must lose.
+            Some(w) => assert_eq!(resolved.width, w),
+            None => assert_eq!(resolved, hint),
+        }
+        // current() and resolve(None) agree by construction.
+        assert_eq!(LaneProfile::resolve(None), LaneProfile::current());
+    }
+
+    #[test]
+    fn tree_sum_orders_are_fixed_per_width() {
+        assert_eq!(tree_sum::<1>(&[1.5]), 1.5);
+        assert_eq!(tree_sum::<2>(&[1.0, 2.0]), 3.0);
+        assert_eq!(tree_sum::<4>(&[1.0, 2.0, 3.0, 4.0]), (1.0 + 2.0) + (3.0 + 4.0));
+        let a8 = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        assert_eq!(tree_sum::<8>(&a8), ((1.0 + 2.0) + (3.0 + 4.0)) + ((5.0 + 6.0) + (7.0 + 8.0)));
+    }
+}

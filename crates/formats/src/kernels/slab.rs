@@ -1,0 +1,243 @@
+//! Microkernels for column-major ELL slabs (`width × rows`, entry
+//! (r, j) at `j * rows + r`): blocks of W adjacent rows advance
+//! through the slot columns together, each row owning exactly one
+//! accumulator.
+//!
+//! Because accumulators map 1:1 to rows and every row's additions are
+//! j-sequential, the result is **bit-identical for every lane width**
+//! — W only changes how many rows move in lockstep (and how well LLVM
+//! can pack the j-step into vector FMAs).
+
+use super::{write_block, LaneWidth};
+use spmv_parallel::DisjointWriter;
+use std::ops::Range;
+
+fn slab_rows_w<const W: usize>(
+    rows: Range<usize>,
+    total_rows: usize,
+    width: usize,
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) {
+    let mut r = rows.start;
+    while r + W <= rows.end {
+        let mut acc = [0.0f64; W];
+        for j in 0..width {
+            let base = j * total_rows + r;
+            for lane in 0..W {
+                acc[lane] += values[base + lane] * x[col_idx[base + lane] as usize];
+            }
+        }
+        write_block(out, r, &acc);
+        r += W;
+    }
+    // Remainder rows: same j-sequential order, one accumulator each.
+    for rr in r..rows.end {
+        let mut a = 0.0f64;
+        for j in 0..width {
+            let p = j * total_rows + rr;
+            a += values[p] * x[col_idx[p] as usize];
+        }
+        out.write(rr, a);
+    }
+}
+
+/// SpMV over a row range of an ELL slab; `out[r]` is **overwritten**
+/// with the slab row sum (padding slots carry value 0, so they are
+/// harmless additions).
+#[allow(clippy::too_many_arguments)]
+pub fn slab_spmv_rows(
+    lanes: LaneWidth,
+    rows: Range<usize>,
+    total_rows: usize,
+    width: usize,
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) {
+    match lanes {
+        LaneWidth::W1 => slab_rows_w::<1>(rows, total_rows, width, col_idx, values, x, out),
+        LaneWidth::W2 => slab_rows_w::<2>(rows, total_rows, width, col_idx, values, x, out),
+        LaneWidth::W4 => slab_rows_w::<4>(rows, total_rows, width, col_idx, values, x, out),
+        LaneWidth::W8 => slab_rows_w::<8>(rows, total_rows, width, col_idx, values, x, out),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn slab_spmm_w<const W: usize>(
+    rows: Range<usize>,
+    total_rows: usize,
+    total_cols: usize,
+    width: usize,
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    k: usize,
+    y: &mut [f64],
+) {
+    // acc[lane * k + j]: the (row r0+lane, rhs j) accumulator.
+    let mut acc = vec![0.0f64; W * k];
+    let mut r = rows.start;
+    while r + W <= rows.end {
+        acc.fill(0.0);
+        for j in 0..width {
+            let base = j * total_rows + r;
+            for lane in 0..W {
+                let c = col_idx[base + lane] as usize;
+                let v = values[base + lane];
+                for jj in 0..k {
+                    acc[lane * k + jj] += v * x[jj * total_cols + c];
+                }
+            }
+        }
+        for lane in 0..W {
+            for jj in 0..k {
+                y[jj * total_rows + r + lane] = acc[lane * k + jj];
+            }
+        }
+        r += W;
+    }
+    for rr in r..rows.end {
+        for jj in 0..k {
+            let mut a = 0.0f64;
+            for j in 0..width {
+                let p = j * total_rows + rr;
+                a += values[p] * x[jj * total_cols + col_idx[p] as usize];
+            }
+            y[jj * total_rows + rr] = a;
+        }
+    }
+}
+
+/// Fused SpMM over a row range of an ELL slab: each slab entry is
+/// read once and reused across all `k` right-hand sides. Per-(row,
+/// rhs) accumulation order matches [`slab_spmv_rows`] (j-sequential),
+/// so it too is width-independent bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn slab_spmm_rows(
+    lanes: LaneWidth,
+    rows: Range<usize>,
+    total_rows: usize,
+    total_cols: usize,
+    width: usize,
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    k: usize,
+    y: &mut [f64],
+) {
+    if k == 0 {
+        return;
+    }
+    match lanes {
+        LaneWidth::W1 => {
+            slab_spmm_w::<1>(rows, total_rows, total_cols, width, col_idx, values, x, k, y)
+        }
+        LaneWidth::W2 => {
+            slab_spmm_w::<2>(rows, total_rows, total_cols, width, col_idx, values, x, k, y)
+        }
+        LaneWidth::W4 => {
+            slab_spmm_w::<4>(rows, total_rows, total_cols, width, col_idx, values, x, k, y)
+        }
+        LaneWidth::W8 => {
+            slab_spmm_w::<8>(rows, total_rows, total_cols, width, col_idx, values, x, k, y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 5-row, width-3 slab with irregular column picks; col 0 pads.
+    fn slab() -> (usize, usize, Vec<u32>, Vec<f64>) {
+        let rows = 5;
+        let width = 3;
+        let mut col = vec![0u32; width * rows];
+        let mut val = vec![0.0f64; width * rows];
+        let entries = [
+            (0usize, 0usize, 2u32, 1.5),
+            (0, 1, 5, -2.0),
+            (0, 2, 6, 0.25),
+            (1, 0, 1, 3.0),
+            (3, 0, 0, -1.0),
+            (3, 1, 6, 4.0),
+            (4, 0, 3, 0.5),
+        ];
+        for (r, j, c, v) in entries {
+            col[j * rows + r] = c;
+            val[j * rows + r] = v;
+        }
+        (rows, width, col, val)
+    }
+
+    #[test]
+    fn all_widths_are_bit_identical() {
+        let (rows, width, col, val) = slab();
+        let x: Vec<f64> = (0..7).map(|i| (i as f64 * 0.61).sin() + 1.0).collect();
+        let mut want = vec![f64::NAN; rows];
+        {
+            let out = DisjointWriter::new(&mut want);
+            slab_spmv_rows(LaneWidth::W1, 0..rows, rows, width, &col, &val, &x, &out);
+        }
+        for lanes in [LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+            let mut y = vec![f64::NAN; rows];
+            {
+                let out = DisjointWriter::new(&mut y);
+                slab_spmv_rows(lanes, 0..rows, rows, width, &col, &val, &x, &out);
+            }
+            assert_eq!(y, want, "{lanes:?}");
+        }
+    }
+
+    #[test]
+    fn unaligned_ranges_cover_every_row_exactly_once() {
+        let (rows, width, col, val) = slab();
+        let x = vec![1.0; 7];
+        let mut whole = vec![f64::NAN; rows];
+        {
+            let out = DisjointWriter::new(&mut whole);
+            slab_spmv_rows(LaneWidth::W4, 0..rows, rows, width, &col, &val, &x, &out);
+        }
+        // Split at 3 (not a multiple of 4): remainder paths must agree.
+        let mut split = vec![f64::NAN; rows];
+        {
+            let out = DisjointWriter::new(&mut split);
+            slab_spmv_rows(LaneWidth::W4, 0..3, rows, width, &col, &val, &x, &out);
+            slab_spmv_rows(LaneWidth::W4, 3..rows, rows, width, &col, &val, &x, &out);
+        }
+        assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn spmm_matches_repeated_spmv_bitwise() {
+        let (rows, width, col, val) = slab();
+        let cols = 7;
+        let k = 3;
+        let x: Vec<f64> = (0..cols * k).map(|i| (i as f64 * 0.29).cos()).collect();
+        for lanes in LaneWidth::ALL {
+            let mut y = vec![f64::NAN; rows * k];
+            slab_spmm_rows(lanes, 0..rows, rows, cols, width, &col, &val, &x, k, &mut y);
+            for j in 0..k {
+                let mut want = vec![f64::NAN; rows];
+                {
+                    let out = DisjointWriter::new(&mut want);
+                    slab_spmv_rows(
+                        lanes,
+                        0..rows,
+                        rows,
+                        width,
+                        &col,
+                        &val,
+                        &x[j * cols..(j + 1) * cols],
+                        &out,
+                    );
+                }
+                assert_eq!(&y[j * rows..(j + 1) * rows], &want[..], "{lanes:?} rhs {j}");
+            }
+        }
+    }
+}

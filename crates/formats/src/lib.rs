@@ -17,6 +17,13 @@
 //! | SparseX-lite (CSX) | [`sparsex`] | nnz-balanced rows | memory footprint compression |
 //! | VSL (CSC variant) | [`vsl`] | HBM channel partitions | FPGA dataflow |
 //!
+//! The SIMD-style inner loops of the CSR variants, ELL, HYB and
+//! SELL-C-σ are not written per format: they live once in [`kernels`]
+//! as width-generic lane microkernels (gather-dot, dense slab, sliced
+//! chunk), instantiated at lane widths 1/2/4/8 and dispatched once per
+//! matrix from a [`kernels::LaneProfile`] chosen at startup (the
+//! `SPMV_LANES` environment variable overrides the probed default).
+//!
 //! Every format implements [`SparseFormat`]: conversion from CSR,
 //! sequential SpMV, parallel SpMV over a [`spmv_parallel::ThreadPool`],
 //! and byte-accurate storage accounting (including padding and
@@ -36,6 +43,7 @@ pub mod csr5;
 pub mod dia;
 pub mod ell;
 pub mod hyb;
+pub mod kernels;
 pub mod merge_csr;
 pub mod registry;
 pub mod sellcs;
@@ -44,6 +52,9 @@ pub mod traits;
 pub mod vsl;
 pub mod wire;
 
-pub use registry::{build_format, build_with_fallback, FormatKind};
+pub use kernels::{LaneProfile, LaneWidth};
+pub use registry::{
+    build_format, build_format_with, build_with_fallback, build_with_fallback_profile, FormatKind,
+};
 pub use traits::{FormatBuildError, SparseFormat};
 pub use wire::{deserialize_from, SectionReader, SectionWriter, WireError};

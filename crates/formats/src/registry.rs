@@ -12,8 +12,9 @@ use crate::csr5::Csr5Format;
 use crate::dia::DiaFormat;
 use crate::ell::EllFormat;
 use crate::hyb::HybFormat;
+use crate::kernels::LaneProfile;
 use crate::merge_csr::MergeCsrFormat;
-use crate::sellcs::SellCSigmaFormat;
+use crate::sellcs::{SellCSigmaFormat, DEFAULT_SIGMA};
 use crate::sparsex::SparseXFormat;
 use crate::traits::{FormatBuildError, SparseFormat};
 use crate::vsl::VslFormat;
@@ -49,11 +50,16 @@ pub enum FormatKind {
     SparseX,
     /// Vitis Sparse Library CSC variant (FPGA).
     Vsl,
+    /// SELL-C-σ pinned to chunk width C = 4 (narrow-vector profile).
+    SellC4,
+    /// SELL-C-σ pinned to chunk width C = 16 (wide-vector profile).
+    SellC16,
 }
 
 impl FormatKind {
-    /// All formats, in a stable report order.
-    pub const ALL: [FormatKind; 13] = [
+    /// All formats, in a stable report order. Positions are wire tags
+    /// (see `wire::tag_of`), so new kinds append at the END only.
+    pub const ALL: [FormatKind; 15] = [
         FormatKind::NaiveCsr,
         FormatKind::VectorizedCsr,
         FormatKind::BalancedCsr,
@@ -67,6 +73,8 @@ impl FormatKind {
         FormatKind::MergeCsr,
         FormatKind::SparseX,
         FormatKind::Vsl,
+        FormatKind::SellC4,
+        FormatKind::SellC16,
     ];
 
     /// The stable display name (matches `SparseFormat::name`).
@@ -85,6 +93,8 @@ impl FormatKind {
             FormatKind::MergeCsr => "Merge-CSR",
             FormatKind::SparseX => "SparseX",
             FormatKind::Vsl => "VSL",
+            FormatKind::SellC4 => "SELL-4-s",
+            FormatKind::SellC16 => "SELL-16-s",
         }
     }
 
@@ -93,8 +103,34 @@ impl FormatKind {
     pub fn is_research(self) -> bool {
         matches!(
             self,
-            FormatKind::SellCSigma | FormatKind::Csr5 | FormatKind::MergeCsr | FormatKind::SparseX
+            FormatKind::SellCSigma
+                | FormatKind::SellC4
+                | FormatKind::SellC16
+                | FormatKind::Csr5
+                | FormatKind::MergeCsr
+                | FormatKind::SparseX
         )
+    }
+
+    /// The SELL-C-σ chunk width a kind pins, if it is a SELL variant.
+    pub fn sell_c(self) -> Option<usize> {
+        match self {
+            FormatKind::SellC4 => Some(4),
+            FormatKind::SellCSigma => Some(crate::sellcs::DEFAULT_C),
+            FormatKind::SellC16 => Some(16),
+            _ => None,
+        }
+    }
+
+    /// The SELL variant whose pinned chunk width matches `c`, when one
+    /// exists (4, 8 or 16).
+    pub fn sell_variant_for_c(c: usize) -> Option<FormatKind> {
+        match c {
+            4 => Some(FormatKind::SellC4),
+            8 => Some(FormatKind::SellCSigma),
+            16 => Some(FormatKind::SellC16),
+            _ => None,
+        }
     }
 
     /// Inverse of [`FormatKind::name`]: resolves a stable display name
@@ -105,21 +141,54 @@ impl FormatKind {
     }
 }
 
-/// Builds the chosen format from CSR.
+/// Builds the chosen format from CSR with the process-wide
+/// [`LaneProfile::current`].
 pub fn build_format(
     kind: FormatKind,
     csr: &CsrMatrix,
 ) -> Result<Box<dyn SparseFormat>, FormatBuildError> {
+    build_format_with(kind, csr, LaneProfile::current())
+}
+
+/// Builds the chosen format from CSR with an explicit lane profile —
+/// the hook the engine uses to thread its `DeviceSpec`-derived profile
+/// through conversion. The SELL chunk widths stay pinned per kind
+/// (names are wire-stable); the profile only selects the kernel lane
+/// width.
+pub fn build_format_with(
+    kind: FormatKind,
+    csr: &CsrMatrix,
+    profile: LaneProfile,
+) -> Result<Box<dyn SparseFormat>, FormatBuildError> {
     Ok(match kind {
-        FormatKind::NaiveCsr => Box::new(CsrFormat::new(csr.clone(), CsrVariant::Naive)),
-        FormatKind::VectorizedCsr => Box::new(CsrFormat::new(csr.clone(), CsrVariant::Vectorized)),
-        FormatKind::BalancedCsr => Box::new(CsrFormat::new(csr.clone(), CsrVariant::Balanced)),
+        FormatKind::NaiveCsr => {
+            Box::new(CsrFormat::with_profile(csr.clone(), CsrVariant::Naive, profile))
+        }
+        FormatKind::VectorizedCsr => {
+            Box::new(CsrFormat::with_profile(csr.clone(), CsrVariant::Vectorized, profile))
+        }
+        FormatKind::BalancedCsr => {
+            Box::new(CsrFormat::with_profile(csr.clone(), CsrVariant::Balanced, profile))
+        }
         FormatKind::Coo => Box::new(CooFormat::from_csr(csr)),
         FormatKind::Dia => Box::new(DiaFormat::from_csr(csr)?),
         FormatKind::Bcsr => Box::new(BcsrFormat::from_csr(csr)?),
-        FormatKind::Ell => Box::new(EllFormat::from_csr(csr)?),
-        FormatKind::Hyb => Box::new(HybFormat::from_csr(csr)),
-        FormatKind::SellCSigma => Box::new(SellCSigmaFormat::from_csr(csr)),
+        FormatKind::Ell => {
+            Box::new(EllFormat::from_csr_with(csr, crate::ell::DEFAULT_MAX_PADDING_RATIO, profile)?)
+        }
+        FormatKind::Hyb => Box::new(HybFormat::from_csr_profile(csr, profile)),
+        FormatKind::SellCSigma => Box::new(SellCSigmaFormat::from_csr_with_profile(
+            csr,
+            crate::sellcs::DEFAULT_C,
+            DEFAULT_SIGMA,
+            profile,
+        )),
+        FormatKind::SellC4 => {
+            Box::new(SellCSigmaFormat::from_csr_with_profile(csr, 4, DEFAULT_SIGMA, profile))
+        }
+        FormatKind::SellC16 => {
+            Box::new(SellCSigmaFormat::from_csr_with_profile(csr, 16, DEFAULT_SIGMA, profile))
+        }
         FormatKind::Csr5 => Box::new(Csr5Format::from_csr(csr)),
         FormatKind::MergeCsr => Box::new(MergeCsrFormat::from_csr(csr)),
         FormatKind::SparseX => Box::new(SparseXFormat::from_csr(csr)?),
@@ -140,13 +209,24 @@ pub fn build_with_fallback(
     csr: &CsrMatrix,
     fallbacks: &[FormatKind],
 ) -> Result<(Box<dyn SparseFormat>, FormatKind, usize), FormatBuildError> {
+    build_with_fallback_profile(kind, csr, fallbacks, LaneProfile::current())
+}
+
+/// [`build_with_fallback`] with an explicit lane profile threaded into
+/// every candidate conversion.
+pub fn build_with_fallback_profile(
+    kind: FormatKind,
+    csr: &CsrMatrix,
+    fallbacks: &[FormatKind],
+    profile: LaneProfile,
+) -> Result<(Box<dyn SparseFormat>, FormatKind, usize), FormatBuildError> {
     let mut refusals = 0usize;
     let mut last_err = None;
     for &candidate in std::iter::once(&kind).chain(fallbacks) {
         if refusals > 0 && candidate == kind {
             continue; // don't retry the kind that already refused
         }
-        match build_format(candidate, csr) {
+        match build_format_with(candidate, csr, profile) {
             Ok(built) => return Ok((built, candidate, refusals)),
             Err(e) => {
                 refusals += 1;
@@ -260,8 +340,51 @@ mod tests {
         assert!(FormatKind::MergeCsr.is_research());
         assert!(FormatKind::SparseX.is_research());
         assert!(FormatKind::SellCSigma.is_research());
+        assert!(FormatKind::SellC4.is_research());
+        assert!(FormatKind::SellC16.is_research());
         assert!(!FormatKind::NaiveCsr.is_research());
         assert!(!FormatKind::Hyb.is_research());
         assert!(!FormatKind::Vsl.is_research());
+    }
+
+    #[test]
+    fn sell_chunk_width_variants_round_trip() {
+        assert_eq!(FormatKind::SellC4.sell_c(), Some(4));
+        assert_eq!(FormatKind::SellCSigma.sell_c(), Some(8));
+        assert_eq!(FormatKind::SellC16.sell_c(), Some(16));
+        assert_eq!(FormatKind::NaiveCsr.sell_c(), None);
+        for kind in [FormatKind::SellC4, FormatKind::SellCSigma, FormatKind::SellC16] {
+            assert_eq!(FormatKind::sell_variant_for_c(kind.sell_c().unwrap()), Some(kind));
+        }
+        assert_eq!(FormatKind::sell_variant_for_c(2), None);
+    }
+
+    #[test]
+    fn sell_variants_build_with_their_pinned_chunk_width() {
+        let m = CsrMatrix::identity(20);
+        for (kind, c) in
+            [(FormatKind::SellC4, 4usize), (FormatKind::SellCSigma, 8), (FormatKind::SellC16, 16)]
+        {
+            let f = build_format(kind, &m).unwrap();
+            assert_eq!(f.name(), kind.name());
+            // The pinned C shows up as the padded slab size on an
+            // identity matrix: ceil(rows/C)·C slots of width 1.
+            let stored = (20usize.div_ceil(c) * c) as f64;
+            assert!((f.padding_ratio() - stored / 20.0).abs() < 1e-12, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn profile_controls_lanes_but_not_names() {
+        use crate::kernels::{LaneProfile, LaneWidth};
+        let m = CsrMatrix::identity(8);
+        for kind in FormatKind::ALL {
+            for width in [LaneWidth::W1, LaneWidth::W8] {
+                let Ok(f) = build_format_with(kind, &m, LaneProfile::with_width(width)) else {
+                    continue;
+                };
+                assert_eq!(f.name(), kind.name(), "{kind:?} at {width:?}");
+            }
+        }
     }
 }

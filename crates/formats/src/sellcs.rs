@@ -5,7 +5,15 @@
 //! scope (better packing) against locality perturbation — "selected to
 //! match the underlying hardware capabilities without increasing
 //! memory latency overheads".
+//!
+//! The chunk width C is a *device-profile parameter*: besides the
+//! default C = 8 ("SELL-C-s"), the registry exposes pinned C = 4
+//! ("SELL-4-s") and C = 16 ("SELL-16-s") variants so the selector can
+//! learn which chunk width suits a matrix class on a given device.
+//! The inner loops live in [`crate::kernels::chunk`] (lane-blocked,
+//! bit-identical across lane widths).
 
+use crate::kernels::{chunk, LaneProfile, LaneWidth};
 use crate::traits::SparseFormat;
 use crate::wire::{SectionReader, SectionWriter, WireError};
 use spmv_core::CsrMatrix;
@@ -95,6 +103,7 @@ pub(crate) fn decode(r: &mut SectionReader<'_>) -> Result<SellCSigmaFormat, Wire
         chunk_width,
         col_idx,
         values,
+        lanes: LaneProfile::current().width,
     })
 }
 
@@ -120,6 +129,8 @@ pub struct SellCSigmaFormat {
     /// lives at `chunk_ptr[k] + j*C + i`. Padding: col 0 / val 0.
     col_idx: Vec<u32>,
     values: Vec<f64>,
+    /// Lane width the kernels dispatch to.
+    lanes: LaneWidth,
 }
 
 impl SellCSigmaFormat {
@@ -128,8 +139,20 @@ impl SellCSigmaFormat {
         Self::from_csr_with(csr, DEFAULT_C, DEFAULT_SIGMA)
     }
 
-    /// Converts from CSR with explicit chunk height and sorting scope.
+    /// Converts from CSR with explicit chunk height and sorting scope,
+    /// using the process-wide [`LaneProfile::current`].
     pub fn from_csr_with(csr: &CsrMatrix, c: usize, sigma: usize) -> Self {
+        Self::from_csr_with_profile(csr, c, sigma, LaneProfile::current())
+    }
+
+    /// Converts from CSR with explicit chunk height, sorting scope and
+    /// lane profile.
+    pub fn from_csr_with_profile(
+        csr: &CsrMatrix,
+        c: usize,
+        sigma: usize,
+        profile: LaneProfile,
+    ) -> Self {
         let rows = csr.rows();
         let c = c.max(1);
         let sigma = sigma.max(1);
@@ -180,6 +203,7 @@ impl SellCSigmaFormat {
             chunk_width,
             col_idx,
             values,
+            lanes: profile.width,
         }
     }
 
@@ -198,32 +222,38 @@ impl SellCSigmaFormat {
         &self.perm
     }
 
+    /// The lane width this instance dispatches to.
+    pub fn lanes(&self) -> LaneWidth {
+        self.lanes
+    }
+
     fn spmv_chunks(&self, chunks: std::ops::Range<usize>, x: &[f64], out: &DisjointWriter<'_>) {
-        let c = self.c;
-        let mut acc = vec![0.0f64; c];
-        for k in chunks {
-            acc.fill(0.0);
-            let base = self.chunk_ptr[k];
-            let width = self.chunk_width[k] as usize;
-            for j in 0..width {
-                let slot = base + j * c;
-                for (i, a) in acc.iter_mut().enumerate() {
-                    *a += self.values[slot + i] * x[self.col_idx[slot + i] as usize];
-                }
-            }
-            for (i, &a) in acc.iter().enumerate() {
-                let p = k * c + i;
-                if p < self.rows {
-                    out.write(self.perm[p] as usize, a);
-                }
-            }
-        }
+        chunk::sell_spmv_chunks(
+            self.lanes,
+            chunks,
+            self.c,
+            self.rows,
+            &self.perm,
+            &self.chunk_ptr,
+            &self.chunk_width,
+            &self.col_idx,
+            &self.values,
+            x,
+            out,
+        );
     }
 }
 
 impl SparseFormat for SellCSigmaFormat {
     fn name(&self) -> &'static str {
-        "SELL-C-s"
+        // The pinned chunk-width variants are distinct formats in the
+        // registry (distinct training labels for the selector), so the
+        // name is derived from C.
+        match self.c {
+            4 => "SELL-4-s",
+            16 => "SELL-16-s",
+            _ => "SELL-C-s",
+        }
     }
 
     fn rows(&self) -> usize {
@@ -290,38 +320,24 @@ impl SparseFormat for SellCSigmaFormat {
     fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
         assert_eq!(x.len(), self.cols * k, "x must be a column-major cols × k block");
         assert_eq!(y.len(), self.rows * k, "y must be a column-major rows × k block");
-        if k == 0 {
-            return;
-        }
         // Fused kernel: every packed (value, column) pair is loaded
         // once and multiplied against all k vectors; accumulators live
         // in a C × k scratch block per chunk.
-        let c = self.c;
-        let mut acc = vec![0.0f64; c * k];
-        for chunk in 0..self.chunk_width.len() {
-            acc.fill(0.0);
-            let base = self.chunk_ptr[chunk];
-            let width = self.chunk_width[chunk] as usize;
-            for j in 0..width {
-                let slot = base + j * c;
-                for i in 0..c {
-                    let v = self.values[slot + i];
-                    let col = self.col_idx[slot + i] as usize;
-                    for jj in 0..k {
-                        acc[i * k + jj] += v * x[jj * self.cols + col];
-                    }
-                }
-            }
-            for i in 0..c {
-                let p = chunk * c + i;
-                if p < self.rows {
-                    let r = self.perm[p] as usize;
-                    for jj in 0..k {
-                        y[jj * self.rows + r] = acc[i * k + jj];
-                    }
-                }
-            }
-        }
+        chunk::sell_spmm_chunks(
+            self.lanes,
+            0..self.chunk_width.len(),
+            self.c,
+            self.rows,
+            self.cols,
+            &self.perm,
+            &self.chunk_ptr,
+            &self.chunk_width,
+            &self.col_idx,
+            &self.values,
+            x,
+            k,
+            y,
+        );
     }
 }
 
@@ -384,6 +400,37 @@ mod tests {
     }
 
     #[test]
+    fn chunk_width_variants_get_distinct_names() {
+        let m = mixed_matrix();
+        assert_eq!(SellCSigmaFormat::from_csr_with(&m, 4, 256).name(), "SELL-4-s");
+        assert_eq!(SellCSigmaFormat::from_csr_with(&m, 8, 256).name(), "SELL-C-s");
+        assert_eq!(SellCSigmaFormat::from_csr_with(&m, 16, 256).name(), "SELL-16-s");
+        // Non-registry chunk widths fall back to the generic name.
+        assert_eq!(SellCSigmaFormat::from_csr_with(&m, 2, 256).name(), "SELL-C-s");
+    }
+
+    #[test]
+    fn lane_widths_are_bit_identical() {
+        // In-chunk lanes map 1:1 to packed rows, so W is invisible in
+        // the result even when W exceeds C.
+        let m = mixed_matrix();
+        let x: Vec<f64> = (0..60).map(|i| (i as f64 * 0.19).sin() - 0.4).collect();
+        for c in [4usize, 8, 16] {
+            let scalar = SellCSigmaFormat::from_csr_with_profile(&m, c, 32, LaneProfile::scalar());
+            let want = scalar.spmv_alloc(&x);
+            for width in [LaneWidth::W2, LaneWidth::W4, LaneWidth::W8] {
+                let f = SellCSigmaFormat::from_csr_with_profile(
+                    &m,
+                    c,
+                    32,
+                    LaneProfile::with_width(width),
+                );
+                assert_eq!(f.spmv_alloc(&x), want, "C={c} {width:?}");
+            }
+        }
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         let m = mixed_matrix();
         let x: Vec<f64> = (0..60).map(|i| i as f64 * 0.01 - 0.3).collect();
@@ -393,9 +440,7 @@ mod tests {
             let pool = ThreadPool::new(threads);
             let mut got = vec![f64::NAN; 50];
             f.spmv_parallel(&pool, &x, &mut got);
-            for (a, b) in got.iter().zip(&want) {
-                assert!((a - b).abs() < 1e-10);
-            }
+            assert_eq!(got, want, "threads {threads}");
         }
     }
 

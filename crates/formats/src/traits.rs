@@ -64,6 +64,18 @@ pub trait SparseFormat: Send + Sync {
     /// Parallel SpMV over the given pool into `y`.
     fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]);
 
+    /// Sequential SpMV that may reuse `scratch` for internal working
+    /// storage across calls (the buffer is resized as needed and its
+    /// contents are meaningless between calls). The default ignores
+    /// `scratch`; formats whose `spmv` allocates per call (e.g. BCSR's
+    /// block accumulator) override this so the batched default
+    /// [`SparseFormat::spmm`] allocates once per *batch* instead of
+    /// once per column.
+    fn spmv_with_scratch(&self, x: &[f64], y: &mut [f64], scratch: &mut Vec<f64>) {
+        let _ = scratch;
+        self.spmv(x, y);
+    }
+
     /// Batched multi-vector SpMV (SpMM): `Y = A·X` for `k` right-hand
     /// sides, the workload of blocked iterative solvers where format
     /// choice pays off most — the matrix is streamed once and reused
@@ -72,14 +84,20 @@ pub trait SparseFormat: Send + Sync {
     /// `x` is a column-major `cols × k` block (`x[j*cols .. (j+1)*cols]`
     /// is vector `j`); `y` is the column-major `rows × k` result and is
     /// fully overwritten. The default implementation loops over
-    /// [`SparseFormat::spmv`]; formats with x-reuse-friendly layouts
-    /// (CSR, ELL, SELL-C-σ) override it with fused kernels.
+    /// [`SparseFormat::spmv_with_scratch`] with one shared scratch
+    /// buffer for the whole batch; formats with x-reuse-friendly
+    /// layouts (CSR, ELL, SELL-C-σ) override it with fused kernels.
     fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
         let (rows, cols) = (self.rows(), self.cols());
         assert_eq!(x.len(), cols * k, "x must be a column-major cols × k block");
         assert_eq!(y.len(), rows * k, "y must be a column-major rows × k block");
+        let mut scratch = Vec::new();
         for j in 0..k {
-            self.spmv(&x[j * cols..(j + 1) * cols], &mut y[j * rows..(j + 1) * rows]);
+            self.spmv_with_scratch(
+                &x[j * cols..(j + 1) * cols],
+                &mut y[j * rows..(j + 1) * rows],
+                &mut scratch,
+            );
         }
     }
 

@@ -446,7 +446,25 @@ fn decode_payload(
         FormatKind::MergeCsr => Box::new(crate::merge_csr::decode(r)?),
         FormatKind::SparseX => Box::new(crate::sparsex::decode(r)?),
         FormatKind::Vsl => Box::new(crate::vsl::decode(r)?),
+        // The chunk-width variants share SELL-C-σ's payload layout but
+        // their tag pins C; a payload whose stored C disagrees with its
+        // tag was tampered with or mis-labelled. (The legacy SellCSigma
+        // tag stays permissive for pre-variant snapshots.)
+        FormatKind::SellC4 => Box::new(decode_sell_pinned(r, 4)?),
+        FormatKind::SellC16 => Box::new(decode_sell_pinned(r, 16)?),
     })
+}
+
+/// Decodes a SELL payload whose wire tag pins the chunk width.
+fn decode_sell_pinned(
+    r: &mut SectionReader<'_>,
+    c: usize,
+) -> Result<crate::sellcs::SellCSigmaFormat, WireError> {
+    let f = crate::sellcs::decode(r)?;
+    if f.c() != c {
+        return Err(malformed(format!("SELL chunk width {} under a C={c} wire tag", f.c())));
+    }
+    Ok(f)
 }
 
 /// Encodes the standard CSR section group (rows, cols, row pointer,
@@ -606,6 +624,23 @@ mod tests {
             );
             blob[byte] ^= 0x01;
         }
+    }
+
+    #[test]
+    fn sell_chunk_width_tag_mismatch_is_rejected() {
+        // Re-label a SELL-4-s envelope with the SELL-16-s tag (fixing
+        // the checksum): the decoder must notice the stored C=4 payload
+        // under a C=16 tag.
+        let m = test_matrix();
+        let f = build_format(FormatKind::SellC4, &m).unwrap();
+        let mut blob = Vec::new();
+        f.serialize_into(&mut blob).unwrap();
+        assert_eq!(blob[8], tag_of(FormatKind::SellC4));
+        blob[8] = tag_of(FormatKind::SellC16);
+        let body_len = blob.len() - 8;
+        let digest = xxh64(&blob[..body_len], 0);
+        blob[body_len..].copy_from_slice(&digest.to_le_bytes());
+        assert!(matches!(deserialize_from(&mut blob.as_slice()), Err(WireError::Malformed(_))));
     }
 
     #[test]

@@ -132,6 +132,17 @@ pub enum Schedule<'a> {
         /// Number of items to split.
         items: usize,
     },
+    /// Equal-count contiguous chunks whose interior boundaries are
+    /// rounded down to a multiple of `align` — for lane-blocked
+    /// kernels (ELL/HYB slabs processing W rows per SIMD block), so
+    /// partial blocks occur only at the very end of the index space,
+    /// not at every chunk seam.
+    StaticAligned {
+        /// Number of items to split.
+        items: usize,
+        /// Boundary alignment (the kernel's lane-block size).
+        align: usize,
+    },
     /// Weight-balanced contiguous chunks over `0..prefix.len()-1`,
     /// boundaries chosen on the cumulative-weight array (Balanced-CSR
     /// with `row_ptr`, SELL-C-σ with `chunk_ptr`, SparseX with its
@@ -148,6 +159,9 @@ impl Schedule<'_> {
     fn partition(&self, chunks: usize) -> Partition {
         match *self {
             Schedule::Static { items } => Partition::static_rows(items, chunks),
+            Schedule::StaticAligned { items, align } => {
+                Partition::static_rows_aligned(items, chunks, align)
+            }
             Schedule::Balanced { prefix } => Partition::balanced_by_prefix(prefix, chunks),
         }
     }
@@ -358,6 +372,24 @@ mod tests {
                 out.write(i, i as f64);
             }
         });
+        assert!(y.iter().enumerate().all(|(i, &v)| v == i as f64));
+    }
+
+    #[test]
+    fn run_disjoint_static_aligned_covers_all_rows() {
+        let pool = ThreadPool::new(4);
+        let exec = Executor::new(&pool);
+        let mut y = vec![f64::NAN; 101];
+        exec.run_disjoint(
+            Schedule::StaticAligned { items: 101, align: 8 },
+            &mut y,
+            |range, out| {
+                assert!(range.start % 8 == 0 || range.start == 0);
+                for i in range {
+                    out.write(i, i as f64);
+                }
+            },
+        );
         assert!(y.iter().enumerate().all(|(i, &v)| v == i as f64));
     }
 

@@ -26,6 +26,35 @@ impl Partition {
         Self { bounds }
     }
 
+    /// Equal-count partition of `0..n` whose *interior* boundaries are
+    /// rounded down to a multiple of `align`; the outer boundaries stay
+    /// at 0 and `n`. Lane-blocked kernels (W-row SIMD blocks) use this
+    /// so only the final chunk can contain a partial block — every
+    /// other chunk runs full-width all the way through.
+    pub fn static_rows_aligned(n: usize, chunks: usize, align: usize) -> Self {
+        let chunks = chunks.max(1);
+        let align = align.max(1);
+        let mut bounds: Vec<usize> = (0..=chunks)
+            .map(|t| {
+                let b = t * n / chunks;
+                if t == 0 || t == chunks {
+                    b
+                } else {
+                    b - b % align
+                }
+            })
+            .collect();
+        // Rounding down can only move boundaries left, so enforce
+        // monotonicity (some chunks may end up empty, coverage stays
+        // exact).
+        for t in 1..bounds.len() {
+            if bounds[t] < bounds[t - 1] {
+                bounds[t] = bounds[t - 1];
+            }
+        }
+        Self { bounds }
+    }
+
     /// Weight-balanced partition of `0..n` where `prefix` holds the
     /// cumulative weights (`prefix.len() == n + 1`, `prefix[0] == 0`,
     /// non-decreasing). For CSR matrices, pass `row_ptr` to balance by
@@ -100,6 +129,36 @@ mod tests {
         assert_eq!(items, vec![0, 1]);
         // Some chunks are empty, but coverage is exact.
         assert_eq!(p.chunks(), 8);
+    }
+
+    #[test]
+    fn static_rows_aligned_rounds_interior_boundaries() {
+        let p = Partition::static_rows_aligned(103, 4, 8);
+        // Interior boundaries are multiples of 8; the ends are exact.
+        assert_eq!(p.range(0).start, 0);
+        assert_eq!(p.range(p.chunks() - 1).end, 103);
+        for t in 1..p.chunks() {
+            assert_eq!(p.range(t).start % 8, 0, "chunk {t}");
+        }
+        // Coverage is exact and ordered.
+        let items: Vec<usize> = p.ranges().flatten().collect();
+        assert_eq!(items, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn static_rows_aligned_degenerate_cases() {
+        // align 1 == plain static.
+        assert_eq!(Partition::static_rows_aligned(10, 3, 1), Partition::static_rows(10, 3));
+        // More chunks than aligned blocks: monotone, exact coverage.
+        let p = Partition::static_rows_aligned(5, 8, 4);
+        let items: Vec<usize> = p.ranges().flatten().collect();
+        assert_eq!(items, (0..5).collect::<Vec<_>>());
+        // Zero items.
+        let p = Partition::static_rows_aligned(0, 3, 8);
+        assert!(p.ranges().all(|r| r.is_empty()));
+        // Zero align is clamped.
+        let p = Partition::static_rows_aligned(9, 2, 0);
+        assert_eq!(p, Partition::static_rows(9, 2));
     }
 
     #[test]
