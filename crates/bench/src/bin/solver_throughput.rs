@@ -1,0 +1,383 @@
+//! Solver-tier throughput of the adaptive engine: the proof that the
+//! plan-once/run-many [`Engine::solver`] handle actually removes the
+//! per-iteration serving and allocation overhead it promises.
+//!
+//! Three phases over fixed-seed SPD systems (2-D Poisson stencils plus
+//! skewed power-law-degree matrices, all seeds printed):
+//!
+//! * **multi-client throughput** — M ≥ 4 closed-loop client threads
+//!   each hold one `SolveHandle` and run back-to-back CG solves with
+//!   rotating right-hand sides against one shared engine. Reports
+//!   solves/sec and iterations/sec; always enforces the pin contract
+//!   on the counters: one request, one cache lookup and one conversion
+//!   per handle (zero mid-solve re-resolves while unrelated streaming
+//!   traffic evicts around the pins), `pinned_plans` returning to zero
+//!   after the handles drop.
+//! * **allocation audit** — a counting `#[global_allocator]` watches a
+//!   warmed-up solve end to end: after the first solves amortize the
+//!   executor's task-queue capacity, a full CG solve must perform
+//!   **zero** heap allocations (always enforced — this is the
+//!   "preallocate all operand vectors" claim, counter-verified).
+//! * **fusion speedup** — the same solve, handle vs. a
+//!   call-per-iteration engine loop (`spmv_parallel` through the serve
+//!   front door, then a separate dot sweep). The fused handle must be
+//!   ≥ 1.15× faster, enforced on hosts with ≥ 8 hardware threads
+//!   (reported, not gated, on smaller hosts).
+//!
+//! Flags: `--device NAME` (default AMD-EPYC-24), `--grid N` (Poisson
+//! grid side, default 96), `--clients M` (default 4), `--solves N`
+//! (per client, default 8), `--tol F` (default 1e-8), `--seed N`.
+
+use spmv_core::CsrMatrix;
+use spmv_engine::{Engine, EngineConfig, TrainingPlan};
+use spmv_gen::dataset::DatasetSize;
+use spmv_parallel::blas1;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Allocation counter for the zero-allocation gate: delegates to the
+/// system allocator and, while armed, counts every `alloc` call from
+/// any thread (the executor's workers included — that is the point).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+// SAFETY: pure delegation to `System`; the counter is a relaxed atomic
+// with no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s layout contract.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: same layout contract as the caller's; the system
+        // allocator upholds GlobalAlloc's requirements.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: caller passes a pointer this allocator returned, with
+    // the layout it was allocated under.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `System.alloc` above with this
+        // exact layout (we never substitute allocators mid-flight).
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct Config {
+    device: String,
+    grid: usize,
+    clients: usize,
+    solves: usize,
+    tol: f64,
+    seed: u64,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        let mut cfg = Self {
+            device: "AMD-EPYC-24".into(),
+            grid: 96,
+            clients: 4,
+            solves: 8,
+            tol: 1e-8,
+            seed: 0x50DE_CAFE,
+        };
+        spmv_bench::args::parse_flag_pairs(
+            "solver_throughput [--device NAME] [--grid N] [--clients M] [--solves N] \
+             [--tol F] [--seed N]",
+            |flag, value| {
+                match flag {
+                    "--device" => cfg.device = value.to_string(),
+                    "--grid" => cfg.grid = value.parse().expect("--grid N"),
+                    "--clients" => cfg.clients = value.parse().expect("--clients M"),
+                    "--solves" => cfg.solves = value.parse().expect("--solves N"),
+                    "--tol" => cfg.tol = value.parse().expect("--tol F"),
+                    "--seed" => cfg.seed = value.parse().expect("--seed N"),
+                    _ => return false,
+                }
+                true
+            },
+        );
+        assert!(cfg.clients >= 4, "the throughput phase needs >= 4 concurrent clients");
+        cfg
+    }
+}
+
+/// 5-point Laplacian on an `n x n` grid: SPD, 5 nnz/row.
+fn poisson_2d(n: usize) -> CsrMatrix {
+    let dim = n * n;
+    let mut t: Vec<(usize, usize, f64)> = Vec::with_capacity(5 * dim);
+    for i in 0..n {
+        for j in 0..n {
+            let r = i * n + j;
+            t.push((r, r, 4.0));
+            if i > 0 {
+                t.push((r, r - n, -1.0));
+            }
+            if i + 1 < n {
+                t.push((r, r + n, -1.0));
+            }
+            if j > 0 {
+                t.push((r, r - 1, -1.0));
+            }
+            if j + 1 < n {
+                t.push((r, r + 1, -1.0));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(dim, dim, &t).expect("stencil is valid")
+}
+
+/// Symmetric power-law-degree matrix made SPD by diagonal dominance:
+/// a few hub rows touch many columns (the skew the balanced kernels
+/// exist for), every off-diagonal mirrored, diagonal = |row| + 1.
+fn skewed_spd(n: usize, seed: u64) -> CsrMatrix {
+    let mut cells: std::collections::BTreeMap<(usize, usize), f64> = Default::default();
+    let mut draw = 0u64;
+    let mut rng = move |span: u64| {
+        draw += 1;
+        spmv_gen::rng::child_seed(seed, draw) % span.max(1)
+    };
+    for r in 0..n {
+        // Power-law-ish degree: most rows tiny, a few hubs wide.
+        let hub = rng(100) < 4;
+        let degree = if hub { n / 8 + 4 } else { 1 + rng(4) as usize };
+        for _ in 0..degree {
+            let c = rng(n as u64) as usize;
+            if c != r {
+                let v = -1.0 / (1.0 + rng(7) as f64);
+                cells.insert((r, c), v);
+                cells.insert((c, r), v); // symmetry
+            }
+        }
+    }
+    let mut row_abs = vec![0.0f64; n];
+    for (&(r, _), v) in &cells {
+        row_abs[r] += v.abs();
+    }
+    for (r, abs) in row_abs.into_iter().enumerate() {
+        cells.insert((r, r), abs + 1.0); // strict diagonal dominance
+    }
+    let triplets: Vec<(usize, usize, f64)> =
+        cells.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+    CsrMatrix::from_triplets(n, n, &triplets).expect("symmetric construction is valid")
+}
+
+fn rhs(n: usize, salt: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + ((i * 7 + salt * 13) % 11) as f64 * 0.25).collect()
+}
+
+/// The pre-solver baseline: CG where every SpMV goes through the serve
+/// front door (plan lookup + counters per call) and the dot product is
+/// a separate sweep over `v` — exactly what `examples/cg_solver.rs`
+/// did before the handle existed.
+fn cg_per_iteration(
+    engine: &Engine,
+    id: &str,
+    a: &CsrMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> usize {
+    let pool = engine.pool();
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = b.to_vec();
+    let mut v = vec![0.0; n];
+    let mut rr = blas1::dot(pool, &r, &r);
+    let b_norm = rr.sqrt();
+    let mut iters = 0;
+    while iters < max_iters {
+        engine.spmv_parallel(id, a, &p, &mut v);
+        let p_ap = blas1::dot(pool, &p, &v);
+        let alpha = rr / p_ap;
+        blas1::axpy(pool, alpha, &p, &mut x);
+        blas1::axpy(pool, -alpha, &v, &mut r);
+        let rr_new = blas1::dot(pool, &r, &r);
+        iters += 1;
+        if rr_new.sqrt() / b_norm <= tol {
+            break;
+        }
+        let beta = rr_new / rr;
+        rr = rr_new;
+        blas1::xpby(pool, &r, beta, &mut p);
+    }
+    iters
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    println!(
+        "solver_throughput: device {}, grid {}, clients {}, solves/client {}, tol {}, \
+         seed {:#x}",
+        cfg.device, cfg.grid, cfg.clients, cfg.solves, cfg.tol, cfg.seed
+    );
+
+    let engine = Engine::new(EngineConfig {
+        device: cfg.device.clone(),
+        scale: 16384.0,
+        threads: 0, // all cores (or SPMV_THREADS)
+        training: TrainingPlan { size: DatasetSize::Small, stride: 40, base_seed: cfg.seed },
+        ..EngineConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("engine construction failed: {e}");
+        std::process::exit(2);
+    });
+
+    // The solved mix: one Poisson system plus one skewed SPD system
+    // per client, ids and seeds fixed.
+    let mats: Vec<(String, CsrMatrix)> = (0..cfg.clients)
+        .map(|i| {
+            if i % 2 == 0 {
+                (format!("poisson-{i}"), poisson_2d(cfg.grid + 4 * i))
+            } else {
+                let n = cfg.grid * cfg.grid;
+                (format!("skewed-{i}"), skewed_spd(n, cfg.seed ^ i as u64))
+            }
+        })
+        .collect();
+    for (id, m) in &mats {
+        println!("  {id}: {} unknowns, {} nonzeros", m.rows(), m.nnz());
+    }
+    let mut ok = true;
+
+    // ---- Phase 1: multi-client closed-loop solve throughput ----------
+    let before = engine.counters();
+    let start = Instant::now();
+    let iterations: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = mats
+            .iter()
+            .map(|(id, m)| {
+                let engine = &engine;
+                s.spawn(move || {
+                    let mut h = engine.solver(id, m);
+                    let mut iters = 0u64;
+                    for salt in 0..cfg.solves {
+                        let b = rhs(m.rows(), salt);
+                        let out = h.cg(&b, cfg.tol, 10_000).expect("SPD systems converge");
+                        assert!(out.converged, "{id} stalled at {}", out.residual);
+                        iters += out.iterations as u64;
+                    }
+                    iters
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let total_solves = (cfg.clients * cfg.solves) as u64;
+    println!(
+        "\nphase 1: {} clients x {} solves: {:.1} solves/s, {:.0} iterations/s \
+         ({iterations} iterations in {secs:.2} s)",
+        cfg.clients,
+        cfg.solves,
+        total_solves as f64 / secs,
+        iterations as f64 / secs
+    );
+    let c = engine.counters();
+    // The pin contract, always enforced: one request / lookup /
+    // conversion per handle — nothing per solve, nothing per iteration.
+    let handles = cfg.clients as u64;
+    if c.requests - before.requests != handles
+        || c.cache_lookups - before.cache_lookups != handles
+        || c.conversions - before.conversions != handles
+    {
+        eprintln!(
+            "FAIL: {} requests / {} lookups / {} conversions for {handles} handles — \
+             the solve loop re-entered the serve path",
+            c.requests - before.requests,
+            c.cache_lookups - before.cache_lookups,
+            c.conversions - before.conversions
+        );
+        ok = false;
+    }
+    if c.solves - before.solves != total_solves || c.solver_iterations != iterations {
+        eprintln!(
+            "FAIL: counters saw {} solves / {} iterations, clients ran {total_solves} / \
+             {iterations}",
+            c.solves - before.solves,
+            c.solver_iterations
+        );
+        ok = false;
+    }
+    if c.pinned_plans != 0 {
+        eprintln!("FAIL: {} plan(s) still pinned after the handles dropped", c.pinned_plans);
+        ok = false;
+    }
+
+    // ---- Phase 2: zero allocations per warmed-up solve ---------------
+    let (id, m) = &mats[0];
+    let mut h = engine.solver(id, m);
+    let b = rhs(m.rows(), 0);
+    // Warm up: first solves grow the executor's task queues to their
+    // steady-state capacity.
+    for _ in 0..2 {
+        h.cg(&b, cfg.tol, 10_000).expect("warmup converges");
+    }
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let out = h.cg(&b, cfg.tol, 10_000).expect("measured solve converges");
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst);
+    drop(h);
+    println!(
+        "phase 2: warmed-up solve of {} iterations performed {allocs} heap allocation(s)",
+        out.iterations
+    );
+    if allocs != 0 {
+        eprintln!("FAIL: the solver hot loop must not allocate (saw {allocs})");
+        ok = false;
+    }
+
+    // ---- Phase 3: fused handle vs call-per-iteration loop ------------
+    let time_solves = |f: &mut dyn FnMut()| {
+        f(); // warm
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            f();
+        }
+        t0.elapsed().as_secs_f64() / 3.0
+    };
+    let mut h = engine.solver(id, m);
+    let fused_iters = h.cg(&b, cfg.tol, 10_000).expect("converges").iterations;
+    let fused = time_solves(&mut || {
+        h.cg(&b, cfg.tol, 10_000).expect("converges");
+    });
+    let loop_iters = cg_per_iteration(&engine, id, m, &b, cfg.tol, 10_000);
+    let unfused = time_solves(&mut || {
+        cg_per_iteration(&engine, id, m, &b, cfg.tol, 10_000);
+    });
+    assert_eq!(fused_iters, loop_iters, "both solvers must run the same iteration count");
+    let speedup = unfused / fused;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "phase 3: fused handle {:.4} s/solve vs call-per-iteration {:.4} s/solve: \
+         {speedup:.2}x ({cores} hardware threads)",
+        fused, unfused
+    );
+    if cores >= 8 {
+        if speedup < 1.15 {
+            eprintln!("FAIL: fusion speedup {speedup:.2}x < 1.15x with {cores} hardware threads");
+            ok = false;
+        }
+    } else {
+        println!("fusion bar (>= 1.15x) needs >= 8 hardware threads; reporting only on this host");
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "\nPASS: pin contract exact (one resolve per handle, zero re-resolves), \
+         zero allocations per warmed-up solve{}",
+        if cores >= 8 { ", fusion >= 1.15x" } else { "" }
+    );
+}

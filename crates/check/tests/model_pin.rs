@@ -1,0 +1,172 @@
+//! Model tests for the solver pin protocol on
+//! [`spmv_engine::shard::PlanTable`]: pins must spare a plan from LRU
+//! eviction, release exactly once, and never touch a forgotten (or
+//! forgotten-and-reincarnated) id — whatever the interleaving.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg spmv_model_check"`.
+#![cfg(spmv_model_check)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use spmv_check::Checker;
+use spmv_engine::shard::{PlanState, PlanTable};
+use spmv_formats::FormatKind;
+use spmv_parallel::sync::thread;
+
+/// Eviction never claims a pinned plan: with a capacity-2 table
+/// holding one pinned entry, two racing inserters push the shard past
+/// capacity from both sides. Whatever order the evictions run in, the
+/// pinned id must still be resident (the LRU victim walk skips
+/// `pins > 0`) — and after release it becomes an ordinary victim.
+#[test]
+fn pinned_plan_is_never_evicted_under_racing_inserts() {
+    let report = Checker::dfs().preemption_bound(None).max_schedules(30_000).check(|| {
+        let plans = Arc::new(PlanTable::new(2, 1));
+        // Oldest tick in the table — the LRU victim if pins were
+        // ignored.
+        let ticket = plans.acquire_solver_pin("m", FormatKind::NaiveCsr);
+        let inserters: Vec<_> = [["a", "b"], ["c", "d"]]
+            .iter()
+            .map(|ids| {
+                let p = Arc::clone(&plans);
+                thread::spawn(move || {
+                    for id in ids {
+                        p.insert_pending(id, FormatKind::Coo);
+                        let _ = p.get(id);
+                    }
+                })
+            })
+            .collect();
+        // An assert-free reader widens the explored interleavings.
+        let reader = {
+            let p = Arc::clone(&plans);
+            thread::spawn(move || {
+                let _ = p.get("m");
+                let _ = p.len();
+                let _ = p.get("m");
+            })
+        };
+        for t in inserters {
+            t.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert!(plans.get("m").is_some(), "pinned plan was evicted");
+        assert_eq!(plans.pinned_count(), 1);
+        assert!(plans.release_solver_pin("m", ticket));
+        // Unpinned, the entry is an ordinary LRU victim again.
+        plans.insert_pending("c", FormatKind::Coo);
+        assert!(plans.len() <= 2, "eviction stopped working after release");
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}
+
+/// No pin double-free: successful releases can never outnumber
+/// acquires. Two racing drops quote the *same* ticket while a sibling
+/// solver acquires and releases its own pin on the same incarnation.
+/// With 2 acquires and 3 release attempts, exactly 2 releases may
+/// succeed in every interleaving — the pin count never underflows, a
+/// spent ticket keeps refusing, and the table ends with zero pins.
+#[test]
+fn pin_releases_never_outnumber_acquires_under_racing_drops() {
+    let report = Checker::dfs().preemption_bound(None).max_schedules(30_000).check(|| {
+        let plans = Arc::new(PlanTable::new(8, 1));
+        let ticket = plans.acquire_solver_pin("m", FormatKind::NaiveCsr);
+        let released = Arc::new(AtomicUsize::new(0));
+        let droppers: Vec<_> = (0..2)
+            .map(|_| {
+                let (p, n) = (Arc::clone(&plans), Arc::clone(&released));
+                thread::spawn(move || {
+                    if p.release_solver_pin("m", ticket) {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        // A sibling solver takes and drops its own pin mid-race.
+        let sibling = {
+            let (p, n) = (Arc::clone(&plans), Arc::clone(&released));
+            thread::spawn(move || {
+                let t = p.acquire_solver_pin("m", FormatKind::NaiveCsr);
+                let _ = p.get("m");
+                if p.release_solver_pin("m", t) {
+                    n.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        // An assert-free reader widens the explored interleavings.
+        let reader = {
+            let p = Arc::clone(&plans);
+            thread::spawn(move || {
+                let _ = p.pinned_count();
+                let _ = p.get("m");
+                let _ = p.pinned_count();
+            })
+        };
+        for t in droppers {
+            t.join().unwrap();
+        }
+        sibling.join().unwrap();
+        reader.join().unwrap();
+        // 3 attempts against 2 acquires: exactly 2 may land.
+        assert_eq!(released.load(Ordering::Relaxed), 2, "releases outnumbered acquires");
+        assert_eq!(plans.pinned_count(), 0, "a pin leaked");
+        assert!(!plans.release_solver_pin("m", ticket), "spent ticket released again");
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}
+
+/// A solve racing `forget`: the forgetter removes the pinned id and
+/// re-admits it under a new plan while the solve's drop releases the
+/// old ticket. The release must never resurrect the forgotten entry
+/// nor unpin the reincarnation (its incarnation differs), and the
+/// table must end with zero pins and the forgetter's plan — whichever
+/// side wins each race.
+#[test]
+fn stale_pin_release_never_resurrects_a_forgotten_plan() {
+    let report = Checker::dfs().preemption_bound(None).max_schedules(30_000).check(|| {
+        let plans = Arc::new(PlanTable::new(8, 1));
+        let ticket = plans.acquire_solver_pin("m", FormatKind::NaiveCsr);
+        let forgetter = {
+            let p = Arc::clone(&plans);
+            thread::spawn(move || {
+                p.remove("m");
+                let _ = p.get("m");
+                p.insert_pending("m", FormatKind::Coo);
+            })
+        };
+        let dropper = {
+            let p = Arc::clone(&plans);
+            thread::spawn(move || {
+                // May land before the remove (legitimate release) or
+                // after the reincarnation (stale ticket, must no-op).
+                let _ = p.release_solver_pin("m", ticket);
+            })
+        };
+        // An assert-free reader widens the explored interleavings.
+        let reader = {
+            let p = Arc::clone(&plans);
+            thread::spawn(move || {
+                let _ = p.get("m");
+                let _ = p.pinned_count();
+                let _ = p.get("m");
+            })
+        };
+        forgetter.join().unwrap();
+        dropper.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(
+            plans.get("m"),
+            Some(PlanState::Pending(FormatKind::Coo)),
+            "stale release disturbed the reincarnated plan"
+        );
+        assert_eq!(plans.pinned_count(), 0, "a pin outlived the forget");
+        // The stale ticket is spent for good: quoting it against the
+        // reincarnation keeps refusing.
+        assert!(!plans.release_solver_pin("m", ticket));
+    });
+    report.assert_ok();
+    assert!(report.schedules >= 1_000, "insufficient exploration: {} schedules", report.schedules);
+}

@@ -59,11 +59,13 @@
 pub mod cache;
 pub mod shard;
 pub mod snapshot;
+pub mod solve;
 pub mod training;
 
 pub use cache::ConversionCache;
 pub use shard::{PlanState, PlanTable, ShardedConversions};
 pub use snapshot::{selector_from_snapshot, RestoreStats, SnapshotError, SNAPSHOT_MAGIC};
+pub use solve::{SolveError, SolveHandle, SolveOutcome};
 pub use training::{labeled_runs, selector_from_records, TrainingPlan};
 
 use shard::{CachedFormat, Lookup};
@@ -291,6 +293,22 @@ pub struct EngineCounters {
     /// [`spmv_parallel::PoolStats`]). Under [`Admission::Sync`] the low
     /// class is never used, so `pool.low_tasks == 0` exactly.
     pub pool: PoolStats,
+    /// Solver runs started via [`SolveHandle`] (`cg` + `bicgstab`
+    /// calls). Each [`Engine::solver`] resolution also counts as one
+    /// request (it is one — the only one the whole solve pays).
+    pub solves: u64,
+    /// Solver iterations completed across all solves — converged,
+    /// exhausted, and broken-down runs alike (a breakdown at iteration
+    /// k contributed k completed iterations). The reconciliation
+    /// invariant: with the serve paths quiet, this equals the sum of
+    /// per-solve iteration counts reported in [`SolveOutcome`]s plus
+    /// the iterations completed before any [`SolveError`]s.
+    pub solver_iterations: u64,
+    /// Plan entries currently holding at least one live solver pin
+    /// (a gauge, not a cumulative count). Pinned entries are spared
+    /// from LRU eviction, so across a solve `conversions` must not
+    /// grow for the pinned id — zero mid-solve re-resolves.
+    pub pinned_plans: usize,
     /// Serve calls per format actually used, in [`FormatKind::ALL`]
     /// order (zero-count formats included). CSR-path fallback serves
     /// count under [`FormatKind::NaiveCsr`], the format they execute.
@@ -317,6 +335,8 @@ struct CounterBank {
     conversions: AtomicU64,
     fallbacks: AtomicU64,
     flights_scheduled: AtomicU64,
+    solves: AtomicU64,
+    solver_iterations: AtomicU64,
     selections: [AtomicU64; FormatKind::ALL.len()],
 }
 
@@ -760,6 +780,26 @@ impl Engine {
         }
     }
 
+    /// Creates a plan-once/run-many solver handle for `id` (see
+    /// [`SolveHandle`]): resolves the matrix's plan **synchronously**
+    /// — even under asynchronous admission, since a solver is about to
+    /// run many SpMVs on the chosen format, so paying the conversion
+    /// up front is the point — pins it against LRU eviction for the
+    /// handle's lifetime, and preallocates every operand vector once.
+    /// The handle's `cg`/`bicgstab` iterations then run on fused
+    /// SpMV+dot kernels and deterministic parallel BLAS-1, bypassing
+    /// the engine front door (plan lookup, counter traffic) entirely.
+    ///
+    /// The resolution counts as one serve request; `forget` of the id
+    /// mid-solve is honored for the tables, but the solve finishes on
+    /// the format handle it already holds (see [`solve`] docs).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn solver(&self, id: &str, csr: &CsrMatrix) -> SolveHandle<'_> {
+        SolveHandle::new(self, id, csr)
+    }
+
     /// Drops the plan and every cached conversion of one matrix id.
     ///
     /// An in-flight background admission of the id is cancelled by
@@ -821,6 +861,9 @@ impl Engine {
             planned_entries: self.state.plans.len(),
             admissions_in_flight: self.state.in_flight.load(Ordering::Relaxed),
             flights_scheduled: c.flights_scheduled.load(Ordering::Relaxed),
+            solves: c.solves.load(Ordering::Relaxed),
+            solver_iterations: c.solver_iterations.load(Ordering::Relaxed),
+            pinned_plans: self.state.plans.pinned_count(),
             pool: self.pool.stats(),
             selections: FormatKind::ALL
                 .iter()

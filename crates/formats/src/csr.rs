@@ -127,6 +127,43 @@ impl SparseFormat for CsrFormat {
         Executor::new(pool).run_disjoint(schedule, y, |range, out| self.spmv_rows(range, x, out));
     }
 
+    fn spmv_dot(&self, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(self.rows(), self.cols(), "spmv_dot requires a square matrix");
+        assert_eq!(x.len(), self.cols());
+        assert_eq!(y.len(), self.rows());
+        let out = DisjointWriter::new(y);
+        dot::csr_spmv_dot_rows(
+            self.lanes,
+            0..self.rows(),
+            self.matrix.row_ptr(),
+            self.matrix.col_idx(),
+            self.matrix.values(),
+            x,
+            &out,
+        )
+    }
+
+    fn spmv_dot_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(self.rows(), self.cols(), "spmv_dot requires a square matrix");
+        assert_eq!(x.len(), self.cols());
+        assert_eq!(y.len(), self.rows());
+        let schedule = match self.variant {
+            CsrVariant::Balanced => Schedule::Balanced { prefix: self.matrix.row_ptr() },
+            _ => Schedule::Static { items: self.rows() },
+        };
+        Executor::new(pool).run_disjoint_reduce(schedule, y, |range, out| {
+            dot::csr_spmv_dot_rows(
+                self.lanes,
+                range,
+                self.matrix.row_ptr(),
+                self.matrix.col_idx(),
+                self.matrix.values(),
+                x,
+                out,
+            )
+        })
+    }
+
     fn encode_payload(&self, out: &mut SectionWriter) {
         wire::encode_csr(&self.matrix, out);
     }

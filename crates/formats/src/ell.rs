@@ -177,6 +177,42 @@ impl SparseFormat for EllFormat {
         Executor::new(pool).run_disjoint(schedule, y, |range, out| self.spmv_rows(range, x, out));
     }
 
+    fn spmv_dot(&self, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(self.rows, self.cols, "spmv_dot requires a square matrix");
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        let out = DisjointWriter::new(y);
+        slab::slab_spmv_dot_rows(
+            self.lanes,
+            0..self.rows,
+            self.rows,
+            self.width,
+            &self.col_idx,
+            &self.values,
+            x,
+            &out,
+        )
+    }
+
+    fn spmv_dot_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(self.rows, self.cols, "spmv_dot requires a square matrix");
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        let schedule = Schedule::StaticAligned { items: self.rows, align: self.lanes.lanes() };
+        Executor::new(pool).run_disjoint_reduce(schedule, y, |range, out| {
+            slab::slab_spmv_dot_rows(
+                self.lanes,
+                range,
+                self.rows,
+                self.width,
+                &self.col_idx,
+                &self.values,
+                x,
+                out,
+            )
+        })
+    }
+
     fn encode_payload(&self, out: &mut SectionWriter) {
         out.usize(self.rows);
         out.usize(self.cols);

@@ -14,6 +14,12 @@ use super::LaneWidth;
 use spmv_parallel::DisjointWriter;
 use std::ops::Range;
 
+/// Chunk heights up to this keep the per-chunk accumulator on the
+/// stack; taller chunks (unusual — the device profiles pick C ≤ 32)
+/// fall back to a heap buffer. Solver iterations over stack-height
+/// SELL matrices therefore never allocate.
+const ACC_STACK: usize = 64;
+
 #[allow(clippy::too_many_arguments)]
 fn sell_chunks_w<const W: usize>(
     chunks: Range<usize>,
@@ -27,7 +33,14 @@ fn sell_chunks_w<const W: usize>(
     x: &[f64],
     out: &DisjointWriter<'_>,
 ) {
-    let mut acc = vec![0.0f64; c];
+    let mut stack = [0.0f64; ACC_STACK];
+    let mut heap: Vec<f64>;
+    let acc: &mut [f64] = if c <= ACC_STACK {
+        &mut stack[..c]
+    } else {
+        heap = vec![0.0f64; c];
+        &mut heap
+    };
     for k in chunks {
         acc.fill(0.0);
         let base = chunk_ptr[k];
@@ -109,6 +122,133 @@ pub fn sell_spmv_chunks(
             out,
         ),
         LaneWidth::W8 => sell_chunks_w::<8>(
+            chunks,
+            c,
+            total_rows,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            out,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sell_dot_chunks_w<const W: usize>(
+    chunks: Range<usize>,
+    c: usize,
+    total_rows: usize,
+    perm: &[u32],
+    chunk_ptr: &[usize],
+    chunk_width: &[u32],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) -> f64 {
+    let mut stack = [0.0f64; ACC_STACK];
+    let mut heap: Vec<f64>;
+    let acc: &mut [f64] = if c <= ACC_STACK {
+        &mut stack[..c]
+    } else {
+        heap = vec![0.0f64; c];
+        &mut heap
+    };
+    let mut partial = 0.0;
+    for k in chunks {
+        acc.fill(0.0);
+        let base = chunk_ptr[k];
+        let width = chunk_width[k] as usize;
+        for j in 0..width {
+            let slot = base + j * c;
+            let mut i = 0;
+            while i + W <= c {
+                for lane in 0..W {
+                    let p = slot + i + lane;
+                    acc[i + lane] += values[p] * x[col_idx[p] as usize];
+                }
+                i += W;
+            }
+            while i < c {
+                acc[i] += values[slot + i] * x[col_idx[slot + i] as usize];
+                i += 1;
+            }
+        }
+        for (i, &a) in acc.iter().enumerate() {
+            let p = k * c + i;
+            if p < total_rows {
+                let r = perm[p] as usize;
+                out.write(r, a);
+                partial += x[r] * a;
+            }
+        }
+    }
+    partial
+}
+
+/// Fused SpMV + dot over a SELL-C-σ chunk range: scatters each row sum
+/// through `perm` and returns the chunk range's contribution
+/// `Σ x[r] · out[r]` from the same sweep. Requires a square matrix.
+///
+/// Unlike the CSR/ELL fused kernels, the partial accumulates in
+/// **packed (perm) order**, not ascending-row order, so fused and
+/// spmv-then-dot agree only to floating-point tolerance; at a fixed
+/// σ-permutation and chunking the order is fixed and reproducible.
+#[allow(clippy::too_many_arguments)]
+pub fn sell_spmv_dot_chunks(
+    lanes: LaneWidth,
+    chunks: Range<usize>,
+    c: usize,
+    total_rows: usize,
+    perm: &[u32],
+    chunk_ptr: &[usize],
+    chunk_width: &[u32],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) -> f64 {
+    match lanes {
+        LaneWidth::W1 => sell_dot_chunks_w::<1>(
+            chunks,
+            c,
+            total_rows,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            out,
+        ),
+        LaneWidth::W2 => sell_dot_chunks_w::<2>(
+            chunks,
+            c,
+            total_rows,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            out,
+        ),
+        LaneWidth::W4 => sell_dot_chunks_w::<4>(
+            chunks,
+            c,
+            total_rows,
+            perm,
+            chunk_ptr,
+            chunk_width,
+            col_idx,
+            values,
+            x,
+            out,
+        ),
+        LaneWidth::W8 => sell_dot_chunks_w::<8>(
             chunks,
             c,
             total_rows,
@@ -333,6 +473,53 @@ mod tests {
                 );
             }
             assert_eq!(y, want, "{lanes:?}");
+        }
+    }
+
+    #[test]
+    fn fused_dot_matches_spmv_then_dot_within_tolerance() {
+        let f = fixture();
+        // Square-shaped operand: x serves both the gather (cols < 4)
+        // and the row-indexed dot (rows = 5).
+        let x: Vec<f64> = (0..5).map(|i| (i as f64 * 0.59).sin() + 1.1).collect();
+        for lanes in LaneWidth::ALL {
+            let mut y = vec![f64::NAN; f.rows];
+            {
+                let out = DisjointWriter::new(&mut y);
+                sell_spmv_chunks(
+                    lanes,
+                    0..2,
+                    f.c,
+                    f.rows,
+                    &f.perm,
+                    &f.chunk_ptr,
+                    &f.chunk_width,
+                    &f.col_idx,
+                    &f.values,
+                    &x,
+                    &out,
+                );
+            }
+            let want: f64 = (0..f.rows).map(|r| x[r] * y[r]).sum();
+            let mut fused = vec![f64::NAN; f.rows];
+            let got = {
+                let out = DisjointWriter::new(&mut fused);
+                sell_spmv_dot_chunks(
+                    lanes,
+                    0..2,
+                    f.c,
+                    f.rows,
+                    &f.perm,
+                    &f.chunk_ptr,
+                    &f.chunk_width,
+                    &f.col_idx,
+                    &f.values,
+                    &x,
+                    &out,
+                )
+            };
+            assert_eq!(fused, y, "{lanes:?}");
+            assert!((got - want).abs() <= 1e-12 * (1.0 + want.abs()), "{lanes:?}");
         }
     }
 

@@ -64,6 +64,50 @@ pub fn csr_spmv_rows(
     }
 }
 
+fn csr_dot_rows_w<const W: usize>(
+    rows: Range<usize>,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) -> f64 {
+    let mut partial = 0.0;
+    for r in rows {
+        let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+        let yr = dot_w::<W>(&col_idx[lo..hi], &values[lo..hi], x);
+        out.write(r, yr);
+        partial += x[r] * yr;
+    }
+    partial
+}
+
+/// Fused SpMV + dot over a CSR row range: writes `out[r] = row_r · x`
+/// and returns the chunk's contribution `Σ x[r] · out[r]` from the
+/// same sweep, while each row sum is still hot. Requires a square
+/// matrix (`x` doubles as the row-indexed dot operand).
+///
+/// The partial accumulates in ascending row order — exactly the order
+/// a serial dot over the chunk would use — so fused and
+/// spmv-then-dot agree **bit-for-bit** at a fixed lane width and
+/// chunking.
+pub fn csr_spmv_dot_rows(
+    width: LaneWidth,
+    rows: Range<usize>,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) -> f64 {
+    match width {
+        LaneWidth::W1 => csr_dot_rows_w::<1>(rows, row_ptr, col_idx, values, x, out),
+        LaneWidth::W2 => csr_dot_rows_w::<2>(rows, row_ptr, col_idx, values, x, out),
+        LaneWidth::W4 => csr_dot_rows_w::<4>(rows, row_ptr, col_idx, values, x, out),
+        LaneWidth::W8 => csr_dot_rows_w::<8>(rows, row_ptr, col_idx, values, x, out),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn csr_spmm_w<const W: usize>(
     rows: Range<usize>,
@@ -191,6 +235,33 @@ mod tests {
         }
         let want = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
         assert_eq!(dot_w::<4>(&cols, &vals, &x), want);
+    }
+
+    #[test]
+    fn fused_dot_matches_spmv_then_dot_bitwise() {
+        // 4×4, ragged, with an empty row.
+        let row_ptr = [0usize, 3, 3, 6, 8];
+        let col_idx = [0u32, 1, 3, 1, 2, 3, 0, 2];
+        let values = [1.5, -2.0, 0.5, 3.0, 1.25, -0.75, 2.0, 0.125];
+        let x: Vec<f64> = (0..4).map(|i| (i as f64 * 0.91).sin() + 0.3).collect();
+        for width in LaneWidth::ALL {
+            let mut y = vec![f64::NAN; 4];
+            {
+                let out = DisjointWriter::new(&mut y);
+                csr_spmv_rows(width, 0..4, &row_ptr, &col_idx, &values, &x, &out);
+            }
+            let mut want = 0.0;
+            for r in 0..4 {
+                want += x[r] * y[r];
+            }
+            let mut fused = vec![f64::NAN; 4];
+            let got = {
+                let out = DisjointWriter::new(&mut fused);
+                csr_spmv_dot_rows(width, 0..4, &row_ptr, &col_idx, &values, &x, &out)
+            };
+            assert_eq!(fused, y, "width {width:?}");
+            assert_eq!(got, want, "width {width:?}");
+        }
     }
 
     #[test]

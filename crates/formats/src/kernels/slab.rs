@@ -66,6 +66,70 @@ pub fn slab_spmv_rows(
     }
 }
 
+fn slab_dot_rows_w<const W: usize>(
+    rows: Range<usize>,
+    total_rows: usize,
+    width: usize,
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) -> f64 {
+    let mut partial = 0.0;
+    let mut r = rows.start;
+    while r + W <= rows.end {
+        let mut acc = [0.0f64; W];
+        for j in 0..width {
+            let base = j * total_rows + r;
+            for lane in 0..W {
+                acc[lane] += values[base + lane] * x[col_idx[base + lane] as usize];
+            }
+        }
+        write_block(out, r, &acc);
+        // Ascending-lane (= ascending-row) partial accumulation keeps
+        // the fused dot order identical to the serial spmv-then-dot.
+        for (lane, &a) in acc.iter().enumerate() {
+            partial += x[r + lane] * a;
+        }
+        r += W;
+    }
+    for rr in r..rows.end {
+        let mut a = 0.0f64;
+        for j in 0..width {
+            let p = j * total_rows + rr;
+            a += values[p] * x[col_idx[p] as usize];
+        }
+        out.write(rr, a);
+        partial += x[rr] * a;
+    }
+    partial
+}
+
+/// Fused SpMV + dot over a row range of an ELL slab: overwrites
+/// `out[r]` with the slab row sum and returns the chunk's contribution
+/// `Σ x[r] · out[r]` from the same sweep. Requires a square matrix.
+/// The partial accumulates in ascending row order, so fused and
+/// spmv-then-dot agree bit-for-bit at a fixed chunking (and, since
+/// slab row sums are width-independent, at *every* lane width).
+#[allow(clippy::too_many_arguments)]
+pub fn slab_spmv_dot_rows(
+    lanes: LaneWidth,
+    rows: Range<usize>,
+    total_rows: usize,
+    width: usize,
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    out: &DisjointWriter<'_>,
+) -> f64 {
+    match lanes {
+        LaneWidth::W1 => slab_dot_rows_w::<1>(rows, total_rows, width, col_idx, values, x, out),
+        LaneWidth::W2 => slab_dot_rows_w::<2>(rows, total_rows, width, col_idx, values, x, out),
+        LaneWidth::W4 => slab_dot_rows_w::<4>(rows, total_rows, width, col_idx, values, x, out),
+        LaneWidth::W8 => slab_dot_rows_w::<8>(rows, total_rows, width, col_idx, values, x, out),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn slab_spmm_w<const W: usize>(
     rows: Range<usize>,
@@ -210,6 +274,30 @@ mod tests {
             slab_spmv_rows(LaneWidth::W4, 3..rows, rows, width, &col, &val, &x, &out);
         }
         assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn fused_dot_matches_spmv_then_dot_bitwise() {
+        let (rows, width, col, val) = slab();
+        let x: Vec<f64> = (0..7).map(|i| (i as f64 * 0.43).cos() + 0.7).collect();
+        for lanes in LaneWidth::ALL {
+            let mut y = vec![f64::NAN; rows];
+            {
+                let out = DisjointWriter::new(&mut y);
+                slab_spmv_rows(lanes, 0..rows, rows, width, &col, &val, &x, &out);
+            }
+            let mut want = 0.0;
+            for r in 0..rows {
+                want += x[r] * y[r];
+            }
+            let mut fused = vec![f64::NAN; rows];
+            let got = {
+                let out = DisjointWriter::new(&mut fused);
+                slab_spmv_dot_rows(lanes, 0..rows, rows, width, &col, &val, &x, &out)
+            };
+            assert_eq!(fused, y, "{lanes:?}");
+            assert_eq!(got, want, "{lanes:?}");
+        }
     }
 
     #[test]

@@ -317,6 +317,51 @@ impl SparseFormat for SellCSigmaFormat {
         );
     }
 
+    fn spmv_dot(&self, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(self.rows, self.cols, "spmv_dot requires a square matrix");
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        let out = DisjointWriter::new(y);
+        chunk::sell_spmv_dot_chunks(
+            self.lanes,
+            0..self.chunk_width.len(),
+            self.c,
+            self.rows,
+            &self.perm,
+            &self.chunk_ptr,
+            &self.chunk_width,
+            &self.col_idx,
+            &self.values,
+            x,
+            &out,
+        )
+    }
+
+    fn spmv_dot_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(self.rows, self.cols, "spmv_dot requires a square matrix");
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        Executor::new(pool).run_disjoint_reduce(
+            Schedule::Balanced { prefix: &self.chunk_ptr },
+            y,
+            |chunks, out| {
+                chunk::sell_spmv_dot_chunks(
+                    self.lanes,
+                    chunks,
+                    self.c,
+                    self.rows,
+                    &self.perm,
+                    &self.chunk_ptr,
+                    &self.chunk_width,
+                    &self.col_idx,
+                    &self.values,
+                    x,
+                    out,
+                )
+            },
+        )
+    }
+
     fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
         assert_eq!(x.len(), self.cols * k, "x must be a column-major cols × k block");
         assert_eq!(y.len(), self.rows * k, "y must be a column-major rows × k block");

@@ -101,6 +101,40 @@ pub trait SparseFormat: Send + Sync {
         }
     }
 
+    /// Fused SpMV + dot: computes `y = A·x` and returns `x · y` from
+    /// the same pass — the inner product iterative solvers need right
+    /// after every SpMV (`p·Ap` in CG, `s·t` in BiCGStab), saved from
+    /// a second sweep over `y`.
+    ///
+    /// Requires a square matrix. The default runs `spmv` followed by a
+    /// serial left-fold dot; CSR/ELL/SELL-C-σ override it with lane
+    /// kernels that accumulate the dot while each row sum is still in
+    /// registers.
+    fn spmv_dot(&self, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(self.rows(), self.cols(), "spmv_dot requires a square matrix");
+        self.spmv(x, y);
+        let mut acc = 0.0;
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            acc += xi * yi;
+        }
+        acc
+    }
+
+    /// Parallel fused SpMV + dot over the given pool: `y = A·x`,
+    /// returning `x · y`. Requires a square matrix.
+    ///
+    /// The default runs `spmv_parallel` followed by the deterministic
+    /// parallel [`blas1 dot`](spmv_parallel::blas1::dot) (parallel but
+    /// unfused); formats with fused lane kernels override it to
+    /// produce both results from one sweep via
+    /// `Executor::run_disjoint_reduce`. Like `blas1`, results are
+    /// bit-reproducible at a fixed thread count.
+    fn spmv_dot_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(self.rows(), self.cols(), "spmv_dot requires a square matrix");
+        self.spmv_parallel(pool, x, y);
+        spmv_parallel::blas1::dot(pool, x, y)
+    }
+
     /// Padding ratio: stored entries (incl. explicit zeros) over
     /// logical nonzeros; 1.0 when the format stores no padding.
     fn padding_ratio(&self) -> f64 {

@@ -1,0 +1,104 @@
+//! Property tests for the fused SpMV+dot sweep: for **every** format
+//! in [`FormatKind::ALL`], `spmv_dot` / `spmv_dot_parallel` must write
+//! the same `y = A·x` as plain `spmv` and return `x·y` within
+//! reassociation tolerance of computing the dot separately — on
+//! adversarial square matrices (the fused sweep requires rows = cols)
+//! and garbage-prefilled outputs.
+//!
+//! Bitwise guarantees are asserted where the kernels provide them: the
+//! default trait fallback and the serial CSR/ELL fused overrides
+//! accumulate in ascending-row order, exactly like spmv-then-dot.
+//! SELL-C-σ accumulates in packed chunk order and parallel variants
+//! reassociate across chunks, so those agree to tolerance only.
+
+use proptest::prelude::*;
+use spmv_core::{vec_mismatch, CsrMatrix};
+use spmv_formats::{build_format, FormatKind};
+use spmv_parallel::ThreadPool;
+use std::collections::BTreeMap;
+
+/// Random *square* matrices from raw triplets: empty rows, dense
+/// columns, diagonals missing — everything `from_triplets` accepts.
+fn arb_square() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..32).prop_flat_map(|n| {
+        let max_entries = (n * n).min(160);
+        proptest::collection::vec((0..n, 0..n, -8i32..8), 0..=max_entries).prop_map(
+            move |entries| {
+                let mut dedup: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+                for (r, c, v) in entries {
+                    dedup.insert((r, c), v as f64 * 0.5 + 0.25);
+                }
+                let triplets: Vec<(usize, usize, f64)> =
+                    dedup.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+                CsrMatrix::from_triplets(n, n, &triplets).expect("deduplicated triplets")
+            },
+        )
+    })
+}
+
+fn serial_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Serial fused sweep: y matches spmv bitwise for every format,
+    // and the returned scalar matches the separate dot to tolerance.
+    #[test]
+    fn fused_spmv_dot_agrees_for_every_format(m in arb_square()) {
+        let n = m.rows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 5) as f64 - 2.0).collect();
+        for kind in FormatKind::ALL {
+            let Ok(f) = build_format(kind, &m) else { continue };
+            let mut y_ref = vec![f64::NAN; n];
+            f.spmv(&x, &mut y_ref);
+            let want = serial_dot(&x, &y_ref);
+            // Garbage prefill: the sweep must fully overwrite y.
+            let mut y = vec![f64::NAN; n];
+            let got = f.spmv_dot(&x, &mut y);
+            prop_assert_eq!(vec_mismatch(&y, &y_ref, 0.0, 0.0), None, "{} fused y", f.name());
+            let scale = x.iter().zip(&y_ref).map(|(a, b)| (a * b).abs()).sum::<f64>().max(1.0);
+            prop_assert!(
+                (got - want).abs() <= 1e-12 * scale,
+                "{}: fused {} vs separate {}", f.name(), got, want
+            );
+        }
+    }
+
+    // Parallel fused sweep at several pool widths: same contract, and
+    // repeat runs at a fixed width must return bit-identical scalars
+    // (the fixed-shape reduction is schedule-independent).
+    #[test]
+    fn parallel_fused_spmv_dot_agrees_for_every_format(m in arb_square(), threads in 1usize..6) {
+        let n = m.rows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 11 + 5) % 7) as f64 * 0.5 - 1.5).collect();
+        let pool = ThreadPool::new(threads);
+        for kind in FormatKind::ALL {
+            let Ok(f) = build_format(kind, &m) else { continue };
+            let mut y_ref = vec![f64::NAN; n];
+            f.spmv(&x, &mut y_ref);
+            let want = serial_dot(&x, &y_ref);
+            let mut y = vec![f64::NAN; n];
+            let got = f.spmv_dot_parallel(&pool, &x, &mut y);
+            prop_assert_eq!(
+                vec_mismatch(&y, &y_ref, 1e-12, 1e-12), None, "{} fused-par y", f.name()
+            );
+            let scale = x.iter().zip(&y_ref).map(|(a, b)| (a * b).abs()).sum::<f64>().max(1.0);
+            prop_assert!(
+                (got - want).abs() <= 1e-12 * scale,
+                "{}: fused-par {} vs separate {}", f.name(), got, want
+            );
+            let mut y2 = vec![f64::NAN; n];
+            let again = f.spmv_dot_parallel(&pool, &x, &mut y2);
+            prop_assert_eq!(
+                again.to_bits(), got.to_bits(),
+                "{} not reproducible at {} threads", f.name(), threads
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic parallel BLAS-1 vector ops for the solver tier.
+//!
+//! Iterative solvers interleave SpMV with dot/axpy-style vector work;
+//! run serially those ops cap the achievable speedup (Amdahl's law),
+//! run naively in parallel their floating-point sums depend on task
+//! scheduling. This module provides both properties at once:
+//!
+//! * **parallel** — chunks run as independent tasks on the
+//!   work-stealing pool, concurrently with other jobs;
+//! * **deterministic** — reductions use a *fixed-shape* tree: the
+//!   vector is split into `min(threads, MAX_REDUCE_CHUNKS)` equal
+//!   chunks, each chunk is summed serially in index order, and the
+//!   per-chunk partials are combined by a pairwise tree in a fixed
+//!   order. The shape depends only on the thread count, never on which
+//!   worker ran which chunk first, so results are bit-reproducible at
+//!   a fixed `SPMV_THREADS` — and exactly equal to the serial loop
+//!   when the pool has one worker.
+//!
+//! No call here allocates: partials live in a stack array of
+//! [`MAX_REDUCE_CHUNKS`] slots written through [`DisjointWriter`],
+//! which is what lets a solver run thousands of iterations without
+//! touching the heap.
+
+use crate::executor::{DisjointWriter, Executor};
+use crate::pool::ThreadPool;
+
+/// Upper bound on reduction chunks (and thus partials): the reduction
+/// tree never grows past this, so partials always fit a stack array.
+pub const MAX_REDUCE_CHUNKS: usize = 64;
+
+/// Chunk count for a reduction on `pool`: one chunk per worker, capped
+/// so partials stay inline.
+fn reduce_chunks(pool: &ThreadPool) -> usize {
+    pool.threads().clamp(1, MAX_REDUCE_CHUNKS)
+}
+
+/// Pairwise tree sum in a fixed order: `[a, b, c, d]` reduces as
+/// `(a + b) + (c + d)`, and an odd slice splits `len / 2` left. The
+/// result is a pure function of the slice contents and length — no
+/// scheduling dependence.
+pub fn tree_reduce(parts: &[f64]) -> f64 {
+    match parts.len() {
+        0 => 0.0,
+        1 => parts[0],
+        n => {
+            let mid = n / 2;
+            tree_reduce(&parts[..mid]) + tree_reduce(&parts[mid..])
+        }
+    }
+}
+
+/// Parallel dot product `a · b` using the fixed-shape tree reduction
+/// described in the [module docs](self).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn dot(pool: &ThreadPool, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let n = a.len();
+    let t = reduce_chunks(pool);
+    let mut partials = [0.0f64; MAX_REDUCE_CHUNKS];
+    {
+        let parts = DisjointWriter::new(&mut partials[..t]);
+        pool.run_tasks(t, |ci| {
+            let (lo, hi) = (ci * n / t, (ci + 1) * n / t);
+            let mut sum = 0.0;
+            for (av, bv) in a[lo..hi].iter().zip(&b[lo..hi]) {
+                sum += av * bv;
+            }
+            parts.write(ci, sum);
+        });
+    }
+    tree_reduce(&partials[..t])
+}
+
+/// Parallel `y += alpha · x`. Element-wise (no reduction), so the
+/// result is bit-equal to the serial loop at *any* thread count.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn axpy(pool: &ThreadPool, alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    Executor::new(pool).for_each_chunk_mut(y, |off, chunk| {
+        for (i, yi) in chunk.iter_mut().enumerate() {
+            *yi += alpha * x[off + i];
+        }
+    });
+}
+
+/// Parallel `y = x + beta · y` — the CG search-direction update
+/// `p = r + beta·p`. Element-wise, bit-equal to the serial loop at any
+/// thread count.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn xpby(pool: &ThreadPool, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    Executor::new(pool).for_each_chunk_mut(y, |off, chunk| {
+        for (i, yi) in chunk.iter_mut().enumerate() {
+            *yi = x[off + i] + beta * *yi;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.25).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73).cos() - 0.5).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn tree_reduce_shape_is_fixed_pairwise() {
+        assert_eq!(tree_reduce(&[]), 0.0);
+        assert_eq!(tree_reduce(&[3.5]), 3.5);
+        let p = [1e100, 1.0, -1e100, 1.0];
+        // (1e100 + 1) + (-1e100 + 1) — not the serial left fold.
+        assert_eq!(tree_reduce(&p), (1e100 + 1.0) + (-1e100 + 1.0));
+    }
+
+    #[test]
+    fn dot_matches_serial_within_tolerance_at_every_thread_count() {
+        for n in [0usize, 1, 7, 100, 1023] {
+            let (a, b) = vecs(n);
+            let want: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            for threads in [1usize, 2, 4, 8] {
+                let pool = ThreadPool::new(threads);
+                let got = dot(&pool, &a, &b);
+                assert!((got - want).abs() <= 1e-12 * (1.0 + want.abs()), "n {n} t {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_on_one_worker_is_bitwise_the_serial_fold() {
+        let (a, b) = vecs(257);
+        let pool = ThreadPool::new(1);
+        let mut want = 0.0;
+        for (x, y) in a.iter().zip(&b) {
+            want += x * y;
+        }
+        assert_eq!(dot(&pool, &a, &b), want);
+    }
+
+    #[test]
+    fn dot_is_reproducible_across_reruns_at_fixed_thread_count() {
+        let (a, b) = vecs(4096);
+        let pool = ThreadPool::new(4);
+        let first = dot(&pool, &a, &b);
+        for _ in 0..50 {
+            assert_eq!(dot(&pool, &a, &b), first);
+        }
+        // And across distinct pools of the same width.
+        let other = ThreadPool::new(4);
+        assert_eq!(dot(&other, &a, &b), first);
+    }
+
+    #[test]
+    fn axpy_and_xpby_match_serial_bitwise() {
+        let (x, y0) = vecs(513);
+        for threads in [1usize, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let mut y = y0.clone();
+            axpy(&pool, 1.75, &x, &mut y);
+            let want: Vec<f64> = y0.iter().zip(&x).map(|(y, x)| y + 1.75 * x).collect();
+            assert_eq!(y, want, "axpy t {threads}");
+
+            let mut y = y0.clone();
+            xpby(&pool, &x, -0.5, &mut y);
+            let want: Vec<f64> = y0.iter().zip(&x).map(|(y, x)| x + -0.5 * y).collect();
+            assert_eq!(y, want, "xpby t {threads}");
+        }
+    }
+
+    #[test]
+    fn wide_pools_cap_the_reduction_shape() {
+        let (a, b) = vecs(100);
+        let pool = ThreadPool::new(MAX_REDUCE_CHUNKS + 13);
+        let narrow = ThreadPool::new(MAX_REDUCE_CHUNKS);
+        // Past the cap the shape is identical to a MAX_REDUCE_CHUNKS pool.
+        assert_eq!(dot(&pool, &a, &b), dot(&narrow, &a, &b));
+    }
+}

@@ -50,6 +50,7 @@
 //! left to format authors, and the one thing to check when reviewing a
 //! new kernel.
 
+use crate::blas1::{tree_reduce, MAX_REDUCE_CHUNKS};
 use crate::partition::Partition;
 use crate::pool::ThreadPool;
 use std::ops::Range;
@@ -313,6 +314,36 @@ impl<'p> Executor<'p> {
         });
     }
 
+    /// Like [`run_disjoint`](Self::run_disjoint), but each chunk task
+    /// additionally returns an `f64` partial, and the partials are
+    /// combined with the fixed-shape pairwise tree of [`crate::blas1`]
+    /// — the entry point for fused SpMV + dot kernels, which produce
+    /// `y = A·x` and a reduction over `y` from the same sweep.
+    ///
+    /// The chunk count is capped at [`MAX_REDUCE_CHUNKS`] so the
+    /// partials stay in a stack array (no per-call allocation), and at
+    /// a fixed thread count the chunking — and therefore the bit
+    /// pattern of the result — is fixed. Empty chunks contribute
+    /// `0.0` without invoking the kernel.
+    pub fn run_disjoint_reduce<F>(&self, schedule: Schedule<'_>, y: &mut [f64], f: F) -> f64
+    where
+        F: Fn(Range<usize>, &DisjointWriter<'_>) -> f64 + Sync,
+    {
+        let chunks = self.threads().clamp(1, MAX_REDUCE_CHUNKS);
+        let partition = schedule.partition(chunks);
+        let mut partials = [0.0f64; MAX_REDUCE_CHUNKS];
+        {
+            let out = DisjointWriter::new(y);
+            let parts = DisjointWriter::new(&mut partials[..chunks]);
+            self.pool.run_tasks(chunks, |ci| {
+                let range = partition.range(ci);
+                let p = if range.is_empty() { 0.0 } else { f(range, &out) };
+                parts.write(ci, p);
+            });
+        }
+        tree_reduce(&partials[..chunks])
+    }
+
     /// Splits `0..items` into equal contiguous chunks (one per worker),
     /// runs `f(chunk, writer)` concurrently, then merges the returned
     /// [`Carries`] into `y` sequentially, in chunk order.
@@ -330,7 +361,18 @@ impl<'p> Executor<'p> {
             return;
         }
         let t = self.threads();
-        let mut carries: Vec<Carries> = vec![Carries::none(); t];
+        // Carry slots live on the stack for ordinary pool widths so a
+        // tight caller loop (a solver iterating on a carry-chunked
+        // format) never allocates; only pools wider than the inline cap
+        // spill to the heap.
+        let mut inline = [Carries::none(); MAX_REDUCE_CHUNKS];
+        let mut spill: Vec<Carries>;
+        let carries: &mut [Carries] = if t <= MAX_REDUCE_CHUNKS {
+            &mut inline[..t]
+        } else {
+            spill = vec![Carries::none(); t];
+            &mut spill
+        };
         {
             // Scoped: the writer's borrow of `y` must end before the
             // sequential carry merge below can touch `y` directly.
@@ -347,7 +389,7 @@ impl<'p> Executor<'p> {
                 }
             });
         }
-        for c in &carries {
+        for c in carries.iter() {
             if let Some((row, sum)) = c.first {
                 y[row] += sum;
             }
@@ -406,6 +448,48 @@ mod tests {
             }
         });
         assert_eq!(y, vec![1.0; 6]);
+    }
+
+    #[test]
+    fn run_disjoint_reduce_writes_rows_and_sums_partials() {
+        for threads in [1usize, 2, 4, 16] {
+            let pool = ThreadPool::new(threads);
+            let exec = Executor::new(&pool);
+            let mut y = vec![f64::NAN; 101];
+            let total =
+                exec.run_disjoint_reduce(Schedule::Static { items: 101 }, &mut y, |range, out| {
+                    let mut p = 0.0;
+                    for i in range {
+                        out.write(i, i as f64);
+                        p += i as f64;
+                    }
+                    p
+                });
+            assert!(y.iter().enumerate().all(|(i, &v)| v == i as f64), "threads {threads}");
+            assert_eq!(total, (0..101).sum::<usize>() as f64, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn run_disjoint_reduce_is_reproducible_at_fixed_threads() {
+        let pool = ThreadPool::new(4);
+        let exec = Executor::new(&pool);
+        let vals: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut y = vec![0.0; 2048];
+        let run = |y: &mut [f64]| {
+            exec.run_disjoint_reduce(Schedule::Static { items: 2048 }, y, |range, out| {
+                let mut p = 0.0;
+                for i in range {
+                    out.write(i, vals[i]);
+                    p += vals[i] * vals[i];
+                }
+                p
+            })
+        };
+        let first = run(&mut y);
+        for _ in 0..20 {
+            assert_eq!(run(&mut y), first);
+        }
     }
 
     #[test]

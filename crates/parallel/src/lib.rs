@@ -25,11 +25,14 @@
 //! format routes its `spmv_parallel` (and batched SpMM) through
 //! [`Executor`] + [`Schedule`] instead of hand-rolling pool calls, so
 //! the disjoint-write and boundary-carry soundness arguments live in
-//! one place.
+//! one place. The [`blas1`] module adds the deterministic parallel
+//! vector ops (dot/axpy/xpby with a fixed-shape tree reduction) that
+//! iterative solvers interleave with SpMV.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod blas1;
 pub mod executor;
 pub mod merge;
 #[cfg(spmv_model_check)]

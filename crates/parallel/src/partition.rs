@@ -10,20 +10,79 @@
 //!   on a prefix-weight array (for CSR, `row_ptr` itself), giving each
 //!   chunk nearly equal total weight (Balanced-CSR's nonzero
 //!   balancing).
+//!
+//! Partitions sit on the hot path of every parallel SpMV call — and,
+//! since the solver tier, of every solver *iteration* — so boundaries
+//! for up to [`INLINE_CHUNKS`] chunks are stored inline on the stack.
+//! Only pathologically wide pools (more chunks than that) spill to the
+//! heap, which keeps steady-state SpMV and solve iterations
+//! allocation-free.
 
-/// A partition of `0..n` into contiguous chunks.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Partition {
-    bounds: Vec<usize>,
+/// Chunk-count threshold up to which a [`Partition`] stores its
+/// boundaries inline (no heap allocation).
+pub const INLINE_CHUNKS: usize = 64;
+
+// The size asymmetry is the point: the large variant is the inline
+// buffer that keeps hot-path partitions off the heap. Boxing it (the
+// lint's suggestion) would reintroduce the allocation it exists to
+// avoid.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Bounds {
+    Inline { buf: [usize; INLINE_CHUNKS + 1], len: usize },
+    Heap(Vec<usize>),
 }
 
+/// A partition of `0..n` into contiguous chunks.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    bounds: Bounds,
+}
+
+impl PartialEq for Partition {
+    fn eq(&self, other: &Self) -> bool {
+        self.bounds() == other.bounds()
+    }
+}
+
+impl Eq for Partition {}
+
 impl Partition {
+    /// A zeroed boundary store for `chunks` chunks (`chunks + 1`
+    /// boundaries): inline up to [`INLINE_CHUNKS`], heap beyond.
+    fn zeroed(chunks: usize) -> Self {
+        let len = chunks + 1;
+        let bounds = if chunks <= INLINE_CHUNKS {
+            Bounds::Inline { buf: [0; INLINE_CHUNKS + 1], len }
+        } else {
+            Bounds::Heap(vec![0; len])
+        };
+        Self { bounds }
+    }
+
+    fn bounds(&self) -> &[usize] {
+        match &self.bounds {
+            Bounds::Inline { buf, len } => &buf[..*len],
+            Bounds::Heap(v) => v,
+        }
+    }
+
+    fn bounds_mut(&mut self) -> &mut [usize] {
+        match &mut self.bounds {
+            Bounds::Inline { buf, len } => &mut buf[..*len],
+            Bounds::Heap(v) => v,
+        }
+    }
+
     /// Equal-count partition of `0..n` into `chunks` chunks
     /// (chunk `t` is `[t·n/chunks, (t+1)·n/chunks)`).
     pub fn static_rows(n: usize, chunks: usize) -> Self {
         let chunks = chunks.max(1);
-        let bounds = (0..=chunks).map(|t| t * n / chunks).collect();
-        Self { bounds }
+        let mut p = Self::zeroed(chunks);
+        for (t, b) in p.bounds_mut().iter_mut().enumerate() {
+            *b = t * n / chunks;
+        }
+        p
     }
 
     /// Equal-count partition of `0..n` whose *interior* boundaries are
@@ -34,16 +93,12 @@ impl Partition {
     pub fn static_rows_aligned(n: usize, chunks: usize, align: usize) -> Self {
         let chunks = chunks.max(1);
         let align = align.max(1);
-        let mut bounds: Vec<usize> = (0..=chunks)
-            .map(|t| {
-                let b = t * n / chunks;
-                if t == 0 || t == chunks {
-                    b
-                } else {
-                    b - b % align
-                }
-            })
-            .collect();
+        let mut p = Self::zeroed(chunks);
+        let bounds = p.bounds_mut();
+        for (t, b) in bounds.iter_mut().enumerate() {
+            let raw = t * n / chunks;
+            *b = if t == 0 || t == chunks { raw } else { raw - raw % align };
+        }
         // Rounding down can only move boundaries left, so enforce
         // monotonicity (some chunks may end up empty, coverage stays
         // exact).
@@ -52,7 +107,7 @@ impl Partition {
                 bounds[t] = bounds[t - 1];
             }
         }
-        Self { bounds }
+        p
     }
 
     /// Weight-balanced partition of `0..n` where `prefix` holds the
@@ -67,8 +122,9 @@ impl Partition {
         let n = prefix.len() - 1;
         let total = prefix[n];
         let chunks = chunks.max(1);
-        let mut bounds = Vec::with_capacity(chunks + 1);
-        bounds.push(0);
+        let mut p = Self::zeroed(chunks);
+        let bounds = p.bounds_mut();
+        bounds[0] = 0;
         for t in 1..chunks {
             let target = t * total / chunks;
             // Nearest boundary: partition_point gives the first index
@@ -77,20 +133,21 @@ impl Partition {
             let hi = prefix.partition_point(|&w| w < target).min(n);
             let b =
                 if hi > 0 && target - prefix[hi - 1] <= prefix[hi] - target { hi - 1 } else { hi };
-            bounds.push(b.max(*bounds.last().expect("nonempty")));
+            bounds[t] = b.max(bounds[t - 1]);
         }
-        bounds.push(n);
-        Self { bounds }
+        bounds[chunks] = n;
+        p
     }
 
     /// Number of chunks.
     pub fn chunks(&self) -> usize {
-        self.bounds.len() - 1
+        self.bounds().len() - 1
     }
 
     /// The half-open range of chunk `t`.
     pub fn range(&self, t: usize) -> std::ops::Range<usize> {
-        self.bounds[t]..self.bounds[t + 1]
+        let bounds = self.bounds();
+        bounds[t]..bounds[t + 1]
     }
 
     /// Iterator over all chunk ranges.
@@ -218,5 +275,13 @@ mod tests {
             prev = r.end;
         }
         assert_eq!(prev, 5);
+    }
+
+    #[test]
+    fn wide_partitions_spill_to_the_heap_and_stay_correct() {
+        let p = Partition::static_rows(1000, INLINE_CHUNKS + 7);
+        assert_eq!(p.chunks(), INLINE_CHUNKS + 7);
+        let items: Vec<usize> = p.ranges().flatten().collect();
+        assert_eq!(items, (0..1000).collect::<Vec<_>>());
     }
 }

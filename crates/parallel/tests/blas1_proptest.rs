@@ -1,0 +1,121 @@
+//! Property tests for the deterministic parallel BLAS-1 layer
+//! ([`spmv_parallel::blas1`]): whatever the vector contents and
+//! whatever garbage prefills the outputs, the parallel kernels agree
+//! with their serial definitions within reassociation tolerance, and
+//! at a fixed thread count they are *bit*-reproducible run to run —
+//! the fixed-shape tree reduction leaves no scheduling freedom in the
+//! floating-point sum.
+
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use spmv_parallel::{blas1, ThreadPool};
+
+/// Finite but adversarial values: zeros, denormal-ish tinies, and
+/// large magnitudes of both signs — the mixes most likely to expose a
+/// reduction-order dependence.
+fn arb_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u8..4, -1.0..1.0f64), len).prop_map(|cells| {
+        cells
+            .into_iter()
+            .map(|(class, u)| match class {
+                0 => 0.0,
+                1 => u * 1.0e-300,
+                2 => u * 1.0e3,
+                _ => u * 1.0e12,
+            })
+            .collect()
+    })
+}
+
+/// Two equal-length vectors (paired element strategies, split after).
+fn arb_pair(len: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    arb_vec(len).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), arb_vec(n..n + 1))
+    })
+}
+
+fn serial_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // `dot` agrees with the serial left fold within reassociation
+    // tolerance at every thread count, and bitwise at one thread
+    // (one chunk ⇒ the serial order exactly).
+    #[test]
+    fn dot_matches_serial(pair in arb_pair(0..400), threads in 1usize..9) {
+        let (a, b) = pair;
+        let want = serial_dot(&a, &b);
+        let pool = ThreadPool::new(threads);
+        let got = blas1::dot(&pool, &a, &b);
+        if threads == 1 {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        } else {
+            let scale = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum::<f64>().max(1.0);
+            prop_assert!((got - want).abs() <= 1e-12 * scale, "{} vs {}", got, want);
+        }
+    }
+
+    // `dot` is bit-reproducible across reruns and across distinct
+    // pools of the same width — the reduction shape depends only on
+    // the thread count.
+    #[test]
+    fn dot_is_bit_reproducible_at_fixed_threads(pair in arb_pair(1..300), threads in 1usize..9) {
+        let (a, b) = pair;
+        let pool = ThreadPool::new(threads);
+        let first = blas1::dot(&pool, &a, &b);
+        for _ in 0..10 {
+            prop_assert_eq!(blas1::dot(&pool, &a, &b).to_bits(), first.to_bits());
+        }
+        let other = ThreadPool::new(threads);
+        prop_assert_eq!(blas1::dot(&other, &a, &b).to_bits(), first.to_bits());
+    }
+
+    // `axpy` and `xpby` write every element identically to the serial
+    // update — elementwise kernels have no reduction order, so the
+    // match is exact at any thread count, even over garbage-prefilled
+    // outputs.
+    #[test]
+    fn axpy_xpby_match_serial_bitwise(
+        tuple in arb_vec(0..400).prop_flat_map(|x| {
+            let n = x.len();
+            (Just(x), arb_vec(n..n + 1), arb_vec(n..n + 1))
+        }),
+        alpha in -1.0e6..1.0e6f64,
+        threads in 1usize..9,
+    ) {
+        let (x, y0, garbage) = tuple;
+        let pool = ThreadPool::new(threads);
+
+        // axpy: y += alpha * x, starting from a defined y0.
+        let mut want = y0.clone();
+        for (w, xv) in want.iter_mut().zip(&x) {
+            *w += alpha * xv;
+        }
+        let mut got = y0.clone();
+        blas1::axpy(&pool, alpha, &x, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+
+        // xpby: y = x + beta * y, seeded with unrelated garbage that
+        // the update must fully consume (not a fresh buffer).
+        let beta = alpha * 0.5 - 1.0;
+        let mut want = garbage.clone();
+        for (w, xv) in want.iter_mut().zip(&x) {
+            *w = xv + beta * *w;
+        }
+        let mut got = garbage;
+        blas1::xpby(&pool, &x, beta, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+}

@@ -105,6 +105,10 @@ fn engine_selected_formats_match_dense_reference_and_counters_reconcile() {
     assert_eq!(c.flights_scheduled, 0, "sync admission schedules no background flights");
     assert_eq!(c.pool.low_tasks, 0, "the low-priority class stayed untouched");
     assert!(c.pool.high_tasks > 0, "parallel serves ran as high-priority chunk tasks");
+    // Solver-tier counters stay exactly zero on the pure serve path:
+    // no handles were created, so nothing is pinned and no iterations
+    // were run.
+    assert_eq!((c.solves, c.solver_iterations, c.pinned_plans), (0, 0, 0));
 
     // Every format served is one the engine could legitimately pick:
     // available on the device profile or the universal CSR fallback.
@@ -121,6 +125,7 @@ fn engine_counters_start_at_zero_and_forget_releases_bytes() {
     let engine = engine();
     let c = engine.counters();
     assert_eq!((c.requests, c.cache_lookups, c.fallbacks), (0, 0, 0));
+    assert_eq!((c.solves, c.solver_iterations, c.pinned_plans), (0, 0, 0));
     assert_eq!(c.bytes_resident, 0);
 
     let m = spmv_suite::core::CsrMatrix::identity(128);

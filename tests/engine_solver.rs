@@ -1,0 +1,263 @@
+//! End-to-end tests for the engine's plan-once/run-many solver tier
+//! ([`Engine::solver`]): CG and BiCGStab convergence on engine-served
+//! fused kernels, exact counter reconciliation for the new
+//! `solves` / `solver_iterations` / `pinned_plans` fields, pin
+//! semantics under streaming eviction pressure, the solve-racing-
+//! `forget` contract, and the typed breakdown errors.
+
+use spmv_suite::core::CsrMatrix;
+use spmv_suite::engine::{Engine, EngineConfig, SolveError, TrainingPlan};
+use spmv_suite::gen::dataset::DatasetSize;
+
+const SCALE: f64 = 16384.0;
+
+fn engine_with(plan_capacity: usize) -> Engine {
+    Engine::new(EngineConfig {
+        device: "AMD-EPYC-24".into(),
+        scale: SCALE,
+        k: 1,
+        cache_capacity_bytes: 64 << 20,
+        plan_capacity,
+        threads: 3,
+        shards: 1,
+        training: TrainingPlan { size: DatasetSize::Small, stride: 40, base_seed: 0xA11CE },
+        ..EngineConfig::default()
+    })
+    .expect("builtin training")
+}
+
+fn engine() -> Engine {
+    engine_with(1 << 16)
+}
+
+/// 5-point Laplacian on an `n x n` grid: SPD, the classic CG matrix.
+fn poisson_2d(n: usize) -> CsrMatrix {
+    let dim = n * n;
+    let mut t: Vec<(usize, usize, f64)> = Vec::with_capacity(5 * dim);
+    for i in 0..n {
+        for j in 0..n {
+            let r = i * n + j;
+            t.push((r, r, 4.0));
+            if i > 0 {
+                t.push((r, r - n, -1.0));
+            }
+            if i + 1 < n {
+                t.push((r, r + n, -1.0));
+            }
+            if j > 0 {
+                t.push((r, r - 1, -1.0));
+            }
+            if j + 1 < n {
+                t.push((r, r + 1, -1.0));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(dim, dim, &t).expect("stencil is valid")
+}
+
+/// Upwind convection-diffusion on an `n x n` grid: diagonally dominant
+/// but *not* symmetric — CG's no-man's-land, BiCGStab's home turf.
+fn convection_2d(n: usize) -> CsrMatrix {
+    let dim = n * n;
+    let mut t: Vec<(usize, usize, f64)> = Vec::with_capacity(5 * dim);
+    for i in 0..n {
+        for j in 0..n {
+            let r = i * n + j;
+            t.push((r, r, 4.5));
+            if i > 0 {
+                t.push((r, r - n, -1.5)); // upwind: heavier than the
+            }
+            if i + 1 < n {
+                t.push((r, r + n, -0.5)); // downwind neighbor
+            }
+            if j > 0 {
+                t.push((r, r - 1, -1.5));
+            }
+            if j + 1 < n {
+                t.push((r, r + 1, -0.5));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(dim, dim, &t).expect("stencil is valid")
+}
+
+/// Max-norm residual of `A·x - b`, computed independently of the
+/// solver's own bookkeeping.
+fn residual_inf(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let mut ax = vec![0.0; a.rows()];
+    a.spmv_into(x, &mut ax);
+    ax.iter().zip(b).map(|(l, r)| (l - r).abs()).fold(0.0, f64::max)
+}
+
+#[test]
+fn cg_converges_on_poisson_and_counters_reconcile() {
+    let engine = engine();
+    let a = poisson_2d(24);
+    let b = vec![1.0; a.rows()];
+
+    let before = engine.counters();
+    assert_eq!((before.solves, before.solver_iterations, before.pinned_plans), (0, 0, 0));
+
+    let mut handle = engine.solver("poisson", &a);
+    {
+        let c = engine.counters();
+        // The one-time resolution is one full request with one lookup
+        // and one conversion; the pin gauge shows the live handle.
+        assert_eq!(c.requests, 1);
+        assert_eq!(c.cache_lookups, 1);
+        assert_eq!(c.conversions, 1);
+        assert_eq!(c.pinned_plans, 1);
+        assert_eq!(c.solves, 0, "creating a handle is not yet a solve");
+    }
+
+    let out = handle.cg(&b, 1e-10, 5_000).expect("SPD system converges");
+    assert!(out.converged, "stalled at residual {}", out.residual);
+    assert!(out.iterations > 10, "a 576-unknown Poisson system takes real iterations");
+    assert!(residual_inf(&a, handle.solution(), &b) < 1e-6);
+
+    // A second solve on the same handle: different rhs, zero new
+    // lookups, zero new conversions — the plan stays pinned and the
+    // format is held directly.
+    let b2: Vec<f64> = (0..a.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let out2 = handle.cg(&b2, 1e-10, 5_000).expect("SPD system converges");
+    assert!(out2.converged);
+    assert!(residual_inf(&a, handle.solution(), &b2) < 1e-6);
+
+    let c = engine.counters();
+    assert_eq!(c.solves, 2);
+    assert_eq!(c.solver_iterations, (out.iterations + out2.iterations) as u64);
+    assert_eq!(c.requests, 1, "iterations bypass the serve front door");
+    assert_eq!(c.cache_lookups, 1, "resolution happened exactly once");
+    assert_eq!(c.conversions, 1, "zero re-conversions across both solves");
+    assert_eq!(c.pinned_plans, 1);
+
+    drop(handle);
+    assert_eq!(engine.counters().pinned_plans, 0, "drop releases the pin");
+}
+
+#[test]
+fn bicgstab_converges_on_a_nonsymmetric_system() {
+    let engine = engine();
+    let a = convection_2d(16);
+    let b: Vec<f64> = (0..a.rows()).map(|i| 1.0 + (i % 3) as f64).collect();
+
+    let mut handle = engine.solver("convection", &a);
+    let out = handle.bicgstab(&b, 1e-10, 5_000).expect("diagonally dominant system converges");
+    assert!(out.converged, "stalled at residual {}", out.residual);
+    assert!(residual_inf(&a, handle.solution(), &b) < 1e-6);
+
+    let c = engine.counters();
+    assert_eq!(c.solves, 1);
+    assert_eq!(c.solver_iterations, out.iterations as u64);
+    assert_eq!(c.conversions, 1, "one resolution for the whole solve");
+}
+
+#[test]
+fn pinned_plan_survives_streaming_eviction_pressure() {
+    // Plan table of 2 entries on a single shard: every streamed id
+    // evicts. The solver's pin must be the one entry that never goes.
+    let engine = engine_with(2);
+    let a = poisson_2d(12);
+    let b = vec![1.0; a.rows()];
+
+    let mut handle = engine.solver("pinned", &a);
+    handle.cg(&b, 1e-10, 2_000).expect("converges");
+    let mid = engine.counters();
+
+    // Stream unrelated matrices through the same shard, well past the
+    // plan capacity.
+    let x = vec![1.0; 64];
+    let mut y = vec![0.0; 64];
+    let streamed = 8u64;
+    for i in 0..streamed {
+        let m = CsrMatrix::identity(64);
+        engine.spmv(&format!("stream-{i}"), &m, &x, &mut y);
+    }
+
+    // The pinned plan was never evicted: the next solve re-resolves
+    // nothing (conversions grew only by the streamed matrices).
+    handle.cg(&b, 1e-10, 2_000).expect("still converges");
+    let c = engine.counters();
+    assert_eq!(c.conversions, mid.conversions + streamed, "pinned id reconverted");
+    assert_eq!(c.cache_lookups, mid.cache_lookups + streamed, "pinned id re-resolved");
+    assert_eq!(c.pinned_plans, 1);
+    drop(handle);
+    assert_eq!(engine.counters().pinned_plans, 0);
+}
+
+#[test]
+fn solve_racing_forget_finishes_on_the_pinned_plan() {
+    let engine = engine();
+    let a = poisson_2d(12);
+    let b = vec![1.0; a.rows()];
+
+    let mut handle = engine.solver("racy", &a);
+    let resolved = engine.counters();
+
+    // `forget` lands mid-lifetime: tables are cleared, but the solve
+    // must finish on the format the handle already holds — no panic,
+    // no re-resolution.
+    engine.forget("racy");
+    assert_eq!(engine.counters().cached_entries, 0, "forget cleared the conversion");
+    assert_eq!(engine.counters().pinned_plans, 0, "forget removes even pinned entries");
+
+    let out = handle.cg(&b, 1e-10, 2_000).expect("solve finishes after forget");
+    assert!(out.converged);
+    assert!(residual_inf(&a, handle.solution(), &b) < 1e-6);
+    let c = engine.counters();
+    assert_eq!(c.cache_lookups, resolved.cache_lookups, "no mid-solve re-resolution");
+    assert_eq!(c.conversions, resolved.conversions, "no mid-solve re-conversion");
+
+    // The stale release on drop must not disturb a successor plan for
+    // the same id.
+    let mut handle2 = engine.solver("racy", &a);
+    assert_eq!(engine.counters().pinned_plans, 1);
+    drop(handle); // stale ticket: must no-op
+    assert_eq!(engine.counters().pinned_plans, 1, "stale drop unpinned the successor");
+    handle2.cg(&b, 1e-10, 2_000).expect("successor handle works");
+    drop(handle2);
+    assert_eq!(engine.counters().pinned_plans, 0);
+}
+
+#[test]
+fn breakdown_errors_are_typed() {
+    let engine = engine();
+
+    // Dimension mismatch, before any arithmetic.
+    let a = poisson_2d(4);
+    let mut h = engine.solver("dim", &a);
+    assert_eq!(
+        h.cg(&[1.0; 3], 1e-8, 10),
+        Err(SolveError::DimensionMismatch { expected: 16, got: 3 })
+    );
+
+    // Non-finite right-hand side.
+    let mut b = vec![1.0; 16];
+    b[7] = f64::NAN;
+    assert_eq!(h.cg(&b, 1e-8, 10), Err(SolveError::NonFiniteRhs));
+    assert_eq!(h.bicgstab(&b, 1e-8, 10), Err(SolveError::NonFiniteRhs));
+
+    // Zero right-hand side: trivial convergence in zero iterations.
+    let out = h.cg(&[0.0; 16], 1e-8, 10).expect("trivial");
+    assert!(out.converged);
+    assert_eq!(out.iterations, 0);
+    assert!(h.solution().iter().all(|&v| v == 0.0));
+
+    // CG on a negative-definite matrix: curvature breaks immediately.
+    let neg = CsrMatrix::from_triplets(8, 8, &(0..8).map(|i| (i, i, -1.0)).collect::<Vec<_>>())
+        .expect("diagonal");
+    let mut h = engine.solver("negdef", &neg);
+    assert_eq!(h.cg(&[1.0; 8], 1e-8, 10), Err(SolveError::CurvatureBreakdown { iteration: 0 }));
+
+    // BiCGStab on the zero matrix: A·p = 0 collapses rho's companion
+    // scalar in the first iteration.
+    let zero = CsrMatrix::zeros(8, 8);
+    let mut h = engine.solver("zero", &zero);
+    assert_eq!(h.bicgstab(&[1.0; 8], 1e-8, 10), Err(SolveError::RhoBreakdown { iteration: 0 }));
+
+    // Breakdown iterations still reconcile into the counter: the
+    // failed runs above completed zero iterations each, the trivial
+    // solve zero — so the counter is exactly zero.
+    assert_eq!(engine.counters().solver_iterations, 0);
+    assert_eq!(engine.counters().solves, 6);
+}

@@ -27,8 +27,12 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Files allowed to contain `unsafe` (workspace-relative paths).
-pub const UNSAFE_WHITELIST: &[&str] =
-    &["crates/parallel/src/pool.rs", "crates/parallel/src/executor.rs"];
+pub const UNSAFE_WHITELIST: &[&str] = &[
+    "crates/parallel/src/pool.rs",
+    "crates/parallel/src/executor.rs",
+    // Counting GlobalAlloc for the zero-allocation solver gate.
+    "crates/bench/src/bin/solver_throughput.rs",
+];
 
 /// Files exempt from R3: the façade itself (it *is* the boundary
 /// between model and real primitives).
